@@ -1,0 +1,174 @@
+#ifndef ROCK_BENCH_BENCH_COMMON_H_
+#define ROCK_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the figure-reproduction benchmarks. Each bench binary
+// regenerates one figure of the paper's evaluation (§6, Figure 4); see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for the recorded
+// paper-vs-measured shapes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/baselines/baselines.h"
+#include "src/common/timer.h"
+#include "src/core/engine.h"
+#include "src/workload/generator.h"
+#include "src/workload/scoring.h"
+
+namespace rock::bench {
+
+/// One application under test, with its generated data and Rock instance.
+struct AppContext {
+  std::string name;
+  workload::GeneratedData data;
+  std::vector<workload::TaskFilter> tasks;  // the paper's 4 tasks
+  core::ModelTrainingSpec spec;
+};
+
+inline workload::GeneratorOptions DefaultGeneratorOptions(size_t rows) {
+  workload::GeneratorOptions options;
+  options.rows = rows;
+  options.error_rate = 0.08;
+  options.seed = 20240609;
+  return options;
+}
+
+/// Builds the app's data + task filters + model-training spec.
+inline AppContext MakeApp(const std::string& name, size_t rows) {
+  using workload::InjectedError;
+  AppContext app;
+  app.name = name;
+  app.data = workload::MakeAppData(name, DefaultGeneratorOptions(rows));
+  if (name == "Bank") {
+    app.tasks = {
+        {"CNC", {InjectedError::kDuplicate}, {0}},
+        {"CIC", {InjectedError::kConflict, InjectedError::kNull}, {1}},
+        {"TPA", {InjectedError::kConflict, InjectedError::kNull}, {2}},
+        {"ESClean", {}, {}},
+    };
+    app.spec.rank_targets = {{"Customer", "city"}};
+    app.spec.monotone_attrs = {{"Customer", "points"}};
+  } else if (name == "Logistics") {
+    // Shipment attrs: street=2, area=3, seller_name=7.
+    app.tasks = {
+        {"RS", {InjectedError::kConflict, InjectedError::kNull}, {0}},
+        {"RR", {InjectedError::kNull}, {0}},
+        {"SN", {InjectedError::kConflict}, {0}},
+        {"RClean", {}, {}},
+    };
+    app.spec.path_synonyms = {{"area", {"AreaOf"}}, {"city", {"CityOf"}}};
+  } else {  // Sales
+    app.tasks = {
+        {"CIN", {InjectedError::kDuplicate, InjectedError::kConflict}, {0}},
+        {"CCN", {InjectedError::kConflict}, {1}},
+        {"TPWT", {InjectedError::kConflict, InjectedError::kNull}, {2}},
+        {"SClean", {}, {}},
+    };
+    app.spec.rank_targets = {{"Client", "discount"}};
+    app.spec.monotone_attrs = {{"Client", "lifetime_value"}};
+  }
+  return app;
+}
+
+/// A ready-to-run Rock with trained models, curated rules and polynomials.
+struct RockSetup {
+  std::unique_ptr<core::Rock> rock;
+  std::vector<rules::Ree> rules;
+};
+
+inline RockSetup PrepareRock(AppContext& app, core::Variant variant) {
+  RockSetup setup;
+  core::RockOptions options;
+  options.variant = variant;
+  setup.rock = std::make_unique<core::Rock>(&app.data.db, &app.data.graph,
+                                            options);
+  setup.rock->TrainModels(app.spec);
+  setup.rock->DiscoverPolynomials();
+  auto rules = setup.rock->LoadRules(app.data.rule_text);
+  if (rules.ok()) setup.rules = std::move(*rules);
+  return setup;
+}
+
+/// Table helpers: the benches print aligned rows so the output reads like
+/// the paper's figures.
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==================================================\n");
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values,
+                     const char* fmt = "%10.3f") {
+  std::printf("%-12s", label.c_str());
+  for (double v : values) {
+    if (v < 0) {
+      std::printf("%10s", "n/a");
+    } else {
+      std::printf(fmt, v);
+    }
+  }
+  std::printf("\n");
+}
+
+inline void PrintColumns(const std::vector<std::string>& names) {
+  std::printf("%-12s", "");
+  for (const std::string& name : names) std::printf("%10s", name.c_str());
+  std::printf("\n");
+}
+
+/// Labeled sample for the RB baseline (the "10,000 manually checked
+/// tuples" stand-in): a fraction of the error log plus clean tuples.
+inline void LabeledSample(
+    const workload::GeneratedData& data, double fraction,
+    std::vector<std::pair<int, int64_t>>* tuples,
+    std::vector<std::tuple<int, int64_t, int>>* errors) {
+  size_t take = static_cast<size_t>(
+      fraction * static_cast<double>(data.clean_tuples.size()));
+  for (size_t i = 0; i < take && i < data.clean_tuples.size(); ++i) {
+    tuples->push_back(data.clean_tuples[i]);
+  }
+  size_t err_take = static_cast<size_t>(
+      fraction * static_cast<double>(data.errors.size()));
+  for (size_t i = 0; i < err_take && i < data.errors.size(); ++i) {
+    const workload::ErrorLogEntry& entry = data.errors[i];
+    if (entry.attr < 0) continue;
+    tuples->emplace_back(entry.rel, entry.tid);
+    errors->emplace_back(entry.rel, entry.tid, entry.attr);
+  }
+}
+
+/// Scores a baseline's suggested cell corrections against the error log
+/// (duplicates and stale entries count as unreachable for cell-level
+/// correctors, exactly as in the paper: "TD of T5s ... not shown because
+/// they do not support these operations").
+inline workload::Prf ScoreBaselineCorrections(
+    const workload::GeneratedData& data,
+    const std::vector<std::tuple<int, int64_t, int, Value>>& fixes) {
+  std::map<std::tuple<int, int64_t, int>, Value> truth;
+  size_t total_errors = data.errors.size();
+  for (const workload::ErrorLogEntry& entry : data.errors) {
+    if (entry.type == workload::InjectedError::kConflict ||
+        entry.type == workload::InjectedError::kNull) {
+      truth[{entry.rel, entry.tid, entry.attr}] = entry.clean_value;
+    }
+  }
+  workload::Prf prf;
+  std::set<std::tuple<int, int64_t, int>> corrected;
+  for (const auto& [rel, tid, attr, value] : fixes) {
+    auto it = truth.find({rel, tid, attr});
+    if (it != truth.end() && it->second == value) {
+      corrected.insert({rel, tid, attr});
+      ++prf.true_positives;
+    } else {
+      ++prf.false_positives;
+    }
+  }
+  prf.false_negatives = total_errors - corrected.size();
+  return prf;
+}
+
+}  // namespace rock::bench
+
+#endif  // ROCK_BENCH_BENCH_COMMON_H_

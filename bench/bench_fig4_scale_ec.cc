@@ -1,0 +1,48 @@
+// Reproduces Figure 4(l): parallel scalability of error correction on the
+// Logistics workload, varying the number of workers n = 4..20.
+//
+// Paper shape: Rock's chase is parallelly scalable; 3.12× faster at n=20
+// than at n=4. The first (dominant) chase round is partitioned into
+// HyperCube work units executed under the worker pool; see Fig 4(h) and
+// DESIGN.md for the measurement methodology.
+
+#include "bench/bench_common.h"
+
+namespace rock::bench {
+namespace {
+
+void Run() {
+  std::printf("%8s %14s %14s %10s %8s\n", "workers", "makespan(s)",
+              "serial(s)", "speedup", "stolen");
+  double t4 = 0.0, t20 = 0.0;
+  for (int workers : {4, 8, 12, 16, 20}) {
+    // Fresh data per configuration: the chase mutates its fix store.
+    AppContext app = MakeApp("Logistics", 400);
+    RockSetup setup = PrepareRock(app, core::Variant::kRock);
+    chase::ChaseEngine engine(&app.data.db, &app.data.graph,
+                              setup.rock->models());
+    for (const auto& [rel, tid] : app.data.clean_tuples) {
+      Status ignored = engine.fix_store().AddGroundTruthTuple(rel, tid);
+      (void)ignored;
+    }
+    par::ScheduleReport schedule;
+    engine.RunParallel(setup.rules, workers, /*block_rows=*/64, &schedule);
+    std::printf("%8d %14.4f %14.4f %9.2fx %8d\n", workers,
+                schedule.makespan_seconds, schedule.serial_seconds,
+                schedule.speedup(), schedule.stolen_units);
+    if (workers == 4) t4 = schedule.makespan_seconds;
+    if (workers == 20) t20 = schedule.makespan_seconds;
+  }
+  std::printf("\nSpeedup from n=4 to n=20: %.2fx (paper reports 3.12x)\n",
+              t20 > 0 ? t4 / t20 : 0.0);
+}
+
+}  // namespace
+}  // namespace rock::bench
+
+int main() {
+  rock::bench::PrintHeader(
+      "Figure 4(l)", "Logistics-EC parallel scalability, n = 4..20 workers");
+  rock::bench::Run();
+  return 0;
+}

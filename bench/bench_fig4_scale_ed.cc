@@ -1,0 +1,50 @@
+// Reproduces Figure 4(h): parallel scalability of error detection on the
+// Logistics workload, varying the number of workers n = 4..20.
+//
+// Paper shape: running time decreases monotonically; Rock is 3.36× faster
+// at n=20 than at n=4 (parallel scalability). Here work units are executed
+// once with measured durations and the schedule (consistent-hash placement
+// + work stealing) is simulated from those durations, so the curve shape
+// is hardware-independent; see DESIGN.md's substitution table.
+
+#include "bench/bench_common.h"
+
+namespace rock::bench {
+namespace {
+
+void Run() {
+  AppContext app = MakeApp("Logistics", 500);
+  RockSetup setup = PrepareRock(app, core::Variant::kRock);
+  rules::EvalContext ctx;
+  ctx.db = &app.data.db;
+  ctx.graph = &app.data.graph;
+  ctx.models = setup.rock->models();
+  detect::DetectorOptions options;
+  options.block_rows = 48;  // fine-grained HyperCube blocks
+  detect::ErrorDetector detector(ctx, options);
+
+  std::printf("%8s %14s %14s %10s %8s\n", "workers", "makespan(s)",
+              "serial(s)", "speedup", "stolen");
+  double t4 = 0.0, t20 = 0.0;
+  for (int workers : {4, 8, 12, 16, 20}) {
+    par::ScheduleReport schedule;
+    detector.DetectParallel(setup.rules, workers, &schedule);
+    std::printf("%8d %14.4f %14.4f %9.2fx %8d\n", workers,
+                schedule.makespan_seconds, schedule.serial_seconds,
+                schedule.speedup(), schedule.stolen_units);
+    if (workers == 4) t4 = schedule.makespan_seconds;
+    if (workers == 20) t20 = schedule.makespan_seconds;
+  }
+  std::printf("\nSpeedup from n=4 to n=20: %.2fx (paper reports 3.36x)\n",
+              t20 > 0 ? t4 / t20 : 0.0);
+}
+
+}  // namespace
+}  // namespace rock::bench
+
+int main() {
+  rock::bench::PrintHeader(
+      "Figure 4(h)", "Logistics-ED parallel scalability, n = 4..20 workers");
+  rock::bench::Run();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// the rule evaluator's indexed joins, the fix store's temporal reachability
+// and union-find, LSH signatures, string similarity and hashing. These are
+// the inner loops every experiment in EXPERIMENTS.md stands on.
+
+#include <benchmark/benchmark.h>
+
+#include "src/chase/fix_store.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/ml/lsh.h"
+#include "src/rules/eval.h"
+#include "src/rules/parser.h"
+#include "src/workload/generator.h"
+
+namespace rock {
+namespace {
+
+const workload::GeneratedData& LogisticsData() {
+  static workload::GeneratedData* data = [] {
+    workload::GeneratorOptions options;
+    options.rows = 400;
+    return new workload::GeneratedData(
+        workload::MakeLogisticsData(options));
+  }();
+  return *data;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(payload));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096);
+
+void BM_Hash64(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'y');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(payload));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(64)->Arg(4096);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaroWinkler("James Smith Johnson 42", "Jmaes Smtih Johnson 42"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_SoftTokenSimilarity(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftTokenSimilarity(
+        "Acme Holdings 17 Beijing", "Acme Holding 17 Beijin"));
+  }
+}
+BENCHMARK(BM_SoftTokenSimilarity);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  ml::MinHash minhash(static_cast<int>(state.range(0)));
+  std::vector<std::string> tokens = {"acme", "holdings", "17",
+                                     "beijing", "west", "road"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minhash.Signature(tokens));
+  }
+}
+BENCHMARK(BM_MinHashSignature)->Arg(16)->Arg(64);
+
+void BM_IndexedJoinEnumeration(benchmark::State& state) {
+  // The evaluator's hash-join path over a realistic FD rule.
+  const workload::GeneratedData& data = LogisticsData();
+  auto rule = rules::ParseRee(
+      "Shipment(t0) ^ Shipment(t1) ^ t0.zip = t1.zip -> t0.area = t1.area",
+      data.db.schema());
+  rules::EvalContext ctx;
+  ctx.db = &data.db;
+  rules::Evaluator eval(ctx);
+  for (auto _ : state) {
+    size_t count = 0;
+    eval.ForEachSatisfying(*rule, [&](const rules::Valuation&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_IndexedJoinEnumeration);
+
+void BM_ViolationScan(benchmark::State& state) {
+  const workload::GeneratedData& data = LogisticsData();
+  auto rule = rules::ParseRee(
+      "Shipment(t0) ^ Shipment(t1) ^ t0.seller_id = t1.seller_id -> "
+      "t0.seller_name = t1.seller_name",
+      data.db.schema());
+  rules::EvalContext ctx;
+  ctx.db = &data.db;
+  rules::Evaluator eval(ctx);
+  for (auto _ : state) {
+    size_t violations = 0;
+    eval.ForEachViolation(*rule, [&](const rules::Valuation&) {
+      ++violations;
+      return true;
+    });
+    benchmark::DoNotOptimize(violations);
+  }
+}
+BENCHMARK(BM_ViolationScan);
+
+void BM_UnionFindMergeFind(benchmark::State& state) {
+  for (auto _ : state) {
+    chase::UnionFind uf;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      uf.Union(i, i / 2);
+    }
+    int64_t sink = 0;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      sink ^= uf.Find(i);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_UnionFindMergeFind)->Arg(1000)->Arg(10000);
+
+void BM_TemporalReachability(benchmark::State& state) {
+  // A chain a0 ⪯ a1 ⪯ ... ⪯ an with reachability queries across it.
+  chase::TemporalOrderStore store;
+  bool added = false;
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    benchmark::DoNotOptimize(store.Add(i, i + 1, i % 3 == 0, &added));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    int64_t a = static_cast<int64_t>(rng.NextBounded(n));
+    int64_t b = static_cast<int64_t>(rng.NextBounded(n));
+    benchmark::DoNotOptimize(store.Holds(a, b, false));
+  }
+}
+BENCHMARK(BM_TemporalReachability)->Arg(64)->Arg(512);
+
+void BM_FixStoreSetValue(benchmark::State& state) {
+  const workload::GeneratedData& data = LogisticsData();
+  const Relation& shipment = data.db.relation(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    chase::FixStore store(&data.db);
+    state.ResumeTiming();
+    bool changed = false;
+    for (size_t row = 0; row < shipment.size(); ++row) {
+      benchmark::DoNotOptimize(
+          store.SetValue(0, shipment.tuple(row).tid, 3,
+                         Value::String("Chaoyang"), "bench", &changed));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(shipment.size()));
+}
+BENCHMARK(BM_FixStoreSetValue);
+
+}  // namespace
+}  // namespace rock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Incremental mode (paper §3 / §4.1): Rock monitors changes to D and
+// detects + fixes errors in response to updates ΔD without re-running the
+// batch pipeline. This example streams new shipments into the Logistics
+// data; each batch is checked and chased incrementally.
+//
+// Run: ./build/examples/incremental_monitoring
+
+#include <cstdio>
+
+#include "src/chase/chase.h"
+#include "src/common/timer.h"
+#include "src/core/engine.h"
+#include "src/workload/generator.h"
+
+using namespace rock;  // NOLINT — example brevity
+
+int main() {
+  workload::GeneratorOptions options;
+  options.rows = 400;
+  workload::GeneratedData data = workload::MakeLogisticsData(options);
+  core::Rock rock(&data.db, &data.graph);
+  core::ModelTrainingSpec spec;
+  spec.path_synonyms = {{"area", {"AreaOf"}}, {"city", {"CityOf"}}};
+  rock.TrainModels(spec);
+  auto rules = rock.LoadRules(data.rule_text);
+  if (!rules.ok()) {
+    std::printf("rule error: %s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+
+  // Baseline batch cost, for comparison.
+  Timer batch_timer;
+  auto batch_report = rock.DetectErrors(*rules);
+  double batch_seconds = batch_timer.ElapsedSeconds();
+  std::printf("Batch detection over %zu rows: %zu violations in %.3fs\n\n",
+              data.db.relation(0).size(), batch_report.violations,
+              batch_seconds);
+
+  // A long-lived chase engine accumulates ground truth across batches.
+  // The initial batch chase runs once up front; the stream below only
+  // pays for its deltas.
+  chase::ChaseEngine engine(&data.db, &data.graph, rock.models());
+  for (const auto& [rel, tid] : data.clean_tuples) {
+    Status ignored = engine.fix_store().AddGroundTruthTuple(rel, tid);
+    (void)ignored;
+  }
+  Timer warmup_timer;
+  chase::ChaseResult initial = engine.Run(*rules);
+  std::printf("Initial batch chase: %zu fixes in %.3fs\n\n",
+              initial.fixes_applied, warmup_timer.ElapsedSeconds());
+
+  const Relation& shipment = data.db.relation(0);
+  Rng rng(42);
+  for (int batch = 1; batch <= 3; ++batch) {
+    // ΔD: five new shipments; one has a wrong area for its zip, one has a
+    // missing street.
+    std::vector<std::pair<int, int64_t>> delta;
+    for (int i = 0; i < 5; ++i) {
+      Tuple t = shipment.tuple(rng.NextBounded(shipment.size()));
+      t.tid = -1;
+      t.eid = -1;
+      if (i == 0) t.values[3] = Value::String("Mistyped Area");
+      if (i == 1) t.values[2] = Value::Null();
+      auto tid = data.db.Insert(0, t);
+      if (tid.ok()) delta.emplace_back(0, *tid);
+    }
+
+    Timer detect_timer;
+    auto report = rock.DetectErrorsIncremental(*rules, delta);
+    double detect_seconds = detect_timer.ElapsedSeconds();
+    chase::ChaseResult fixes = engine.RunIncremental(*rules, delta);
+
+    std::printf("Batch %d (|ΔD|=5): %zu violations (%.4fs vs %.3fs batch, "
+                "%.1fx), %zu incremental fixes\n",
+                batch, report.violations, detect_seconds, batch_seconds,
+                detect_seconds > 0 ? batch_seconds / detect_seconds : 0.0,
+                fixes.fixes_applied);
+    for (const auto& error : report.errors) {
+      if (error.cells.empty()) continue;
+      std::printf("    [%s] %s tid=%lld\n", error.rule_id.c_str(),
+                  detect::ErrorClassName(error.error_class),
+                  static_cast<long long>(error.cells[0].tid));
+      break;  // one sample per batch keeps the output short
+    }
+  }
+
+  std::printf("\nThe chase engine's ground truth now holds %zu validated "
+              "cells; later batches reuse everything deduced so far.\n",
+              engine.fix_store().num_value_fixes());
+  return 0;
+}

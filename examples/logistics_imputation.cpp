@@ -1,0 +1,90 @@
+// The §6 "Logistics" case study: data that is fairly consistent but
+// incomplete (many nulls). Rock first imputes missing values via the chase
+// — logic rules, knowledge-graph extraction and M_d predictions — then the
+// schema-mapping blocking step links correlated attributes via column
+// signatures (the client's downstream application).
+//
+// Run: ./build/examples/logistics_imputation
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "src/core/engine.h"
+#include "src/storage/stats.h"
+#include "src/workload/generator.h"
+#include "src/workload/scoring.h"
+
+using namespace rock;  // NOLINT — example brevity
+
+int main() {
+  workload::GeneratorOptions options;
+  options.rows = 400;
+  options.error_rate = 0.1;
+  workload::GeneratedData data = workload::MakeLogisticsData(options);
+
+  size_t nulls_before = 0;
+  const Relation& shipment = data.db.relation(0);
+  for (size_t row = 0; row < shipment.size(); ++row) {
+    for (const Value& v : shipment.tuple(row).values) {
+      nulls_before += v.is_null();
+    }
+  }
+  std::printf("Shipment relation: %zu rows, %zu null cells, KG with %zu "
+              "vertices\n", shipment.size(), nulls_before,
+              data.graph.num_vertices());
+
+  core::Rock rock(&data.db, &data.graph);
+  core::ModelTrainingSpec spec;
+  spec.path_synonyms = {{"area", {"AreaOf"}}, {"city", {"CityOf"}}};
+  rock.TrainModels(spec);
+
+  auto rules = rock.LoadRules(data.rule_text);
+  if (!rules.ok()) {
+    std::printf("rule error: %s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+
+  core::CorrectionResult result;
+  auto engine = rock.CorrectErrors(*rules, data.clean_tuples, &result);
+  auto score = workload::ScoreCorrection(data, *engine);
+
+  std::printf("\nChase finished in %d rounds with %zu fixes.\n",
+              result.chase.rounds, result.chase.fixes_applied);
+  auto it = score.by_type.find(workload::InjectedError::kNull);
+  if (it != score.by_type.end()) {
+    std::printf("Missing-value imputation: recovered %zu / %zu nulls "
+                "(recall %.1f%%, precision of all fixes %.1f%%)\n",
+                it->second.true_positives,
+                it->second.true_positives + it->second.false_negatives,
+                100 * it->second.recall(), 100 * score.overall.precision());
+  }
+
+  // Schema mapping support (§6): column signatures block attribute pairs
+  // before the expensive verification — here between Shipment's address
+  // columns and themselves as a demonstration of the signature space.
+  DatabaseStats stats = DatabaseStats::Compute(data.db);
+  std::printf("\nAttribute-signature similarity (schema-mapping blocking, "
+              "top pairs):\n");
+  const Schema& schema = shipment.schema();
+  std::vector<std::tuple<double, size_t, size_t>> pairs;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    for (size_t b = a + 1; b < schema.num_attributes(); ++b) {
+      pairs.emplace_back(DatabaseStats::SignatureSimilarity(
+                             stats.Get(0, static_cast<int>(a)),
+                             stats.Get(0, static_cast<int>(b))),
+                         a, b);
+    }
+  }
+  std::sort(pairs.rbegin(), pairs.rend());
+  for (size_t i = 0; i < pairs.size() && i < 5; ++i) {
+    auto [sim, a, b] = pairs[i];
+    std::printf("  %-12s ~ %-12s signature similarity %.2f\n",
+                schema.AttributeName(static_cast<int>(a)).c_str(),
+                schema.AttributeName(static_cast<int>(b)).c_str(), sim);
+  }
+  std::printf("\nPairs above the blocking threshold proceed to "
+              "verification; the rest are pruned (20K+ tables in the "
+              "client's deployment).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Quickstart: clean the paper's running example (Tables 1-3) with the
+// rules φ1..φ15 discussed in §2 and §4, and watch ER, CR, MI and TD
+// interact in one chase (Example 7).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/chase/chase.h"
+#include "src/core/engine.h"
+#include "src/ml/correlation.h"
+#include "src/ml/her.h"
+#include "src/ml/library.h"
+#include "src/rules/parser.h"
+#include "src/workload/ecommerce.h"
+
+using namespace rock;  // NOLINT — example brevity
+
+int main() {
+  // 1. The example e-commerce database: Person / Store / Trans with the
+  //    erroneous values the paper prints in bold.
+  workload::EcommerceData data = workload::MakeEcommerceData();
+  std::printf("Loaded %zu tuples across %zu relations, %zu KG vertices\n\n",
+              data.db.TotalTuples(), data.db.num_relations(),
+              data.graph.num_vertices());
+
+  // 2. The ML predicate pool: an entity matcher for commodity strings, the
+  //    correlation/prediction models M_c / M_d, HER and the path matcher.
+  core::Rock rock(&data.db, &data.graph);
+  core::ModelTrainingSpec spec;
+  spec.mer_threshold = 0.6;  // commodity descriptions share discount codes
+  spec.path_synonyms = {{"location", {"LocationAt"}},
+                        {"type", {"TypeOf"}}};
+  rock.TrainModels(spec);
+
+  // 3. Rules from the paper, in the textual rule language.
+  const char* kRules =
+      "# φ1: same discount code, same store, same date => same buyer\n"
+      "Trans(t0) ^ Trans(t1) ^ MER(t0[com], t1[com]) ^ t0.date = t1.date ^ "
+      "t0.sid = t1.sid -> t0.pid = t1.pid\n"
+      "# φ2: same commodity => same manufactory\n"
+      "Trans(t0) ^ Trans(t1) ^ t0.com = t1.com -> t0.mfg = t1.mfg\n"
+      "# φ12: Beijing's area code is 010\n"
+      "Store(t0) ^ t0.location = 'Beijing' -> t0.area_code = '010'\n"
+      "# φ4: marital status moves single -> married\n"
+      "Person(t0) ^ Person(t1) ^ t0.status = 'single' ^ "
+      "t1.status = 'married' -> t0 <=[status] t1\n"
+      "# φ5: status and home are comonotonic\n"
+      "Person(t0) ^ Person(t1) ^ t0 <=[status] t1 -> t0 <=[home] t1\n"
+      "# φ7: extract a store's location from the knowledge graph\n"
+      "Store(t0) ^ vertex(x0, G) ^ HER(t0, x0) ^ "
+      "match(t0.location, x0.(LocationAt)) -> "
+      "t0.location = val(x0.(LocationAt))\n"
+      "# φ8: predict a missing price from validated values\n"
+      "Trans(t0) ^ null(t0.price) -> t0.price = Md(t0[com,mfg], price)\n"
+      "# φ14: a spouse's home fills a missing home\n"
+      "Person(t0) ^ Person(t1) ^ t0.spouse = t1.pid ^ null(t1.home) -> "
+      "t1.home = t0.home\n"
+      "# φ15: same name and home => same person\n"
+      "Person(t0) ^ Person(t1) ^ t0.LN = t1.LN ^ t0.FN = t1.FN ^ "
+      "t0.home = t1.home ^ t0.gender = t1.gender -> t0.eid = t1.eid\n";
+  auto rules = rock.LoadRules(kRules);
+  if (!rules.ok()) {
+    std::printf("rule parse error: %s\n", rules->empty()
+                    ? rules.status().ToString().c_str() : "");
+    return 1;
+  }
+  std::printf("Parsed %zu REE++s; for example:\n  %s\n\n", rules->size(),
+              (*rules)[0].ToString(data.db.schema()).c_str());
+
+  // 4. Detect errors (violations of the rules).
+  auto report = rock.DetectErrors(*rules);
+  std::printf("Detected %zu violations touching %zu tuples:\n",
+              report.violations, report.DirtyTuples().size());
+  for (size_t i = 0; i < report.errors.size() && i < 6; ++i) {
+    const auto& error = report.errors[i];
+    std::printf("  [%s] %s at", error.rule_id.c_str(),
+                detect::ErrorClassName(error.error_class));
+    for (const auto& cell : error.cells) {
+      std::printf(" (%s tid=%lld attr=%d)",
+                  data.db.schema().relation(cell.rel).name().c_str(),
+                  static_cast<long long>(cell.tid), cell.attr);
+    }
+    std::printf("\n");
+  }
+
+  // 5. Correct them: chase with the rules; Example 7's interaction chain
+  //    (ER helps CR helps TD helps MI helps ER) plays out below.
+  core::CorrectionResult result;
+  auto engine = rock.CorrectErrors(*rules, /*ground_truth=*/{}, &result);
+  std::printf("\nChase: %d rounds, %zu fixes, converged=%s\n",
+              result.chase.rounds, result.chase.fixes_applied,
+              result.chase.converged ? "yes" : "no");
+  for (const chase::FixRecord& fix : engine->fix_store().fixes()) {
+    std::printf("  %s\n", fix.ToString().c_str());
+  }
+
+  // 6. The repaired database.
+  Database repaired = engine->MaterializeRepairs();
+  const Relation& person = repaired.relation(data.person);
+  std::printf("\nRepaired Person relation:\n");
+  for (size_t row = 0; row < person.size(); ++row) {
+    const Tuple& t = person.tuple(row);
+    std::printf("  eid=%lld pid=%s home=%-20s status=%s\n",
+                static_cast<long long>(t.eid), t.value(0).ToString().c_str(),
+                t.value(4).ToString().c_str(), t.value(5).ToString().c_str());
+  }
+  std::printf("\nGeorge's missing home was imputed from his spouse (φ14) "
+              "and p3/p4 were identified (φ15):\n"
+              "ER, CR, MI and TD in one process — the paper's Example 7.\n");
+  return 0;
+}

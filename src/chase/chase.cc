@@ -1,0 +1,605 @@
+#include "src/chase/chase.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/ml/correlation.h"
+#include "src/ml/ranking.h"
+#include "src/par/executor.h"
+
+namespace rock::chase {
+
+using rules::Predicate;
+using rules::PredicateKind;
+using rules::Ree;
+using rules::Valuation;
+
+ChaseEngine::ChaseEngine(const Database* db, const kg::KnowledgeGraph* graph,
+                         const ml::MlLibrary* models)
+    : ChaseEngine(db, graph, models, ChaseOptions()) {}
+
+ChaseEngine::ChaseEngine(const Database* db, const kg::KnowledgeGraph* graph,
+                         const ml::MlLibrary* models, ChaseOptions options)
+    : db_(db), graph_(graph), models_(models), options_(options),
+      fixes_(db) {}
+
+rules::EvalContext ChaseEngine::Context() const {
+  rules::EvalContext ctx;
+  ctx.db = db_;
+  ctx.graph = graph_;
+  ctx.models = models_;
+  ctx.overlay = &fixes_;
+  ctx.temporal = &fixes_;
+  return ctx;
+}
+
+ChaseResult ChaseEngine::Run(const std::vector<Ree>& rules) {
+  return Loop(rules, {}, /*initial_full_scan=*/true);
+}
+
+ChaseResult ChaseEngine::RunIncremental(
+    const std::vector<Ree>& rules,
+    const std::vector<std::pair<int, int64_t>>& dirty) {
+  // Register any tuples inserted after construction.
+  for (const auto& [rel, tid] : dirty) {
+    fixes_.RegisterTuple(rel, tid);
+  }
+  return Loop(rules, dirty, /*initial_full_scan=*/false);
+}
+
+void ChaseEngine::MarkEntityDirty(
+    int rel, int64_t tid, std::vector<std::pair<int, int64_t>>* out) const {
+  const Relation& relation = db_->relation(rel);
+  int row = relation.RowOfTid(tid);
+  if (row < 0) return;
+  int64_t eid = relation.tuple(static_cast<size_t>(row)).eid;
+  for (const auto& member : fixes_.TuplesOfEntity(eid)) {
+    out->push_back(member);
+  }
+}
+
+bool ChaseEngine::PremisesValidated(const Ree& rule,
+                                    const Valuation& v) const {
+  for (const Predicate& p : rule.precondition) {
+    auto cell_validated = [&](int var, int attr) {
+      if (attr == rules::kEidAttr) return true;  // EIDs are always known
+      int rel = rule.tuple_vars[static_cast<size_t>(var)];
+      const Tuple& t = db_->relation(rel).tuple(
+          static_cast<size_t>(v.rows[static_cast<size_t>(var)]));
+      return fixes_.IsValidated(rel, t.tid, attr);
+    };
+    switch (p.kind) {
+      case PredicateKind::kConstant:
+      case PredicateKind::kIsNull:
+        if (p.kind == PredicateKind::kConstant &&
+            !cell_validated(p.var, p.attr)) {
+          return false;
+        }
+        break;
+      case PredicateKind::kAttrCompare:
+        if (!cell_validated(p.var, p.attr)) return false;
+        if (!cell_validated(p.var2, p.attr2)) return false;
+        break;
+      case PredicateKind::kMlPair:
+        for (int a : p.attrs_a) {
+          if (!cell_validated(p.var, a)) return false;
+        }
+        for (int b : p.attrs_b) {
+          if (!cell_validated(p.var2, b)) return false;
+        }
+        break;
+      case PredicateKind::kCorrelation:
+      case PredicateKind::kPredictValue:
+        for (int a : p.attrs_a) {
+          if (!cell_validated(p.var, a)) return false;
+        }
+        break;
+      case PredicateKind::kTemporal:
+      case PredicateKind::kHer:
+      case PredicateKind::kPathMatch:
+      case PredicateKind::kValExtract:
+        break;  // validated through the oracle / graph themselves
+    }
+  }
+  return true;
+}
+
+Value ChaseEngine::ResolveMiConflict(int rel, int64_t tid, int attr,
+                                     const Value& existing,
+                                     const Value& candidate,
+                                     const std::string& rule_id) {
+  const ml::CorrelationModel* mc =
+      models_ == nullptr ? nullptr
+                         : models_->FindCorrelation(options_.mc_model);
+  Value keep = existing;
+  std::string resolution = "kept_existing";
+  if (options_.resolve_mi_by_mc && mc != nullptr) {
+    const Relation& relation = db_->relation(rel);
+    int row = relation.RowOfTid(tid);
+    if (row >= 0) {
+      const Tuple& t = relation.tuple(static_cast<size_t>(row));
+      // Validated attributes of the tuple form t[Ā].
+      std::vector<int> validated;
+      std::vector<Value> values = t.values;
+      for (size_t a = 0; a < values.size(); ++a) {
+        if (static_cast<int>(a) == attr) continue;
+        auto fixed = fixes_.ValidatedValue(rel, tid, static_cast<int>(a));
+        if (fixed.has_value()) {
+          values[a] = *fixed;
+          validated.push_back(static_cast<int>(a));
+        }
+      }
+      if (!validated.empty()) {
+        double s_existing = mc->Strength(values, validated, attr, existing);
+        double s_candidate = mc->Strength(values, validated, attr, candidate);
+        if (s_candidate > s_existing) {
+          keep = candidate;
+          resolution = "mc_argmax:candidate";
+        } else {
+          resolution = "mc_argmax:existing";
+        }
+      }
+    }
+  }
+  ConflictRecord record;
+  record.kind = ConflictRecord::Kind::kValue;
+  record.rule_id = rule_id;
+  record.description = "MI candidates " + existing.ToString() + " vs " +
+                       candidate.ToString();
+  record.resolution = resolution;
+  conflicts_.push_back(std::move(record));
+  return keep;
+}
+
+size_t ChaseEngine::ApplyConsequence(
+    const Ree& rule, const Valuation& v, const rules::Evaluator& eval,
+    std::vector<std::pair<int, int64_t>>* newly_dirty) {
+  const Predicate& p = rule.consequence;
+  size_t new_fixes = 0;
+  auto rel_of = [&](int var) {
+    return rule.tuple_vars[static_cast<size_t>(var)];
+  };
+  auto tid_of = [&](int var) { return eval.GetTuple(rule, v, var).tid; };
+
+  switch (p.kind) {
+    case PredicateKind::kAttrCompare: {
+      if (p.attr == rules::kEidAttr) {
+        int64_t e1 = eval.GetTuple(rule, v, p.var).eid;
+        int64_t e2 = eval.GetTuple(rule, v, p.var2).eid;
+        bool changed = false;
+        Status s;
+        if (p.op == rules::CmpOp::kEq) {
+          s = fixes_.MergeEids(e1, e2, rule.id, &changed);
+        } else if (p.op == rules::CmpOp::kNe) {
+          s = fixes_.AddEidDistinct(e1, e2, rule.id, &changed);
+        } else {
+          return 0;
+        }
+        if (!s.ok()) {
+          ConflictRecord record;
+          record.kind = ConflictRecord::Kind::kEid;
+          record.rule_id = rule.id;
+          record.description = s.message();
+          record.resolution = "user_queue";
+          conflicts_.push_back(std::move(record));
+          return 0;
+        }
+        if (changed) {
+          ++new_fixes;
+          MarkEntityDirty(rel_of(p.var), tid_of(p.var), newly_dirty);
+          MarkEntityDirty(rel_of(p.var2), tid_of(p.var2), newly_dirty);
+        }
+        return new_fixes;
+      }
+      if (p.op != rules::CmpOp::kEq) return 0;  // detection-only shape
+      // Value propagation t.A = s.B: push the defined/validated side onto
+      // the other.
+      Value va = eval.GetCell(rule, v, p.var, p.attr);
+      Value vb = eval.GetCell(rule, v, p.var2, p.attr2);
+      bool validated_a =
+          fixes_.IsValidated(rel_of(p.var), tid_of(p.var), p.attr);
+      bool validated_b =
+          fixes_.IsValidated(rel_of(p.var2), tid_of(p.var2), p.attr2);
+      auto assign = [&](int var, int attr, const Value& value) {
+        bool changed = false;
+        Status s = fixes_.SetValue(rel_of(var), tid_of(var), attr, value,
+                                   rule.id, &changed);
+        if (!s.ok()) {
+          ConflictRecord record;
+          record.kind = ConflictRecord::Kind::kValue;
+          record.rule_id = rule.id;
+          record.description = s.message();
+          record.resolution = "user_queue";
+          conflicts_.push_back(std::move(record));
+          return;
+        }
+        if (changed) {
+          ++new_fixes;
+          MarkEntityDirty(rel_of(var), tid_of(var), newly_dirty);
+        }
+      };
+      if (validated_a && !validated_b && !va.is_null()) {
+        assign(p.var2, p.attr2, va);
+      } else if (validated_b && !validated_a && !vb.is_null()) {
+        assign(p.var, p.attr, vb);
+      } else if (!validated_a && !validated_b) {
+        // Neither side validated: imputation into a null cell is justified
+        // (the defined side is the only evidence); two agreeing defined
+        // values deduce nothing new, and are NOT validated — raw data never
+        // self-certifies (only Γ and deduced fixes validate cells).
+        if (!va.is_null() && vb.is_null()) {
+          assign(p.var2, p.attr2, va);
+        } else if (!vb.is_null() && va.is_null()) {
+          assign(p.var, p.attr, vb);
+        } else if (!va.is_null() && !vb.is_null() && !(va == vb)) {
+          // Two defined, unvalidated, conflicting values: a CR conflict —
+          // surfaced to the user queue (paper §4.2 (1)). An attached user
+          // resolver may settle it immediately.
+          ConflictRecord record;
+          record.kind = ConflictRecord::Kind::kValue;
+          record.rule_id = rule.id;
+          record.description = "CR conflict: " + va.ToString() + " vs " +
+                               vb.ToString();
+          record.resolution = "user_queue";
+          if (options_.user_resolver) {
+            std::optional<Value> keep =
+                options_.user_resolver(record, va, vb);
+            if (keep.has_value()) {
+              record.resolution = "user_resolved:" + keep->ToString();
+              assign(p.var, p.attr, *keep);
+              assign(p.var2, p.attr2, *keep);
+            }
+          }
+          conflicts_.push_back(std::move(record));
+        }
+      } else if (validated_a && validated_b && !(va == vb)) {
+        ConflictRecord record;
+        record.kind = ConflictRecord::Kind::kValue;
+        record.rule_id = rule.id;
+        record.description = "validated values disagree: " + va.ToString() +
+                             " vs " + vb.ToString();
+        record.resolution = "user_queue";
+        conflicts_.push_back(std::move(record));
+      }
+      return new_fixes;
+    }
+    case PredicateKind::kConstant: {
+      if (p.op != rules::CmpOp::kEq) return 0;
+      int rel = rel_of(p.var);
+      int64_t tid = tid_of(p.var);
+      auto existing = fixes_.ValidatedValue(rel, tid, p.attr);
+      if (existing.has_value() && !(*existing == p.constant)) {
+        Value keep = ResolveMiConflict(rel, tid, p.attr, *existing,
+                                       p.constant, rule.id);
+        if (!(keep == *existing)) {
+          Status s = fixes_.ReplaceValue(rel, tid, p.attr, keep, rule.id);
+          if (s.ok()) {
+            ++new_fixes;
+            MarkEntityDirty(rel, tid, newly_dirty);
+          }
+        }
+        return new_fixes;
+      }
+      bool changed = false;
+      Status s = fixes_.SetValue(rel, tid, p.attr, p.constant, rule.id,
+                                 &changed);
+      if (s.ok() && changed) {
+        ++new_fixes;
+        MarkEntityDirty(rel, tid, newly_dirty);
+      }
+      return new_fixes;
+    }
+    case PredicateKind::kTemporal: {
+      int rel = rel_of(p.var);
+      int64_t t1 = tid_of(p.var);
+      int64_t t2 = tid_of(p.var2);
+      bool changed = false;
+      Status s =
+          fixes_.AddTemporal(rel, p.attr, t1, t2, p.strict, rule.id, &changed);
+      if (!s.ok()) {
+        // TD conflict: keep the direction with the higher M_rank confidence
+        // (paper §4.2 (2)). The stored direction came first; replacing it
+        // would invalidate downstream deductions, so the resolution keeps
+        // whichever the ranker prefers and records the decision.
+        const ml::TemporalRanker* ranker =
+            models_ == nullptr ? nullptr
+                               : models_->FindRanker(options_.mrank_model);
+        std::string resolution = "kept_existing";
+        if (ranker != nullptr) {
+          const Relation& relation = db_->relation(rel);
+          int r1 = relation.RowOfTid(t1);
+          int r2 = relation.RowOfTid(t2);
+          if (r1 >= 0 && r2 >= 0) {
+            double conf = ranker->Confidence(
+                relation.tuple(static_cast<size_t>(r1)),
+                relation.tuple(static_cast<size_t>(r2)), p.attr, p.strict);
+            resolution = conf > 0.5 ? "confidence_prefers_new(kept_existing)"
+                                    : "confidence_confirms_existing";
+          }
+        }
+        ConflictRecord record;
+        record.kind = ConflictRecord::Kind::kTemporal;
+        record.rule_id = rule.id;
+        record.description = s.message();
+        record.resolution = resolution;
+        conflicts_.push_back(std::move(record));
+        return 0;
+      }
+      if (changed) {
+        ++new_fixes;
+        MarkEntityDirty(rel, t1, newly_dirty);
+        MarkEntityDirty(rel, t2, newly_dirty);
+      }
+      return new_fixes;
+    }
+    case PredicateKind::kValExtract: {
+      if (graph_ == nullptr) return 0;
+      kg::VertexId x = v.vertices[static_cast<size_t>(p.vertex_var)];
+      Result<Value> extracted = graph_->ValueAtPath(x, p.path);
+      if (!extracted.ok()) return 0;
+      int rel = rel_of(p.var);
+      int64_t tid = tid_of(p.var);
+      auto existing = fixes_.ValidatedValue(rel, tid, p.attr);
+      if (existing.has_value() && !(*existing == *extracted)) {
+        Value keep = ResolveMiConflict(rel, tid, p.attr, *existing,
+                                       *extracted, rule.id);
+        if (!(keep == *existing)) {
+          Status s = fixes_.ReplaceValue(rel, tid, p.attr, keep, rule.id);
+          if (s.ok()) {
+            ++new_fixes;
+            MarkEntityDirty(rel, tid, newly_dirty);
+          }
+        }
+        return new_fixes;
+      }
+      bool changed = false;
+      Status s = fixes_.SetValue(rel, tid, p.attr, *extracted, rule.id,
+                                 &changed);
+      if (s.ok() && changed) {
+        ++new_fixes;
+        MarkEntityDirty(rel, tid, newly_dirty);
+      }
+      return new_fixes;
+    }
+    case PredicateKind::kPredictValue: {
+      if (models_ == nullptr) return 0;
+      const ml::ValuePredictor* predictor = models_->FindPredictor(p.model);
+      if (predictor == nullptr) return 0;
+      std::vector<Value> values = eval.GetValues(rule, v, p.var);
+      Result<Value> predicted =
+          predictor->PredictValue(values, p.attrs_a, p.attr2);
+      if (!predicted.ok()) return 0;
+      int rel = rel_of(p.var);
+      int64_t tid = tid_of(p.var);
+      auto existing = fixes_.ValidatedValue(rel, tid, p.attr2);
+      if (existing.has_value() && !(*existing == *predicted)) {
+        Value keep = ResolveMiConflict(rel, tid, p.attr2, *existing,
+                                       *predicted, rule.id);
+        if (!(keep == *existing)) {
+          Status s = fixes_.ReplaceValue(rel, tid, p.attr2, keep, rule.id);
+          if (s.ok()) {
+            ++new_fixes;
+            MarkEntityDirty(rel, tid, newly_dirty);
+          }
+        }
+        return new_fixes;
+      }
+      bool changed = false;
+      Status s = fixes_.SetValue(rel, tid, p.attr2, *predicted, rule.id,
+                                 &changed);
+      if (s.ok() && changed) {
+        ++new_fixes;
+        MarkEntityDirty(rel, tid, newly_dirty);
+      }
+      return new_fixes;
+    }
+    case PredicateKind::kMlPair:
+    case PredicateKind::kCorrelation:
+    case PredicateKind::kHer:
+    case PredicateKind::kPathMatch:
+    case PredicateKind::kIsNull:
+      // Explanation-style consequences (e.g. φ3) deduce no fix.
+      return 0;
+  }
+  return 0;
+}
+
+ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
+                              std::vector<std::pair<int, int64_t>> dirty,
+                              bool initial_full_scan) {
+  ChaseResult result;
+  rules::Evaluator eval(Context());
+
+  auto process_valuation = [&](const Ree& rule, const Valuation& v,
+                               std::vector<std::pair<int, int64_t>>* next) {
+    if (options_.certain_fixes_only && !PremisesValidated(rule, v)) {
+      return true;
+    }
+    ++result.applications;
+    result.fixes_applied += ApplyConsequence(rule, v, eval, next);
+    return true;
+  };
+
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    result.rounds = round + 1;
+    std::vector<std::pair<int, int64_t>> next_dirty;
+    size_t fixes_before = result.fixes_applied;
+
+    if (round == 0 && initial_full_scan) {
+      for (const Ree& rule : rules) {
+        eval.ForEachSatisfying(rule, [&](const Valuation& v) {
+          return process_valuation(rule, v, &next_dirty);
+        });
+      }
+    } else {
+      // Lazy activation: re-examine only valuations touching dirty tuples.
+      std::sort(dirty.begin(), dirty.end());
+      dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+      std::set<std::vector<int>> seen;  // dedup valuations per rule
+      for (const Ree& rule : rules) {
+        seen.clear();
+        for (size_t var = 0; var < rule.tuple_vars.size(); ++var) {
+          int rel = rule.tuple_vars[var];
+          for (const auto& [drel, dtid] : dirty) {
+            if (drel != rel) continue;
+            int row = db_->relation(rel).RowOfTid(dtid);
+            if (row < 0) continue;
+            eval.ForEachSatisfying(
+                rule,
+                [&](const Valuation& v) {
+                  if (!seen.insert(v.rows).second) return true;
+                  return process_valuation(rule, v, &next_dirty);
+                },
+                static_cast<int>(var), row);
+          }
+        }
+      }
+    }
+
+    if (result.fixes_applied == fixes_before) {
+      result.converged = true;
+      break;
+    }
+    dirty = std::move(next_dirty);
+    if (dirty.empty()) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.conflicts = conflicts_;
+  return result;
+}
+
+ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
+                                     int num_workers, int block_rows,
+                                     par::ScheduleReport* schedule) {
+  ChaseResult result;
+  rules::Evaluator eval(Context());
+  std::vector<std::pair<int, int64_t>> next_dirty;
+
+  auto process_valuation = [&](const Ree& rule, const Valuation& v) {
+    if (options_.certain_fixes_only && !PremisesValidated(rule, v)) return;
+    ++result.applications;
+    result.fixes_applied += ApplyConsequence(rule, v, eval, &next_dirty);
+  };
+
+  // Round 0 under the worker pool: one unit per rule × block combination,
+  // evaluated block-locally (no vertex-variable rules — those run in the
+  // serial tail).
+  std::vector<par::WorkUnit> units;
+  std::vector<const Ree*> unit_rules;
+  for (const Ree& rule : rules) {
+    if (rule.num_vertex_vars > 0) continue;
+    std::vector<par::WorkUnit> rule_units = par::BuildHyperCubeUnits(
+        *db_, static_cast<int>(unit_rules.size()), rule.tuple_vars,
+        block_rows);
+    for (par::WorkUnit& unit : rule_units) {
+      unit.rule_index = static_cast<int>(&rule - rules.data());
+      units.push_back(std::move(unit));
+    }
+    unit_rules.push_back(&rule);
+  }
+  par::WorkerPool pool(num_workers);
+  par::ScheduleReport local =
+      pool.Execute(units, [&](const par::WorkUnit& unit) {
+        const Ree& rule = rules[static_cast<size_t>(unit.rule_index)];
+        Valuation v;
+        v.rows.assign(rule.tuple_vars.size(), 0);
+        std::function<void(size_t)> recurse = [&](size_t var) {
+          if (var == rule.tuple_vars.size()) {
+            if (eval.SatisfiesPrecondition(rule, v)) {
+              process_valuation(rule, v);
+            }
+            return;
+          }
+          for (int row = unit.ranges[var].begin;
+               row < unit.ranges[var].end; ++row) {
+            v.rows[var] = row;
+            recurse(var + 1);
+          }
+        };
+        recurse(0);
+      });
+  if (schedule != nullptr) *schedule = local;
+  // Vertex-variable rules + propagation rounds run through the ordinary
+  // incremental loop seeded by the tuples the first round touched.
+  for (const Ree& rule : rules) {
+    if (rule.num_vertex_vars == 0) continue;
+    eval.ForEachSatisfying(rule, [&](const Valuation& v) {
+      process_valuation(rule, v);
+      return true;
+    });
+  }
+  result.rounds = 1;
+  ChaseResult tail = Loop(rules, std::move(next_dirty),
+                          /*initial_full_scan=*/false);
+  result.rounds += tail.rounds;
+  result.fixes_applied += tail.fixes_applied;
+  result.applications += tail.applications;
+  result.converged = tail.converged;
+  result.conflicts = conflicts_;
+  return result;
+}
+
+Database ChaseEngine::MaterializeRepairs() const {
+  Database repaired = *db_;
+  for (size_t rel = 0; rel < repaired.num_relations(); ++rel) {
+    Relation& relation = repaired.relation(static_cast<int>(rel));
+    for (size_t row = 0; row < relation.size(); ++row) {
+      Tuple& t = relation.mutable_tuple(row);
+      t.eid = fixes_.eids().Find(t.eid);
+      for (size_t attr = 0; attr < t.values.size(); ++attr) {
+        auto fixed = fixes_.ValidatedValue(static_cast<int>(rel), t.tid,
+                                           static_cast<int>(attr));
+        if (fixed.has_value()) t.values[attr] = *fixed;
+      }
+    }
+  }
+  return repaired;
+}
+
+std::vector<CellFix> ChaseEngine::CellFixes() const {
+  std::vector<CellFix> out;
+  for (size_t rel = 0; rel < db_->num_relations(); ++rel) {
+    const Relation& relation = db_->relation(static_cast<int>(rel));
+    for (size_t row = 0; row < relation.size(); ++row) {
+      const Tuple& t = relation.tuple(row);
+      for (size_t attr = 0; attr < t.values.size(); ++attr) {
+        auto fixed = fixes_.ValidatedValue(static_cast<int>(rel), t.tid,
+                                           static_cast<int>(attr));
+        if (fixed.has_value() && !(*fixed == t.values[attr])) {
+          CellFix fix;
+          fix.rel = static_cast<int>(rel);
+          fix.tid = t.tid;
+          fix.attr = static_cast<int>(attr);
+          fix.old_value = t.values[attr];
+          fix.new_value = *fixed;
+          out.push_back(std::move(fix));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<int, int64_t>>> ChaseEngine::EntityGroups()
+    const {
+  std::map<int64_t, std::vector<std::pair<int, int64_t>>> groups;
+  for (size_t rel = 0; rel < db_->num_relations(); ++rel) {
+    const Relation& relation = db_->relation(static_cast<int>(rel));
+    for (size_t row = 0; row < relation.size(); ++row) {
+      const Tuple& t = relation.tuple(row);
+      groups[fixes_.eids().Find(t.eid)].emplace_back(static_cast<int>(rel),
+                                                     t.tid);
+    }
+  }
+  std::vector<std::vector<std::pair<int, int64_t>>> out;
+  for (auto& [canon, members] : groups) {
+    (void)canon;
+    if (members.size() > 1) out.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace rock::chase

@@ -1,0 +1,152 @@
+#ifndef ROCK_CHASE_CHASE_H_
+#define ROCK_CHASE_CHASE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/chase/fix_store.h"
+#include "src/kg/graph.h"
+#include "src/ml/library.h"
+#include "src/par/executor.h"
+#include "src/rules/eval.h"
+#include "src/rules/ree.h"
+#include "src/storage/relation.h"
+
+namespace rock::chase {
+
+/// User-queue callback for ER/CR conflicts (paper §4.2 (1): "Rock
+/// presents the conflicts to the users for correction, together with the
+/// rules and ground truth that identify the conflicts"). Given the
+/// conflict and the two candidate values, returns the value to keep, or
+/// nullopt to leave the conflict unresolved.
+using UserConflictResolver = std::function<std::optional<Value>(
+    const ConflictRecord& conflict, const Value& a, const Value& b)>;
+
+struct ChaseOptions {
+  /// Certain-fix mode (paper §4.1 condition (1)): a rule application is
+  /// admitted only when every cell its precondition reads is validated
+  /// (ground truth or previously deduced). When false, the precondition is
+  /// evaluated over the repaired view (validated values override raw data)
+  /// — the "deep cleaning" configuration used when little ground truth is
+  /// available.
+  bool certain_fixes_only = false;
+  /// Fixpoint guard.
+  int max_rounds = 64;
+  /// Resolve MI value conflicts by M_c argmax (paper §4.2 (3)).
+  bool resolve_mi_by_mc = true;
+  /// Name of the correlation model used for MI conflict resolution.
+  std::string mc_model = "Mc";
+  /// Name of the ranking model used for TD conflict resolution (§4.2 (2)).
+  std::string mrank_model = "Mrank";
+  /// Optional user queue for ER/CR value conflicts; when unset, conflicts
+  /// are recorded and left for offline review.
+  UserConflictResolver user_resolver;
+};
+
+/// Per-cell difference between the raw database and the repaired view.
+struct CellFix {
+  int rel = -1;
+  int64_t tid = -1;
+  int attr = -1;
+  Value old_value;
+  Value new_value;
+};
+
+struct ChaseResult {
+  /// Rounds until fixpoint (a round applies every activated rule once).
+  int rounds = 0;
+  /// Fixes that extended U (merges + value validations + temporal pairs),
+  /// excluding ground truth.
+  size_t fixes_applied = 0;
+  /// Rule applications admitted (including re-derivations of known fixes).
+  size_t applications = 0;
+  bool converged = false;
+  std::vector<ConflictRecord> conflicts;
+};
+
+/// The chase engine (paper §4): deduces fixes by chasing D with (Σ, Γ),
+/// with lazy activation — after the first full round, a rule is re-examined
+/// only against tuples whose entity acquired new fixes — and the §4.2
+/// conflict-resolution strategies. The chase is Church-Rosser: U only grows
+/// (value validations, EID merges, temporal pairs), conflict resolutions
+/// are deterministic functions of the conflicting fixes, and canonical EIDs
+/// are order-independent minima, so all application orders converge.
+class ChaseEngine {
+ public:
+  ChaseEngine(const Database* db, const kg::KnowledgeGraph* graph,
+              const ml::MlLibrary* models);
+  ChaseEngine(const Database* db, const kg::KnowledgeGraph* graph,
+              const ml::MlLibrary* models, ChaseOptions options);
+
+  FixStore& fix_store() { return fixes_; }
+  const FixStore& fix_store() const { return fixes_; }
+
+  /// Batch mode: chases the whole database to fixpoint.
+  ChaseResult Run(const std::vector<rules::Ree>& rules);
+
+  /// Incremental mode: only valuations touching `dirty` tuples (e.g. a ΔD
+  /// of freshly inserted tids) are activated initially; deduced fixes
+  /// propagate as in batch mode.
+  ChaseResult RunIncremental(const std::vector<rules::Ree>& rules,
+                             const std::vector<std::pair<int, int64_t>>& dirty);
+
+  /// Batch mode with HyperCube data-partitioned parallelism for the first
+  /// (dominant) round: rule×block work units are executed under the worker
+  /// pool, producing the schedule accounting used by the scalability
+  /// benches (Fig 4(l)); later rounds are small and run serially. Results
+  /// equal Run()'s.
+  ChaseResult RunParallel(const std::vector<rules::Ree>& rules,
+                          int num_workers, int block_rows,
+                          par::ScheduleReport* schedule);
+
+  /// Applies U to a copy of the database: validated values overwrite cells,
+  /// EIDs become canonical.
+  Database MaterializeRepairs() const;
+
+  /// Cells whose repaired value differs from the raw data.
+  std::vector<CellFix> CellFixes() const;
+
+  /// Tuple pairs identified as the same entity (canonical-EID groups of
+  /// size > 1), as (rel, tid) lists per entity.
+  std::vector<std::vector<std::pair<int, int64_t>>> EntityGroups() const;
+
+ private:
+  const Database* db_;
+  const kg::KnowledgeGraph* graph_;
+  const ml::MlLibrary* models_;
+  ChaseOptions options_;
+  FixStore fixes_;
+  std::vector<ConflictRecord> conflicts_;
+
+  rules::EvalContext Context() const;
+
+  /// Runs the chase loop from an initial dirty set (empty = full scan).
+  ChaseResult Loop(const std::vector<rules::Ree>& rules,
+                   std::vector<std::pair<int, int64_t>> dirty,
+                   bool initial_full_scan);
+
+  /// Applies one admitted rule application; appends to `newly_dirty` the
+  /// tuples whose repaired view changed. Returns number of new fixes.
+  size_t ApplyConsequence(const rules::Ree& rule, const rules::Valuation& v,
+                          const rules::Evaluator& eval,
+                          std::vector<std::pair<int, int64_t>>* newly_dirty);
+
+  /// Certain-fix admission: every cell the precondition reads is validated.
+  bool PremisesValidated(const rules::Ree& rule,
+                         const rules::Valuation& v) const;
+
+  void MarkEntityDirty(int rel, int64_t tid,
+                       std::vector<std::pair<int, int64_t>>* out) const;
+
+  /// Resolves an MI value conflict by M_c argmax; returns the value to keep.
+  Value ResolveMiConflict(int rel, int64_t tid, int attr,
+                          const Value& existing, const Value& candidate,
+                          const std::string& rule_id);
+};
+
+}  // namespace rock::chase
+
+#endif  // ROCK_CHASE_CHASE_H_

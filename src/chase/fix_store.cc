@@ -1,0 +1,400 @@
+#include "src/chase/fix_store.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace rock::chase {
+
+int64_t UnionFind::Find(int64_t eid) const {
+  auto it = parent_.find(eid);
+  if (it == parent_.end()) return eid;
+  // Path compression (parent_ is mutable).
+  int64_t root = Find(it->second);
+  parent_[eid] = root;
+  return root;
+}
+
+int64_t UnionFind::Union(int64_t a, int64_t b) {
+  int64_t ra = Find(a);
+  int64_t rb = Find(b);
+  if (ra == rb) return ra;
+  // Smaller id becomes the canonical representative so the result is
+  // independent of merge order.
+  int64_t root = std::min(ra, rb);
+  int64_t child = std::max(ra, rb);
+  parent_[child] = root;
+  auto& root_members = members_[root];
+  if (root_members.empty()) root_members.push_back(root);
+  auto child_it = members_.find(child);
+  if (child_it != members_.end()) {
+    root_members.insert(root_members.end(), child_it->second.begin(),
+                        child_it->second.end());
+    members_.erase(child_it);
+  } else {
+    root_members.push_back(child);
+  }
+  ++num_merges_;
+  return root;
+}
+
+std::vector<int64_t> UnionFind::Members(int64_t eid) const {
+  int64_t root = Find(eid);
+  auto it = members_.find(root);
+  if (it == members_.end()) return {root};
+  return it->second;
+}
+
+bool TemporalOrderStore::Reaches(int64_t from, int64_t to,
+                                 bool* via_strict) const {
+  if (from == to) {
+    *via_strict = false;
+    return true;
+  }
+  // DFS tracking whether any strict edge appears on the path. A vertex may
+  // need revisiting if first reached only via non-strict paths, so visited
+  // states carry the strictness flag (2 states per vertex).
+  std::set<std::pair<int64_t, bool>> visited;
+  std::vector<std::pair<int64_t, bool>> stack = {{from, false}};
+  bool reachable = false;
+  bool strict_path = false;
+  while (!stack.empty()) {
+    auto [node, strict_so_far] = stack.back();
+    stack.pop_back();
+    if (!visited.insert({node, strict_so_far}).second) continue;
+    auto it = out_.find(node);
+    if (it == out_.end()) continue;
+    for (const Edge& e : it->second) {
+      bool next_strict = strict_so_far || e.strict;
+      if (e.to == to) {
+        reachable = true;
+        if (next_strict) {
+          *via_strict = true;
+          return true;
+        }
+        strict_path = strict_path || next_strict;
+        continue;
+      }
+      stack.push_back({e.to, next_strict});
+    }
+  }
+  if (reachable) {
+    *via_strict = false;
+    return true;
+  }
+  return false;
+}
+
+Status TemporalOrderStore::Add(int64_t tid1, int64_t tid2, bool strict,
+                               bool* added) {
+  *added = false;
+  if (tid1 == tid2) {
+    if (strict) {
+      return Status::Conflict("t ≺ t is unsatisfiable");
+    }
+    return Status::Ok();  // reflexive ⪯ is trivially true
+  }
+  bool via_strict = false;
+  if (Reaches(tid1, tid2, &via_strict)) {
+    // Already implied; a strict request is new information only if no
+    // strict path exists yet.
+    if (!strict || via_strict) return Status::Ok();
+  }
+  // Conflict check: does tid2 already reach tid1?
+  bool back_strict = false;
+  if (Reaches(tid2, tid1, &back_strict)) {
+    if (strict || back_strict) {
+      return Status::Conflict(
+          "temporal cycle through a strict order: " + std::to_string(tid1) +
+          " vs " + std::to_string(tid2));
+    }
+    // Non-strict cycle: both directions ⪯ — the values are equally
+    // current; allowed.
+  }
+  out_[tid1].push_back({tid2, strict});
+  ++num_pairs_;
+  *added = true;
+  return Status::Ok();
+}
+
+std::optional<bool> TemporalOrderStore::Holds(int64_t tid1, int64_t tid2,
+                                              bool strict) const {
+  if (tid1 == tid2) return !strict;
+  bool via_strict = false;
+  if (Reaches(tid1, tid2, &via_strict)) {
+    if (!strict) return true;
+    if (via_strict) return true;
+    return std::nullopt;  // ⪯ known, ≺ unknown
+  }
+  bool back_strict = false;
+  if (Reaches(tid2, tid1, &back_strict) && back_strict) {
+    // tid2 ≺ tid1 implies not (tid1 ⪯ tid2).
+    return false;
+  }
+  return std::nullopt;
+}
+
+std::string FixRecord::ToString() const {
+  switch (kind) {
+    case Kind::kMergeEid:
+      return StrFormat("[%s] merge eid %lld = %lld", rule_id.c_str(),
+                       static_cast<long long>(eid_a),
+                       static_cast<long long>(eid_b));
+    case Kind::kSetValue:
+      return StrFormat("[%s] rel %d eid %lld attr %d := %s", rule_id.c_str(),
+                       rel, static_cast<long long>(eid), attr,
+                       value.ToString().c_str());
+    case Kind::kTemporalOrder:
+      return StrFormat("[%s] rel %d attr %d: %lld %s %lld", rule_id.c_str(),
+                       rel, attr, static_cast<long long>(tid1),
+                       strict ? "<" : "<=", static_cast<long long>(tid2));
+  }
+  return "?";
+}
+
+FixStore::FixStore(const Database* db) : db_(db) {
+  for (size_t rel = 0; rel < db_->num_relations(); ++rel) {
+    const Relation& relation = db_->relation(static_cast<int>(rel));
+    for (size_t row = 0; row < relation.size(); ++row) {
+      const Tuple& t = relation.tuple(row);
+      eid_index_[t.eid].emplace_back(static_cast<int>(rel), t.tid);
+    }
+  }
+}
+
+void FixStore::RegisterTuple(int rel, int64_t tid) {
+  const Tuple* t = FindTuple(rel, tid);
+  if (t == nullptr) return;
+  auto& list = eid_index_[t->eid];
+  if (std::find(list.begin(), list.end(), std::make_pair(rel, tid)) ==
+      list.end()) {
+    list.emplace_back(rel, tid);
+  }
+}
+
+std::vector<std::pair<int, int64_t>> FixStore::TuplesOfEntity(
+    int64_t eid) const {
+  std::vector<std::pair<int, int64_t>> out;
+  for (int64_t member : eids_.Members(eid)) {
+    auto it = eid_index_.find(member);
+    if (it == eid_index_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+std::vector<int64_t> FixStore::PatchedTids(int rel, int attr) const {
+  std::vector<int64_t> out;
+  auto lo = values_.lower_bound(std::make_tuple(rel, attr, INT64_MIN));
+  for (auto it = lo; it != values_.end(); ++it) {
+    if (std::get<0>(it->first) != rel || std::get<1>(it->first) != attr) {
+      break;
+    }
+    out.push_back(std::get<2>(it->first));
+  }
+  return out;
+}
+
+const Tuple* FixStore::FindTuple(int rel, int64_t tid) const {
+  const Relation& relation = db_->relation(rel);
+  int row = relation.RowOfTid(tid);
+  return row < 0 ? nullptr : &relation.tuple(static_cast<size_t>(row));
+}
+
+int64_t FixStore::CanonicalEid(int rel, int64_t tid) const {
+  const Tuple* t = FindTuple(rel, tid);
+  return t == nullptr ? -1 : eids_.Find(t->eid);
+}
+
+Status FixStore::AddGroundTruthTuple(int rel, int64_t tid) {
+  const Tuple* t = FindTuple(rel, tid);
+  if (t == nullptr) {
+    return Status::NotFound("no tuple with tid " + std::to_string(tid));
+  }
+  for (size_t attr = 0; attr < t->values.size(); ++attr) {
+    ROCK_RETURN_IF_ERROR(
+        AddGroundTruthValue(rel, tid, static_cast<int>(attr),
+                            t->values[attr]));
+  }
+  return Status::Ok();
+}
+
+Status FixStore::AddGroundTruthValue(int rel, int64_t tid, int attr,
+                                     Value value) {
+  bool changed = false;
+  Status s = SetValue(rel, tid, attr, std::move(value), "Γ", &changed);
+  if (s.ok() && changed) ++ground_truth_cells_;
+  return s;
+}
+
+Status FixStore::AddGroundTruthOrder(int rel, int attr, int64_t tid1,
+                                     int64_t tid2, bool strict) {
+  bool changed = false;
+  return AddTemporal(rel, attr, tid1, tid2, strict, "Γ", &changed);
+}
+
+Status FixStore::MergeEids(int64_t a, int64_t b, const std::string& rule_id,
+                           bool* changed) {
+  *changed = false;
+  int64_t ra = eids_.Find(a);
+  int64_t rb = eids_.Find(b);
+  if (ra == rb) return Status::Ok();
+  int64_t lo = std::min(ra, rb), hi = std::max(ra, rb);
+  if (distinct_.count({lo, hi}) > 0) {
+    return Status::Conflict("eids " + std::to_string(a) + " and " +
+                            std::to_string(b) +
+                            " are validated as distinct entities");
+  }
+  int64_t merged = eids_.Union(ra, rb);
+  (void)merged;
+  // Re-canonicalize distinctness constraints touching the merged classes.
+  std::set<std::pair<int64_t, int64_t>> rebuilt;
+  for (const auto& [x, y] : distinct_) {
+    int64_t cx = eids_.Find(x);
+    int64_t cy = eids_.Find(y);
+    if (cx == cy) {
+      return Status::Conflict("merge collapses a distinctness constraint");
+    }
+    rebuilt.emplace(std::min(cx, cy), std::max(cx, cy));
+  }
+  distinct_ = std::move(rebuilt);
+  FixRecord record;
+  record.kind = FixRecord::Kind::kMergeEid;
+  record.rule_id = rule_id;
+  record.eid_a = a;
+  record.eid_b = b;
+  fixes_.push_back(std::move(record));
+  *changed = true;
+  return Status::Ok();
+}
+
+Status FixStore::AddEidDistinct(int64_t a, int64_t b,
+                                const std::string& rule_id, bool* changed) {
+  *changed = false;
+  int64_t ra = eids_.Find(a);
+  int64_t rb = eids_.Find(b);
+  if (ra == rb) {
+    return Status::Conflict("eids " + std::to_string(a) + " and " +
+                            std::to_string(b) + " were already identified");
+  }
+  auto key = std::make_pair(std::min(ra, rb), std::max(ra, rb));
+  if (distinct_.insert(key).second) {
+    FixRecord record;
+    record.kind = FixRecord::Kind::kMergeEid;  // recorded as an ER fact
+    record.rule_id = rule_id;
+    record.eid_a = a;
+    record.eid_b = b;
+    fixes_.push_back(std::move(record));
+    *changed = true;
+  }
+  return Status::Ok();
+}
+
+Status FixStore::SetValue(int rel, int64_t tid, int attr, Value v,
+                          const std::string& rule_id, bool* changed) {
+  *changed = false;
+  const Tuple* t = FindTuple(rel, tid);
+  if (t == nullptr) {
+    return Status::NotFound("no tuple with tid " + std::to_string(tid));
+  }
+  auto key = std::make_tuple(rel, attr, tid);
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    if (it->second == v) return Status::Ok();
+    return Status::Conflict(
+        "attribute already validated to a different value: " +
+        it->second.ToString() + " vs " + v.ToString());
+  }
+  values_by_hash_[std::make_tuple(rel, attr, v.Hash())].push_back(tid);
+  values_.emplace(key, v);
+  FixRecord record;
+  record.kind = FixRecord::Kind::kSetValue;
+  record.rule_id = rule_id;
+  record.rel = rel;
+  record.attr = attr;
+  record.eid = t->eid;
+  record.tid1 = tid;
+  record.value = std::move(v);
+  fixes_.push_back(std::move(record));
+  *changed = true;
+  return Status::Ok();
+}
+
+Status FixStore::ReplaceValue(int rel, int64_t tid, int attr, Value v,
+                              const std::string& rule_id) {
+  const Tuple* t = FindTuple(rel, tid);
+  if (t == nullptr) {
+    return Status::NotFound("no tuple with tid " + std::to_string(tid));
+  }
+  values_by_hash_[std::make_tuple(rel, attr, v.Hash())].push_back(tid);
+  values_[std::make_tuple(rel, attr, tid)] = v;
+  FixRecord record;
+  record.kind = FixRecord::Kind::kSetValue;
+  record.rule_id = rule_id;
+  record.rel = rel;
+  record.attr = attr;
+  record.eid = t->eid;
+  record.tid1 = tid;
+  record.value = std::move(v);
+  fixes_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+std::optional<Value> FixStore::ValidatedValue(int rel, int64_t tid,
+                                              int attr) const {
+  auto it = values_.find(std::make_tuple(rel, attr, tid));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool FixStore::IsValidated(int rel, int64_t tid, int attr) const {
+  return ValidatedValue(rel, tid, attr).has_value();
+}
+
+Status FixStore::AddTemporal(int rel, int attr, int64_t tid1, int64_t tid2,
+                             bool strict, const std::string& rule_id,
+                             bool* changed) {
+  *changed = false;
+  bool added = false;
+  Status s = temporal_[{rel, attr}].Add(tid1, tid2, strict, &added);
+  if (!s.ok()) return s;
+  if (added) {
+    FixRecord record;
+    record.kind = FixRecord::Kind::kTemporalOrder;
+    record.rule_id = rule_id;
+    record.rel = rel;
+    record.attr = attr;
+    record.tid1 = tid1;
+    record.tid2 = tid2;
+    record.strict = strict;
+    fixes_.push_back(std::move(record));
+    *changed = true;
+  }
+  return Status::Ok();
+}
+
+std::vector<int64_t> FixStore::PatchedTidsEq(int rel, int attr,
+                                             uint64_t value_hash) const {
+  auto it = values_by_hash_.find(std::make_tuple(rel, attr, value_hash));
+  if (it == values_by_hash_.end()) return {};
+  return it->second;
+}
+
+std::optional<Value> FixStore::GetCell(int rel, int64_t tid, int attr) const {
+  return ValidatedValue(rel, tid, attr);
+}
+
+std::optional<int64_t> FixStore::GetEid(int rel, int64_t tid) const {
+  int64_t eid = CanonicalEid(rel, tid);
+  if (eid < 0) return std::nullopt;
+  return eid;
+}
+
+std::optional<bool> FixStore::Holds(int rel, int attr, int64_t tid1,
+                                    int64_t tid2, bool strict) const {
+  auto it = temporal_.find({rel, attr});
+  if (it == temporal_.end()) return std::nullopt;
+  return it->second.Holds(tid1, tid2, strict);
+}
+
+}  // namespace rock::chase

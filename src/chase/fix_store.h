@@ -1,0 +1,212 @@
+#ifndef ROCK_CHASE_FIX_STORE_H_
+#define ROCK_CHASE_FIX_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rules/eval.h"
+#include "src/storage/relation.h"
+
+namespace rock::chase {
+
+/// Union-find over entity ids. EID classes only grow (entities are
+/// identified, never split), matching the chase's inflationary semantics.
+class UnionFind {
+ public:
+  /// Canonical representative of `eid` (the smallest eid in its class, so
+  /// results are independent of merge order — part of Church-Rosser).
+  int64_t Find(int64_t eid) const;
+
+  /// Merges the classes of `a` and `b`; returns the new canonical id.
+  int64_t Union(int64_t a, int64_t b);
+
+  /// All members of `eid`'s class (including eids never explicitly added).
+  std::vector<int64_t> Members(int64_t eid) const;
+
+  size_t num_merges() const { return num_merges_; }
+
+ private:
+  mutable std::unordered_map<int64_t, int64_t> parent_;
+  std::unordered_map<int64_t, std::vector<int64_t>> members_;
+  size_t num_merges_ = 0;
+};
+
+/// One temporal-order store [A]⪯ for a (relation, attribute): a DAG over
+/// tids whose edges are validated ⪯/≺ pairs. Conflicts (a cycle through a
+/// strict edge) are rejected at insertion so the store always stays valid.
+class TemporalOrderStore {
+ public:
+  /// Adds tid1 ⪯ tid2 (strict=false) or tid1 ≺ tid2 (strict=true).
+  /// Returns kConflict when the pair contradicts the stored order; OK and
+  /// `*added=false` when the pair was already known.
+  Status Add(int64_t tid1, int64_t tid2, bool strict, bool* added);
+
+  /// Ternary query: true/false when implied by the stored order (via
+  /// reachability), nullopt when unknown.
+  std::optional<bool> Holds(int64_t tid1, int64_t tid2, bool strict) const;
+
+  size_t num_pairs() const { return num_pairs_; }
+
+ private:
+  struct Edge {
+    int64_t to;
+    bool strict;
+  };
+  std::unordered_map<int64_t, std::vector<Edge>> out_;
+
+  /// Reachability tid1 -> tid2; sets *via_strict when some path uses a
+  /// strict edge.
+  bool Reaches(int64_t from, int64_t to, bool* via_strict) const;
+  size_t num_pairs_ = 0;
+};
+
+/// A single deduced fix, kept for the certain-fix audit trail (every fix is
+/// a logical consequence of one rule application over validated premises).
+struct FixRecord {
+  enum class Kind { kMergeEid, kSetValue, kTemporalOrder };
+  Kind kind;
+  std::string rule_id;
+  // kMergeEid
+  int64_t eid_a = -1, eid_b = -1;
+  // kSetValue
+  int rel = -1;
+  int attr = -1;
+  int64_t eid = -1;
+  Value value;
+  // kTemporalOrder
+  int64_t tid1 = -1, tid2 = -1;
+  bool strict = false;
+
+  std::string ToString() const;
+};
+
+/// A conflict surfaced during chasing, together with how it was resolved
+/// (paper §4.2 "Resolving conflicts").
+struct ConflictRecord {
+  enum class Kind { kValue, kEid, kTemporal };
+  Kind kind;
+  std::string rule_id;
+  std::string description;
+  /// "kept_existing", "kept_new", "confidence", "mc_argmax", "user_queue".
+  std::string resolution;
+};
+
+/// The fix collection U = (E_=, E_⪯) plus ground truth Γ (paper §4.1):
+///  - an EID union-find ([EID]_= classes),
+///  - validated attribute values ([EID.A]_= singletons),
+///  - validated EID-distinctness constraints (consequences t.EID != s.EID),
+///  - per-(relation, attribute) temporal orders ([A]_⪯).
+/// Deviation from the paper, documented in DESIGN.md: validated values are
+/// scoped to TUPLES rather than entities. The paper's temporal relations
+/// allow one entity to have several versions in the same relation with
+/// different (all correct at their time) attribute values, so a single
+/// value per [EID.A] would conflate versions; cross-tuple propagation
+/// instead happens through explicit REE++s (e.g. with t0.eid = t1.eid and
+/// temporal predicates in the precondition).
+/// The store also implements the evaluator's CellOverlay/TemporalOracle so
+/// rules are evaluated over the repaired view, and tracks which cells are
+/// *validated* (in Γ or deduced) for certain-fix mode.
+class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
+ public:
+  explicit FixStore(const Database* db);
+
+  /// Registers a tuple inserted after construction (incremental mode).
+  void RegisterTuple(int rel, int64_t tid);
+
+  /// All tuples whose (possibly merged) entity is `eid`'s entity.
+  std::vector<std::pair<int, int64_t>> TuplesOfEntity(int64_t eid) const;
+
+  // ---- Ground truth Γ ----
+
+  /// Marks every cell of (rel, tid) as validated with its current value.
+  Status AddGroundTruthTuple(int rel, int64_t tid);
+
+  /// Marks one cell as validated with the given (trusted) value.
+  Status AddGroundTruthValue(int rel, int64_t tid, int attr, Value value);
+
+  /// Seeds [A]_⪯ with an initial order (e.g. from timestamps).
+  Status AddGroundTruthOrder(int rel, int attr, int64_t tid1, int64_t tid2,
+                             bool strict);
+
+  // ---- Chase-deduced fixes ----
+
+  /// t.EID = s.EID. Returns kConflict when a distinctness constraint
+  /// forbids the merge. `*changed` reports whether the store grew.
+  Status MergeEids(int64_t a, int64_t b, const std::string& rule_id,
+                   bool* changed);
+
+  /// t.EID != s.EID.
+  Status AddEidDistinct(int64_t a, int64_t b, const std::string& rule_id,
+                        bool* changed);
+
+  /// Validates value `v` for attribute `attr` of tuple `tid`.
+  /// kConflict when a different value is already validated.
+  Status SetValue(int rel, int64_t tid, int attr, Value v,
+                  const std::string& rule_id, bool* changed);
+
+  /// Overwrites a validated value — used only by deterministic conflict
+  /// resolution (M_c argmax for MI, §4.2), never by plain chase steps.
+  Status ReplaceValue(int rel, int64_t tid, int attr, Value v,
+                      const std::string& rule_id);
+
+  /// Validated value of the cell, if any.
+  std::optional<Value> ValidatedValue(int rel, int64_t tid, int attr) const;
+
+  /// True when the cell's value is validated (ground truth or deduced).
+  bool IsValidated(int rel, int64_t tid, int attr) const;
+
+  /// Adds a temporal pair; kConflict on contradiction.
+  Status AddTemporal(int rel, int attr, int64_t tid1, int64_t tid2,
+                     bool strict, const std::string& rule_id, bool* changed);
+
+  // ---- CellOverlay / TemporalOracle (the repaired view) ----
+  std::optional<Value> GetCell(int rel, int64_t tid,
+                               int attr) const override;
+  std::optional<int64_t> GetEid(int rel, int64_t tid) const override;
+  std::vector<int64_t> PatchedTids(int rel, int attr) const override;
+  std::vector<int64_t> PatchedTidsEq(int rel, int attr,
+                                     uint64_t value_hash) const override;
+  std::optional<bool> Holds(int rel, int attr, int64_t tid1, int64_t tid2,
+                            bool strict) const override;
+
+  // ---- Introspection ----
+  const UnionFind& eids() const { return eids_; }
+  const std::vector<FixRecord>& fixes() const { return fixes_; }
+  std::vector<FixRecord>& mutable_fixes() { return fixes_; }
+  size_t num_value_fixes() const { return values_.size(); }
+  size_t num_ground_truth_cells() const { return ground_truth_cells_; }
+
+  /// Canonical eid of a tuple (through the union-find).
+  int64_t CanonicalEid(int rel, int64_t tid) const;
+
+ private:
+  const Database* db_;
+  UnionFind eids_;
+  // (rel, attr, tid) -> validated value.
+  std::map<std::tuple<int, int, int64_t>, Value> values_;
+  // (rel, attr, value hash) -> tids validated to that value (stale entries
+  // after ReplaceValue are tolerated: lookups re-verify).
+  std::map<std::tuple<int, int, uint64_t>, std::vector<int64_t>>
+      values_by_hash_;
+  // Distinctness constraints between canonical eids (stored unordered).
+  std::set<std::pair<int64_t, int64_t>> distinct_;
+  // (rel, attr) -> temporal order DAG.
+  std::map<std::pair<int, int>, TemporalOrderStore> temporal_;
+  std::vector<FixRecord> fixes_;
+  size_t ground_truth_cells_ = 0;
+  // Raw eid -> tuples carrying it (for entity-level dirty propagation and
+  // PatchedTids).
+  std::map<int64_t, std::vector<std::pair<int, int64_t>>> eid_index_;
+
+  const Tuple* FindTuple(int rel, int64_t tid) const;
+};
+
+}  // namespace rock::chase
+
+#endif  // ROCK_CHASE_FIX_STORE_H_

@@ -1,0 +1,34 @@
+#ifndef ROCK_COMMON_CSV_H_
+#define ROCK_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace rock {
+
+/// Minimal RFC-4180-style CSV support: quoted fields, embedded commas and
+/// doubled quotes. Used by the loaders in src/storage and the examples.
+class CsvTable {
+ public:
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Parses CSV text; the first record becomes `header`.
+  static Result<CsvTable> Parse(std::string_view text);
+
+  /// Reads and parses a CSV file from disk.
+  static Result<CsvTable> ReadFile(const std::string& path);
+
+  /// Serializes back to CSV text (quoting fields that need it).
+  std::string ToCsv() const;
+};
+
+/// Quotes a single field if it contains a comma, quote or newline.
+std::string CsvEscape(std::string_view field);
+
+}  // namespace rock
+
+#endif  // ROCK_COMMON_CSV_H_

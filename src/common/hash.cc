@@ -1,0 +1,52 @@
+#include "src/common/hash.h"
+
+#include <array>
+
+namespace rock {
+namespace {
+
+std::array<uint32_t, 256> BuildCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint64_t Hash64(std::string_view data) {
+  uint64_t hash = 0xCBF29CE484222325ull;  // FNV offset basis.
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001B3ull;  // FNV prime.
+  }
+  return hash;
+}
+
+uint64_t MixHash64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (MixHash64(value) + 0x9E3779B97F4A7C15ull + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace rock

@@ -1,0 +1,54 @@
+#ifndef ROCK_COMMON_LOGGING_H_
+#define ROCK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rock {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted to stderr. Defaults to kWarning so
+/// tests and benchmarks stay quiet; examples raise it to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace rock
+
+#define ROCK_LOG(level)                                          \
+  ::rock::internal_logging::LogMessage(::rock::LogLevel::level, \
+                                       __FILE__, __LINE__)
+
+/// Fatal invariant check; aborts with a message when `cond` is false.
+#define ROCK_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ROCK_LOG(kError) << "CHECK failed: " #cond;                          \
+      ::abort();                                                           \
+    }                                                                      \
+  } while (false)
+
+#endif  // ROCK_COMMON_LOGGING_H_

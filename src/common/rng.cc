@@ -1,0 +1,83 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/hash.h"
+
+namespace rock {
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 seeding, as recommended by the xoshiro authors.
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9E3779B97F4A7C15ull;
+    word = MixHash64(s);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return mean + stddev * cached_gaussian_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-12) u1 = NextDouble();
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) return 0;
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace rock

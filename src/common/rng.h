@@ -1,0 +1,57 @@
+#ifndef ROCK_COMMON_RNG_H_
+#define ROCK_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rock {
+
+/// Deterministic xoshiro256**-based random number generator. Every stochastic
+/// component in the library (workload generation, sampling, ML training) is
+/// seeded explicitly so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Gaussian sample (Box-Muller) with the given mean and stddev.
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p.
+  bool NextBernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights;
+  /// Zipf-like skew is produced by the caller's weight choice.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_COMMON_RNG_H_

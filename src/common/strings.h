@@ -1,0 +1,51 @@
+#ifndef ROCK_COMMON_STRINGS_H_
+#define ROCK_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rock {
+
+/// Splits `text` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Tokenizes on any non-alphanumeric character, lowercasing tokens.
+/// "IPhone 14 (Discount ID 41)" -> {"iphone","14","discount","id","41"}.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+int EditDistance(std::string_view a, std::string_view b);
+
+/// 1 - EditDistance(a,b) / max(|a|,|b|); 1.0 when both strings are empty.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0,1]; good for short names with typos.
+double JaroWinkler(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the token sets of `a` and `b`.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Soft token similarity: each token of the smaller set is matched to its
+/// best Jaro-Winkler counterpart in the other set; the mean of those best
+/// scores. Robust to in-token typos where plain Jaccard collapses.
+double SoftTokenSimilarity(std::string_view a, std::string_view b);
+
+/// Printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace rock
+
+#endif  // ROCK_COMMON_STRINGS_H_

@@ -1,0 +1,29 @@
+#ifndef ROCK_COMMON_TIMER_H_
+#define ROCK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rock {
+
+/// Monotonic wall-clock timer used by the benchmark harness and the cost
+/// model's calibration path.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_COMMON_TIMER_H_

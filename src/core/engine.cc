@@ -1,0 +1,354 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/ml/correlation.h"
+#include "src/ml/her.h"
+#include "src/ml/ranking.h"
+
+namespace rock::core {
+
+using rules::Ree;
+using rules::RuleTask;
+
+const char* VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kRock:
+      return "Rock";
+    case Variant::kNoMl:
+      return "Rock_noML";
+    case Variant::kSequential:
+      return "Rock_seq";
+    case Variant::kNoChase:
+      return "Rock_noC";
+  }
+  return "?";
+}
+
+Rock::Rock(Database* db, kg::KnowledgeGraph* graph)
+    : Rock(db, graph, RockOptions()) {}
+
+Rock::Rock(Database* db, kg::KnowledgeGraph* graph, RockOptions options)
+    : db_(db), graph_(graph), options_(options) {
+  if (options_.variant == Variant::kNoMl) {
+    options_.enable_polynomials = false;
+    options_.chase.resolve_mi_by_mc = false;
+  }
+  if (options_.variant == Variant::kNoChase) {
+    options_.chase.max_rounds = 1;
+  }
+}
+
+rules::EvalContext Rock::Context() const {
+  rules::EvalContext ctx;
+  ctx.db = db_;
+  ctx.graph = graph_;
+  ctx.models = &models_;
+  return ctx;
+}
+
+void Rock::TrainModels(const ModelTrainingSpec& spec) {
+  if (options_.variant == Variant::kNoMl) return;
+
+  models_.RegisterPair(
+      "MER", std::make_shared<ml::SimilarityClassifier>(spec.mer_threshold));
+
+  if (spec.train_correlation) {
+    auto correlation = std::make_shared<ml::CooccurrenceModel>();
+    for (size_t rel = 0; rel < db_->num_relations(); ++rel) {
+      correlation->TrainOnRelation(db_->relation(static_cast<int>(rel)));
+    }
+    models_.RegisterCorrelation("Mc", correlation);
+    models_.RegisterPredictor("Md", correlation);
+  }
+
+  // M_rank per configured target, creator-critic trained with timestamp +
+  // monotone-attribute currency constraints (§2.2).
+  bool first_ranker = true;
+  for (const auto& [rel_name, attr_name] : spec.rank_targets) {
+    const Relation* relation = db_->FindRelation(rel_name);
+    if (relation == nullptr) continue;
+    int attr = relation->schema().AttributeIndex(attr_name);
+    if (attr < 0) continue;
+
+    std::vector<ml::CurrencyConstraint> constraints;
+    constraints.push_back(
+        {"timestamps",
+         [](const Schema&, const Tuple& t1, const Tuple& t2, int a) {
+           int64_t ts1 = t1.timestamp(a);
+           int64_t ts2 = t2.timestamp(a);
+           if (ts1 == kNoTimestamp || ts2 == kNoTimestamp) return 0;
+           if (ts1 == ts2) return 0;
+           return ts1 < ts2 ? 1 : -1;
+         }});
+    for (const auto& [mono_rel, mono_attr] : spec.monotone_attrs) {
+      if (mono_rel != rel_name) continue;
+      int mono_idx = relation->schema().AttributeIndex(mono_attr);
+      if (mono_idx < 0) continue;
+      constraints.push_back(
+          {"monotone:" + mono_attr,
+           [mono_idx](const Schema&, const Tuple& t1, const Tuple& t2,
+                      int) {
+             // Same entity only: monotone attributes order versions.
+             if (t1.eid != t2.eid) return 0;
+             const Value& a = t1.values[static_cast<size_t>(mono_idx)];
+             const Value& b = t2.values[static_cast<size_t>(mono_idx)];
+             if (a.is_null() || b.is_null()) return 0;
+             int cmp = a.Compare(b);
+             if (cmp == 0) return 0;
+             return cmp < 0 ? 1 : -1;
+           }});
+    }
+
+    auto ranker =
+        std::make_shared<ml::RankingModel>(relation->schema(), attr);
+    ranker->TrainCreatorCritic(*relation, constraints);
+    models_.RegisterRanker(first_ranker ? "Mrank"
+                                        : "Mrank_" + rel_name + "_" +
+                                              attr_name,
+                           ranker);
+    first_ranker = false;
+  }
+
+  if (graph_ != nullptr && graph_->num_vertices() > 0) {
+    auto her = std::make_shared<ml::HerModel>();
+    her->IndexGraph(*graph_);
+    models_.RegisterHer(her);
+  }
+  auto matcher = std::make_shared<ml::PathMatchModel>();
+  for (const auto& [attr, path] : spec.path_synonyms) {
+    matcher->AddSynonym(attr, path);
+  }
+  models_.RegisterPathMatcher(matcher);
+}
+
+Result<std::vector<Ree>> Rock::LoadRules(const std::string& text) const {
+  auto rules = rules::ParseRules(text, db_->schema());
+  if (!rules.ok()) return rules.status();
+  if (options_.variant != Variant::kNoMl) return rules;
+  std::vector<Ree> kept;
+  for (Ree& rule : *rules) {
+    if (!rule.UsesMl()) kept.push_back(std::move(rule));
+  }
+  return kept;
+}
+
+std::vector<discovery::MinedRule> Rock::DiscoverRules(
+    const discovery::PredicateSpaceOptions& space_options, size_t top_k) {
+  discovery::PredicateSpaceOptions effective = space_options;
+  if (options_.variant == Variant::kNoMl) effective.ml_bindings.clear();
+
+  rules::Evaluator eval(Context());
+  discovery::RuleMiner miner(options_.miner);
+  std::vector<discovery::MinedRule> mined;
+  for (size_t rel = 0; rel < db_->num_relations(); ++rel) {
+    discovery::PredicateSpace pair_space =
+        discovery::BuildPairSpace(*db_, static_cast<int>(rel), effective);
+    std::vector<discovery::MinedRule> rules = miner.Mine(eval, pair_space);
+    mined.insert(mined.end(), rules.begin(), rules.end());
+    discovery::PredicateSpace single_space =
+        discovery::BuildSingleSpace(*db_, static_cast<int>(rel), effective);
+    rules = miner.Mine(eval, single_space);
+    mined.insert(mined.end(), rules.begin(), rules.end());
+  }
+  for (size_t i = 0; i < mined.size(); ++i) {
+    mined[i].rule.id = "mined_" + std::to_string(i);
+  }
+  discovery::RuleScoringModel scorer;
+  if (top_k == 0 || top_k >= mined.size()) {
+    std::sort(mined.begin(), mined.end(),
+              [&scorer](const discovery::MinedRule& a,
+                        const discovery::MinedRule& b) {
+                return scorer.Score(a) > scorer.Score(b);
+              });
+    return mined;
+  }
+  return discovery::SelectTopK(mined, top_k, scorer, /*diversify=*/false);
+}
+
+std::vector<PolyRule> Rock::DiscoverPolynomials() {
+  poly_rules_.clear();
+  if (!options_.enable_polynomials) return poly_rules_;
+  discovery::PolyOptions poly_options;
+  for (size_t rel = 0; rel < db_->num_relations(); ++rel) {
+    const Relation& relation = db_->relation(static_cast<int>(rel));
+    const Schema& schema = relation.schema();
+    for (size_t attr = 0; attr < schema.num_attributes(); ++attr) {
+      ValueType type = schema.AttributeType(static_cast<int>(attr));
+      if (type != ValueType::kDouble && type != ValueType::kInt) continue;
+      auto expr = discovery::DiscoverPolynomial(
+          relation, static_cast<int>(attr), poly_options);
+      if (!expr.ok()) continue;
+      if (expr->r_squared < options_.poly_min_r2) continue;
+      if (expr->exact_support < options_.poly_min_exact_support) continue;
+      if (expr->terms.empty()) continue;
+      poly_rules_.push_back({static_cast<int>(rel), std::move(*expr)});
+    }
+  }
+  return poly_rules_;
+}
+
+void Rock::DetectPolyViolations(detect::DetectionReport* report) const {
+  for (const PolyRule& poly : poly_rules_) {
+    const Relation& relation = db_->relation(poly.rel);
+    for (size_t row = 0; row < relation.size(); ++row) {
+      const Tuple& t = relation.tuple(row);
+      auto predicted = poly.expr.Evaluate(t);
+      if (!predicted.ok()) continue;  // some input is null
+      const Value& actual = t.values[static_cast<size_t>(
+          poly.expr.target_attr)];
+      detect::ErrorRecord record;
+      record.rule_id = "poly_" + std::to_string(poly.rel) + "_" +
+                       std::to_string(poly.expr.target_attr);
+      if (actual.is_null()) {
+        record.error_class = detect::ErrorClass::kMissing;
+      } else {
+        double scale = std::max(1.0, std::abs(*predicted));
+        if (std::abs(actual.AsDouble() - *predicted) / scale <=
+            options_.poly_tolerance) {
+          continue;
+        }
+        record.error_class = detect::ErrorClass::kConflict;
+      }
+      record.cells.push_back(
+          {poly.rel, t.tid, poly.expr.target_attr});
+      report->errors.push_back(std::move(record));
+      ++report->violations;
+    }
+  }
+}
+
+detect::DetectionReport Rock::DetectErrors(
+    const std::vector<Ree>& rules) const {
+  detect::ErrorDetector detector(Context(), options_.detector);
+  detect::DetectionReport report = detector.Detect(rules);
+  DetectPolyViolations(&report);
+  return report;
+}
+
+detect::DetectionReport Rock::DetectErrorsIncremental(
+    const std::vector<Ree>& rules,
+    const std::vector<std::pair<int, int64_t>>& dirty) const {
+  detect::ErrorDetector detector(Context(), options_.detector);
+  return detector.DetectIncremental(rules, dirty);
+}
+
+detect::DetectionReport Rock::DetectErrorsParallel(
+    const std::vector<Ree>& rules, int num_workers,
+    par::ScheduleReport* schedule) const {
+  detect::ErrorDetector detector(Context(), options_.detector);
+  detect::DetectionReport report =
+      detector.DetectParallel(rules, num_workers, schedule);
+  DetectPolyViolations(&report);
+  return report;
+}
+
+size_t Rock::ApplyPolyFixes(chase::ChaseEngine* engine) const {
+  size_t applied = 0;
+  for (const PolyRule& poly : poly_rules_) {
+    const Relation& relation = db_->relation(poly.rel);
+    std::string rule_id = "poly_" + std::to_string(poly.rel) + "_" +
+                          std::to_string(poly.expr.target_attr);
+    for (size_t row = 0; row < relation.size(); ++row) {
+      const Tuple& t = relation.tuple(row);
+      auto predicted = poly.expr.Evaluate(t);
+      if (!predicted.ok()) continue;
+      const Value& actual =
+          t.values[static_cast<size_t>(poly.expr.target_attr)];
+      double scale = std::max(1.0, std::abs(*predicted));
+      bool needs_fix =
+          actual.is_null() ||
+          std::abs(actual.AsDouble() - *predicted) / scale >
+              options_.poly_tolerance;
+      if (!needs_fix) continue;
+      // Round to cents to match the generators' monetary values.
+      double rounded = std::round(*predicted * 100.0) / 100.0;
+      bool changed = false;
+      Status s = engine->fix_store().SetValue(
+          poly.rel, t.tid, poly.expr.target_attr, Value::Double(rounded),
+          rule_id, &changed);
+      if (s.ok() && changed) ++applied;
+    }
+  }
+  return applied;
+}
+
+std::unique_ptr<chase::ChaseEngine> Rock::CorrectErrors(
+    const std::vector<Ree>& rules,
+    const std::vector<std::pair<int, int64_t>>& ground_truth,
+    CorrectionResult* result) {
+  auto engine = std::make_unique<chase::ChaseEngine>(db_, graph_, &models_,
+                                                     options_.chase);
+  for (const auto& [rel, tid] : ground_truth) {
+    Status s = engine->fix_store().AddGroundTruthTuple(rel, tid);
+    if (!s.ok()) {
+      ROCK_LOG(kWarning) << "ground truth rejected: " << s.ToString();
+    }
+  }
+  CorrectionResult local;
+  local.poly_fixes = ApplyPolyFixes(engine.get());
+
+  switch (options_.variant) {
+    case Variant::kRock:
+    case Variant::kNoMl: {
+      local.chase = engine->Run(rules);
+      local.passes = 1;
+      break;
+    }
+    case Variant::kSequential: {
+      // ER, CR, MI, TD one task at a time, iterated until no task makes
+      // progress (the paper's Rock_seq).
+      const RuleTask order[] = {RuleTask::kEr, RuleTask::kCr, RuleTask::kMi,
+                                RuleTask::kTd};
+      size_t total_before = 0;
+      for (int iteration = 0; iteration < options_.chase.max_rounds;
+           ++iteration) {
+        size_t fixes_this_iteration = 0;
+        for (RuleTask task : order) {
+          std::vector<Ree> subset;
+          for (const Ree& rule : rules) {
+            if (rule.Task() == task) subset.push_back(rule);
+          }
+          if (subset.empty()) continue;
+          chase::ChaseResult pass = engine->Run(subset);
+          fixes_this_iteration += pass.fixes_applied;
+          local.chase.applications += pass.applications;
+          local.chase.conflicts = pass.conflicts;
+          ++local.passes;
+        }
+        local.chase.fixes_applied = total_before + fixes_this_iteration;
+        total_before = local.chase.fixes_applied;
+        ++local.chase.rounds;
+        if (fixes_this_iteration == 0) {
+          local.chase.converged = true;
+          break;
+        }
+      }
+      break;
+    }
+    case Variant::kNoChase: {
+      // Each task exactly once, no iteration.
+      const RuleTask order[] = {RuleTask::kEr, RuleTask::kCr, RuleTask::kMi,
+                                RuleTask::kTd};
+      for (RuleTask task : order) {
+        std::vector<Ree> subset;
+        for (const Ree& rule : rules) {
+          if (rule.Task() == task) subset.push_back(rule);
+        }
+        if (subset.empty()) continue;
+        chase::ChaseResult pass = engine->Run(subset);
+        local.chase.fixes_applied += pass.fixes_applied;
+        local.chase.applications += pass.applications;
+        ++local.passes;
+      }
+      local.chase.converged = true;
+      break;
+    }
+  }
+  if (result != nullptr) *result = local;
+  return engine;
+}
+
+}  // namespace rock::core

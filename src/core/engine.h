@@ -1,0 +1,159 @@
+#ifndef ROCK_CORE_ENGINE_H_
+#define ROCK_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chase/chase.h"
+#include "src/detect/detector.h"
+#include "src/discovery/miner.h"
+#include "src/discovery/poly.h"
+#include "src/discovery/topk.h"
+#include "src/kg/graph.h"
+#include "src/ml/library.h"
+#include "src/rules/parser.h"
+#include "src/storage/relation.h"
+
+namespace rock::core {
+
+/// System variants evaluated in the paper's ablations (§6):
+///  - kRock: the full system;
+///  - kNoMl (Rock_noML): ML predicates stripped from the rule set, no
+///    ML-based conflict resolution or polynomial expressions;
+///  - kSequential (Rock_seq): ER, CR, MI, TD chased one task at a time,
+///    iterated to fixpoint;
+///  - kNoChase (Rock_noC): each task executed once, no iteration.
+enum class Variant { kRock, kNoMl, kSequential, kNoChase };
+
+const char* VariantName(Variant variant);
+
+/// Everything needed to instantiate the built-in model suite from (dirty)
+/// data — the paper's pre-trained ML pool (§5.1).
+struct ModelTrainingSpec {
+  /// Threshold for the default entity-matching model "MER".
+  double mer_threshold = 0.80;
+  /// M_rank training targets: (relation name, attribute name). The first
+  /// target's model registers as "Mrank".
+  std::vector<std::pair<std::string, std::string>> rank_targets;
+  /// Monotone numeric attributes per relation (critic knowledge for the
+  /// creator-critic loop): larger value => at least as current.
+  std::vector<std::pair<std::string, std::string>> monotone_attrs;
+  /// Path-matcher synonyms: attribute name -> label path.
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      path_synonyms;
+  /// Train M_c / M_d co-occurrence models per relation (registered as
+  /// "Mc" / "Md", shared across relations via attribute indices).
+  bool train_correlation = true;
+};
+
+struct RockOptions {
+  Variant variant = Variant::kRock;
+  discovery::MinerOptions miner;
+  chase::ChaseOptions chase;
+  detect::DetectorOptions detector;
+  /// Discover and enforce polynomial expressions over numeric attributes
+  /// (§5.4); disabled for kNoMl.
+  bool enable_polynomials = true;
+  /// Relative tolerance for polynomial violations.
+  double poly_tolerance = 0.02;
+  /// Minimum fit quality before a polynomial is enforced. Arithmetic
+  /// invariants (total = amount + fee + tax) fit exactly; near-miss fits
+  /// are spurious correlations (e.g. qty ≈ total/price) and must not be
+  /// enforced, so the bar is strict.
+  double poly_min_r2 = 0.999;
+  /// Additionally, at least this fraction of rows must satisfy the
+  /// expression exactly (see PolyExpression::exact_support) — a
+  /// statistical pseudo-fit never does.
+  double poly_min_exact_support = 0.7;
+};
+
+/// A discovered-and-enforced polynomial expression bound to a relation.
+struct PolyRule {
+  int rel = -1;
+  discovery::PolyExpression expr;
+};
+
+struct CorrectionResult {
+  chase::ChaseResult chase;
+  /// Value fixes contributed by polynomial imputation/repair.
+  size_t poly_fixes = 0;
+  /// Chase passes executed (1 for kRock; per-task passes otherwise).
+  int passes = 0;
+};
+
+/// The Rock system facade: model training, rule discovery, error
+/// detection and error correction over one database (+ optional knowledge
+/// graph), under a selected variant. This is the API the examples and the
+/// benchmark harness drive.
+class Rock {
+ public:
+  Rock(Database* db, kg::KnowledgeGraph* graph);
+  Rock(Database* db, kg::KnowledgeGraph* graph, RockOptions options);
+
+  const RockOptions& options() const { return options_; }
+  ml::MlLibrary* models() { return &models_; }
+  Database* db() { return db_; }
+
+  /// Trains and registers the built-in model suite (MER similarity
+  /// matcher, M_c/M_d co-occurrence, M_rank creator-critic, HER, path
+  /// matcher). Under kNoMl only registers nothing (rules using models are
+  /// stripped anyway).
+  void TrainModels(const ModelTrainingSpec& spec);
+
+  /// Parses curated rules in the textual rule language; under kNoMl,
+  /// ML-predicate rules are dropped (the paper's Rock_noML).
+  Result<std::vector<rules::Ree>> LoadRules(const std::string& text) const;
+
+  /// Mines REE++s from the data over per-relation predicate spaces (pair
+  /// and single shapes). Returns them ranked by the scoring model.
+  std::vector<discovery::MinedRule> DiscoverRules(
+      const discovery::PredicateSpaceOptions& space_options,
+      size_t top_k = 0);
+
+  /// Discovers polynomial expressions for every numeric attribute that
+  /// fits well enough (§5.4); they participate in Detect/Correct.
+  std::vector<PolyRule> DiscoverPolynomials();
+
+  /// Batch error detection (violations + polynomial violations).
+  detect::DetectionReport DetectErrors(
+      const std::vector<rules::Ree>& rules) const;
+
+  /// Incremental detection over ΔD.
+  detect::DetectionReport DetectErrorsIncremental(
+      const std::vector<rules::Ree>& rules,
+      const std::vector<std::pair<int, int64_t>>& dirty) const;
+
+  /// Parallel detection with schedule accounting.
+  detect::DetectionReport DetectErrorsParallel(
+      const std::vector<rules::Ree>& rules, int num_workers,
+      par::ScheduleReport* schedule) const;
+
+  /// Error correction: chases the data with (rules, Γ) under the variant's
+  /// execution policy. `ground_truth` tuples seed Γ.
+  /// The returned engine owns the fix store (inspect or materialize).
+  std::unique_ptr<chase::ChaseEngine> CorrectErrors(
+      const std::vector<rules::Ree>& rules,
+      const std::vector<std::pair<int, int64_t>>& ground_truth,
+      CorrectionResult* result);
+
+  /// The polynomial rules currently enforced.
+  const std::vector<PolyRule>& poly_rules() const { return poly_rules_; }
+
+ private:
+  Database* db_;
+  kg::KnowledgeGraph* graph_;
+  RockOptions options_;
+  ml::MlLibrary models_;
+  std::vector<PolyRule> poly_rules_;
+
+  rules::EvalContext Context() const;
+  /// Appends polynomial violations to `report`.
+  void DetectPolyViolations(detect::DetectionReport* report) const;
+  /// Applies polynomial repairs/imputations into `engine`'s fix store.
+  size_t ApplyPolyFixes(chase::ChaseEngine* engine) const;
+};
+
+}  // namespace rock::core
+
+#endif  // ROCK_CORE_ENGINE_H_

@@ -1,0 +1,111 @@
+#include "src/core/quality.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/detect/detector.h"
+#include "src/storage/stats.h"
+
+namespace rock::core {
+
+double QualityReport::OverallCompleteness() const {
+  if (attributes.empty()) return 1.0;
+  double sum = 0.0;
+  for (const AttributeQuality& a : attributes) sum += a.completeness;
+  return sum / static_cast<double>(attributes.size());
+}
+
+QualityReport AssessQuality(const Database& db,
+                            const std::vector<rules::Ree>& rules,
+                            const rules::EvalContext& ctx) {
+  QualityReport report;
+  for (size_t rel = 0; rel < db.num_relations(); ++rel) {
+    const Relation& relation = db.relation(static_cast<int>(rel));
+    const Schema& schema = relation.schema();
+    for (size_t attr = 0; attr < schema.num_attributes(); ++attr) {
+      AttributeQuality quality;
+      quality.rel = static_cast<int>(rel);
+      quality.attr = static_cast<int>(attr);
+      quality.name =
+          schema.name() + "." + schema.AttributeName(static_cast<int>(attr));
+
+      ColumnStats stats =
+          ComputeColumnStats(relation, static_cast<int>(attr));
+      size_t non_null = stats.num_rows - stats.num_nulls;
+      quality.completeness =
+          stats.num_rows == 0
+              ? 1.0
+              : static_cast<double>(non_null) /
+                    static_cast<double>(stats.num_rows);
+
+      // Majority domain: the most frequent values covering >= 90% of the
+      // non-null cells; the remainder are potential domain violations.
+      size_t covered = 0;
+      for (const auto& [value, count] : stats.top_values) {
+        (void)value;
+        if (covered >= non_null * 9 / 10) break;
+        covered += count;
+      }
+      quality.validity =
+          non_null == 0 ? 1.0
+                        : std::min(1.0, static_cast<double>(covered) /
+                                            static_cast<double>(non_null) +
+                                       0.1);
+
+      // Duplication: repeated non-null values.
+      size_t distinct = stats.num_distinct;
+      quality.duplication =
+          non_null == 0 ? 0.0
+                        : 1.0 - static_cast<double>(distinct) /
+                                    static_cast<double>(non_null);
+
+      // Timeliness: timestamp coverage.
+      size_t stamped = 0;
+      bool any_temporal = false;
+      for (size_t row = 0; row < relation.size(); ++row) {
+        const Tuple& t = relation.tuple(row);
+        if (!t.timestamps.empty()) any_temporal = true;
+        if (t.timestamp(static_cast<int>(attr)) != kNoTimestamp) ++stamped;
+      }
+      quality.timeliness =
+          !any_temporal || relation.size() == 0
+              ? 1.0
+              : static_cast<double>(stamped) /
+                    static_cast<double>(relation.size());
+      report.attributes.push_back(std::move(quality));
+    }
+  }
+
+  if (!rules.empty() && ctx.db != nullptr) {
+    detect::ErrorDetector detector(ctx);
+    detect::DetectionReport detection = detector.Detect(rules);
+    report.violations = detection.violations;
+    std::set<std::pair<int, int64_t>> dirty = detection.DirtyTuples();
+    size_t total = db.TotalTuples();
+    report.consistency =
+        total == 0 ? 1.0
+                   : 1.0 - static_cast<double>(dirty.size()) /
+                               static_cast<double>(total);
+  }
+  return report;
+}
+
+std::vector<TemplateResult> RunQualityTemplates(
+    const Database& db, const std::vector<QualityTemplate>& templates) {
+  std::vector<TemplateResult> out;
+  for (const QualityTemplate& tmpl : templates) {
+    TemplateResult result;
+    result.name = tmpl.name;
+    if (tmpl.rel >= 0 && tmpl.rel < static_cast<int>(db.num_relations())) {
+      const Relation& relation = db.relation(tmpl.rel);
+      for (size_t row = 0; row < relation.size(); ++row) {
+        ++result.checked;
+        if (tmpl.check(relation.tuple(row))) ++result.passed;
+      }
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace rock::core

@@ -1,0 +1,78 @@
+#ifndef ROCK_CORE_QUALITY_H_
+#define ROCK_CORE_QUALITY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/rules/eval.h"
+#include "src/rules/ree.h"
+#include "src/storage/relation.h"
+
+namespace rock::core {
+
+/// Data-quality assessment (paper §4.1 end: "Rock adopts built-in
+/// constraints and user-defined templates to monitor data quality in terms
+/// of completeness, timeliness, validity and consistency, e.g. checking
+/// nulls/duplicates in an attribute").
+struct AttributeQuality {
+  int rel = -1;
+  int attr = -1;
+  std::string name;
+  /// Completeness: fraction of non-null cells.
+  double completeness = 0.0;
+  /// Validity: fraction of non-null cells whose value falls in the
+  /// attribute's observed majority domain (top values covering >= 90% of
+  /// the column) — a light built-in domain check.
+  double validity = 0.0;
+  /// Duplication: fraction of non-null cells carrying a repeated value.
+  double duplication = 0.0;
+  /// Timeliness: fraction of cells carrying a timestamp (temporal
+  /// coverage), when the relation is temporal; 1.0 otherwise.
+  double timeliness = 1.0;
+};
+
+struct QualityReport {
+  std::vector<AttributeQuality> attributes;
+  /// Consistency: 1 - (violating tuples / total tuples) under the given
+  /// rule set; 1.0 when no rules are supplied.
+  double consistency = 1.0;
+  size_t violations = 0;
+
+  /// Mean completeness across attributes.
+  double OverallCompleteness() const;
+};
+
+/// A user-defined quality template: a named predicate over single tuples
+/// evaluated per relation, contributing a pass rate to the report (e.g.
+/// "price must be positive").
+struct QualityTemplate {
+  std::string name;
+  int rel = -1;
+  std::function<bool(const Tuple&)> check;
+};
+
+struct TemplateResult {
+  std::string name;
+  size_t checked = 0;
+  size_t passed = 0;
+  double pass_rate() const {
+    return checked == 0 ? 1.0
+                        : static_cast<double>(passed) /
+                              static_cast<double>(checked);
+  }
+};
+
+/// Computes the built-in quality monitors over `db`, measuring consistency
+/// as the fraction of tuples not implicated in a violation of `rules`.
+QualityReport AssessQuality(const Database& db,
+                            const std::vector<rules::Ree>& rules,
+                            const rules::EvalContext& ctx);
+
+/// Evaluates user-defined templates.
+std::vector<TemplateResult> RunQualityTemplates(
+    const Database& db, const std::vector<QualityTemplate>& templates);
+
+}  // namespace rock::core
+
+#endif  // ROCK_CORE_QUALITY_H_

@@ -1,0 +1,47 @@
+#ifndef ROCK_CRYSTAL_HASH_RING_H_
+#define ROCK_CRYSTAL_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace rock::crystal {
+
+/// Consistent-hash ring (paper §5.1): data objects and computing nodes are
+/// assigned positions on a virtual ring; node addresses are hashed with
+/// CRC-32. Each physical node occupies `virtual_nodes` ring positions so
+/// load stays balanced, and membership changes remap only ~K/n keys.
+class HashRing {
+ public:
+  explicit HashRing(int virtual_nodes = 64);
+
+  /// Registers a node (e.g. an IP address). Idempotent by name.
+  Status AddNode(const std::string& node);
+
+  /// Unregisters a node; its keys flow to ring successors.
+  Status RemoveNode(const std::string& node);
+
+  /// The node owning `key`. Error when the ring is empty.
+  Result<std::string> Locate(std::string_view key) const;
+
+  /// The node owning a pre-hashed key (Crystal hashes data objects with a
+  /// self-defined function; callers supply that hash directly).
+  Result<std::string> LocateHash(uint64_t key_hash) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  std::vector<std::string> Nodes() const;
+
+ private:
+  int virtual_nodes_;
+  std::map<uint64_t, std::string> ring_;  // position -> node
+  std::vector<std::string> nodes_;
+
+  uint64_t VirtualPosition(const std::string& node, int replica) const;
+};
+
+}  // namespace rock::crystal
+
+#endif  // ROCK_CRYSTAL_HASH_RING_H_

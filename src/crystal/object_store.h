@@ -1,0 +1,113 @@
+#ifndef ROCK_CRYSTAL_OBJECT_STORE_H_
+#define ROCK_CRYSTAL_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crystal/hash_ring.h"
+
+namespace rock::crystal {
+
+/// One block of a partitioned object. Crystal partitions each data object
+/// into blocks stored as a linked list on a node (paper §5.1); here a block
+/// is a byte string with a sequence number.
+struct Block {
+  std::string object;
+  int seq = 0;
+  std::string bytes;
+};
+
+/// The metadata directory — Crystal's ETCD stand-in. "The mapping between
+/// hash codes and nodes are registered in ETCD"; here it maps every
+/// (object, block) to its owning node and is the first level of the
+/// two-level addressing model, always resident in memory.
+class MetadataDirectory {
+ public:
+  void Register(const std::string& object, int seq, const std::string& node);
+  void Unregister(const std::string& object);
+
+  /// Node holding block `seq` of `object`.
+  Result<std::string> Lookup(const std::string& object, int seq) const;
+
+  /// All (seq, node) placements for `object`, ordered by seq.
+  std::vector<std::pair<int, std::string>> Placements(
+      const std::string& object) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  // key = object + '\0' + seq
+  std::map<std::string, std::string> entries_;
+  static std::string Key(const std::string& object, int seq);
+};
+
+/// Statistics on a membership change; exercised by bench_design_micro to
+/// reproduce the "minimize remapped keys" claim of §5.1.
+struct RemapStats {
+  size_t total_blocks = 0;
+  size_t remapped_blocks = 0;
+  double remap_ratio() const {
+    return total_blocks == 0
+               ? 0.0
+               : static_cast<double>(remapped_blocks) /
+                     static_cast<double>(total_blocks);
+  }
+};
+
+/// An in-process model of Crystal: objects are split into fixed-size blocks,
+/// blocks are placed on nodes via the consistent-hash ring, and reads go
+/// through the two-level addressing model (directory lookup, then the
+/// per-node block map).
+class ObjectStore {
+ public:
+  /// `block_size` bytes per block; smaller blocks → more work units (§5.2).
+  explicit ObjectStore(int virtual_nodes = 64, size_t block_size = 1024);
+
+  Status AddNode(const std::string& node);
+
+  /// Removes a node and migrates its blocks to their new ring owners.
+  /// Returns how many blocks moved.
+  Result<RemapStats> RemoveNode(const std::string& node);
+
+  /// Adds a node and migrates the blocks whose ring owner changed.
+  Result<RemapStats> AddNodeWithRebalance(const std::string& node);
+
+  /// Writes (or replaces) an object, partitioning it into blocks.
+  Status Put(const std::string& object, std::string bytes);
+
+  /// Reassembles an object from its blocks.
+  Result<std::string> Get(const std::string& object) const;
+
+  Status Delete(const std::string& object);
+
+  /// Number of blocks currently placed on `node`.
+  size_t BlocksOnNode(const std::string& node) const;
+
+  /// Node that owns block `seq` of `object` (directory lookup).
+  Result<std::string> LocateBlock(const std::string& object, int seq) const {
+    return directory_.Lookup(object, seq);
+  }
+
+  size_t num_objects() const { return object_num_blocks_.size(); }
+  const HashRing& ring() const { return ring_; }
+
+ private:
+  HashRing ring_;
+  size_t block_size_;
+  MetadataDirectory directory_;
+  // node -> (object-block key -> block). Second level of addressing.
+  std::unordered_map<std::string, std::map<std::string, Block>> node_blocks_;
+  std::unordered_map<std::string, int> object_num_blocks_;
+
+  static std::string BlockKey(const std::string& object, int seq);
+  std::string OwnerOf(const std::string& object, int seq) const;
+  RemapStats Rebalance();
+};
+
+}  // namespace rock::crystal
+
+#endif  // ROCK_CRYSTAL_OBJECT_STORE_H_

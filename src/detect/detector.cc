@@ -1,0 +1,352 @@
+#include "src/detect/detector.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/ml/lsh.h"
+
+namespace rock::detect {
+
+using rules::Predicate;
+using rules::PredicateKind;
+using rules::Ree;
+using rules::Valuation;
+
+const char* ErrorClassName(ErrorClass error_class) {
+  switch (error_class) {
+    case ErrorClass::kDuplicate:
+      return "duplicate";
+    case ErrorClass::kConflict:
+      return "conflict";
+    case ErrorClass::kMissing:
+      return "missing";
+    case ErrorClass::kStale:
+      return "stale";
+  }
+  return "?";
+}
+
+std::set<ErrorRecord::Cell> DetectionReport::DirtyCells() const {
+  std::set<ErrorRecord::Cell> out;
+  for (const ErrorRecord& error : errors) {
+    out.insert(error.cells.begin(), error.cells.end());
+  }
+  return out;
+}
+
+std::set<std::pair<int, int64_t>> DetectionReport::DirtyTuples() const {
+  std::set<std::pair<int, int64_t>> out;
+  for (const ErrorRecord& error : errors) {
+    for (const ErrorRecord::Cell& cell : error.cells) {
+      out.emplace(cell.rel, cell.tid);
+    }
+  }
+  return out;
+}
+
+ErrorDetector::ErrorDetector(rules::EvalContext ctx)
+    : ErrorDetector(ctx, DetectorOptions()) {}
+
+ErrorDetector::ErrorDetector(rules::EvalContext ctx, DetectorOptions options)
+    : ctx_(ctx), options_(options) {}
+
+int ErrorDetector::PairFrequency(int rel, int guard_attr, int cons_attr,
+                                 const Value& guard,
+                                 const Value& cons) const {
+  auto key = std::make_tuple(rel, guard_attr, cons_attr);
+  auto it = pair_freq_.find(key);
+  if (it == pair_freq_.end()) {
+    std::unordered_map<uint64_t, int> table;
+    const Relation& relation = ctx_.db->relation(rel);
+    for (size_t row = 0; row < relation.size(); ++row) {
+      const Value& g = relation.tuple(row).value(guard_attr);
+      const Value& c = relation.tuple(row).value(cons_attr);
+      if (g.is_null() || c.is_null()) continue;
+      table[HashCombine(g.Hash(), c.Hash())]++;
+    }
+    it = pair_freq_.emplace(key, std::move(table)).first;
+  }
+  auto found = it->second.find(HashCombine(guard.Hash(), cons.Hash()));
+  return found == it->second.end() ? 0 : found->second;
+}
+
+void ErrorDetector::RecordViolation(const Ree& rule, const Valuation& v,
+                                    const rules::Evaluator& eval,
+                                    DetectionReport* report) const {
+  ++report->violations;
+  ErrorRecord record;
+  record.rule_id = rule.id;
+  const Predicate& p = rule.consequence;
+  auto rel_of = [&](int var) {
+    return rule.tuple_vars[static_cast<size_t>(var)];
+  };
+  auto tid_of = [&](int var) { return eval.GetTuple(rule, v, var).tid; };
+
+  // CR-shaped rules guarded by a strict temporal predicate detect
+  // obsolete values (an old version differing from the current one): the
+  // paper's TD error class.
+  bool stale_shape = false;
+  if (rule.Task() == rules::RuleTask::kCr) {
+    for (const Predicate& q : rule.precondition) {
+      if (q.kind == PredicateKind::kTemporal && q.strict) {
+        stale_shape = true;
+        break;
+      }
+    }
+  }
+
+  switch (rule.Task()) {
+    case rules::RuleTask::kEr:
+      record.error_class = ErrorClass::kDuplicate;
+      record.cells.push_back({rel_of(p.var), tid_of(p.var), -1});
+      record.cells.push_back({rel_of(p.var2), tid_of(p.var2), -1});
+      break;
+    case rules::RuleTask::kCr: {
+      // Null consequence cells are missing values; defined-but-violating
+      // cells are semantic conflicts.
+      bool any_null = false;
+      if (p.kind == PredicateKind::kConstant) {
+        any_null = eval.GetCell(rule, v, p.var, p.attr).is_null();
+        record.cells.push_back({rel_of(p.var), tid_of(p.var), p.attr});
+      } else if (p.kind == PredicateKind::kAttrCompare) {
+        Value va = eval.GetCell(rule, v, p.var, p.attr);
+        Value vb = eval.GetCell(rule, v, p.var2, p.attr2);
+        any_null = va.is_null() || vb.is_null();
+        if (any_null) {
+          // Flag only null cells: the defined side is evidence, not error.
+          if (va.is_null()) {
+            record.cells.push_back({rel_of(p.var), tid_of(p.var), p.attr});
+          }
+          if (vb.is_null()) {
+            record.cells.push_back(
+                {rel_of(p.var2), tid_of(p.var2), p.attr2});
+          }
+        } else {
+          // Majority-side flagging: the side whose (guard value,
+          // consequence value) pairing is rarer in the data is the likely
+          // error. The guard is the first equality precondition linking
+          // the two variables.
+          const Predicate* guard = nullptr;
+          for (const Predicate& q : rule.precondition) {
+            if (q.kind == PredicateKind::kAttrCompare &&
+                q.op == rules::CmpOp::kEq && q.attr != rules::kEidAttr &&
+                q.var != q.var2) {
+              guard = &q;
+              break;
+            }
+          }
+          bool flagged_one = false;
+          if (guard != nullptr &&
+              rel_of(p.var) == rel_of(p.var2)) {
+            Value ga = eval.GetCell(rule, v, guard->var, guard->attr);
+            Value gb = eval.GetCell(rule, v, guard->var2, guard->attr2);
+            if (!ga.is_null() && !gb.is_null()) {
+              int fa = PairFrequency(rel_of(p.var), guard->attr, p.attr,
+                                     ga, va);
+              int fb = PairFrequency(rel_of(p.var2), guard->attr2, p.attr2,
+                                     gb, vb);
+              if (fa < fb) {
+                record.cells.push_back(
+                    {rel_of(p.var), tid_of(p.var), p.attr});
+                flagged_one = true;
+              } else if (fb < fa) {
+                record.cells.push_back(
+                    {rel_of(p.var2), tid_of(p.var2), p.attr2});
+                flagged_one = true;
+              }
+            }
+          }
+          if (!flagged_one) {
+            record.cells.push_back({rel_of(p.var), tid_of(p.var), p.attr});
+            record.cells.push_back(
+                {rel_of(p.var2), tid_of(p.var2), p.attr2});
+          }
+        }
+      }
+      record.error_class = any_null ? ErrorClass::kMissing
+                           : stale_shape ? ErrorClass::kStale
+                                         : ErrorClass::kConflict;
+      break;
+    }
+    case rules::RuleTask::kTd:
+      record.error_class = ErrorClass::kStale;
+      record.cells.push_back({rel_of(p.var), tid_of(p.var), p.attr});
+      record.cells.push_back({rel_of(p.var2), tid_of(p.var2), p.attr});
+      break;
+    case rules::RuleTask::kMi: {
+      record.error_class = ErrorClass::kMissing;
+      int attr = p.kind == PredicateKind::kPredictValue ? p.attr2 : p.attr;
+      record.cells.push_back({rel_of(p.var), tid_of(p.var), attr});
+      break;
+    }
+    case rules::RuleTask::kGeneral:
+      record.error_class = ErrorClass::kConflict;
+      for (int var : p.TupleVars()) {
+        record.cells.push_back({rel_of(var), tid_of(var), -1});
+      }
+      break;
+  }
+  report->errors.push_back(std::move(record));
+}
+
+bool ErrorDetector::DetectWithBlocking(const Ree& rule,
+                                       const rules::Evaluator& eval,
+                                       DetectionReport* report) const {
+  if (!options_.use_ml_blocking) return false;
+  if (rule.tuple_vars.size() != 2 || rule.num_vertex_vars != 0) return false;
+  if (rule.tuple_vars[0] != rule.tuple_vars[1]) return false;
+  if (ctx_.models == nullptr) return false;
+
+  // Qualify: an ML pair predicate links the variables, and no equality
+  // attr-compare between the two variables exists (which would already
+  // hash-join).
+  const Predicate* ml_pred = nullptr;
+  for (const Predicate& p : rule.precondition) {
+    if (p.kind == PredicateKind::kMlPair && p.var != p.var2) {
+      ml_pred = &p;
+    }
+    if (p.kind == PredicateKind::kAttrCompare && p.op == rules::CmpOp::kEq &&
+        p.var != p.var2 && p.attr != rules::kEidAttr) {
+      return false;  // equality join available; indexing beats blocking
+    }
+  }
+  if (ml_pred == nullptr) return false;
+  const ml::PairClassifier* model = ctx_.models->FindPair(ml_pred->model);
+  if (model == nullptr) return false;
+
+  // Filter: LSH blocking over the ML predicate's attribute tokens.
+  int rel = rule.tuple_vars[0];
+  const Relation& relation = ctx_.db->relation(rel);
+  ml::LshBlocker blocker;
+  Valuation v;
+  v.rows.assign(2, 0);
+  for (size_t row = 0; row < relation.size(); ++row) {
+    v.rows[0] = static_cast<int>(row);
+    std::vector<Value> values;
+    for (int attr : ml_pred->attrs_b) {
+      values.push_back(eval.GetCell(rule, v, 0, attr));
+    }
+    blocker.Add(static_cast<int64_t>(row), model->BlockTokens(values));
+  }
+
+  // Verify: evaluate the full precondition on candidate pairs only.
+  for (size_t row = 0; row < relation.size(); ++row) {
+    v.rows[0] = static_cast<int>(row);
+    std::vector<Value> values;
+    for (int attr : ml_pred->attrs_a) {
+      values.push_back(eval.GetCell(rule, v, 0, attr));
+    }
+    for (int64_t candidate : blocker.Candidates(model->BlockTokens(values))) {
+      if (candidate == static_cast<int64_t>(row)) continue;
+      v.rows[0] = static_cast<int>(row);
+      v.rows[1] = static_cast<int>(candidate);
+      ++report->blocked_pairs_checked;
+      if (!eval.SatisfiesPrecondition(rule, v)) continue;
+      if (!eval.Satisfies(rule, v, rule.consequence)) {
+        RecordViolation(rule, v, eval, report);
+      }
+    }
+  }
+  return true;
+}
+
+void ErrorDetector::DetectRule(const Ree& rule, const rules::Evaluator& eval,
+                               DetectionReport* report) const {
+  eval.ForEachViolation(rule, [&](const Valuation& v) {
+    RecordViolation(rule, v, eval, report);
+    return true;
+  });
+}
+
+DetectionReport ErrorDetector::Detect(
+    const std::vector<Ree>& rules) const {
+  DetectionReport report;
+  rules::Evaluator eval(ctx_);
+  for (const Ree& rule : rules) {
+    if (!DetectWithBlocking(rule, eval, &report)) {
+      DetectRule(rule, eval, &report);
+    }
+  }
+  return report;
+}
+
+DetectionReport ErrorDetector::DetectIncremental(
+    const std::vector<Ree>& rules,
+    const std::vector<std::pair<int, int64_t>>& dirty) const {
+  DetectionReport report;
+  rules::Evaluator eval(ctx_);
+  std::set<std::vector<int>> seen;
+  for (const Ree& rule : rules) {
+    seen.clear();
+    for (size_t var = 0; var < rule.tuple_vars.size(); ++var) {
+      int rel = rule.tuple_vars[var];
+      for (const auto& [drel, dtid] : dirty) {
+        if (drel != rel) continue;
+        int row = ctx_.db->relation(rel).RowOfTid(dtid);
+        if (row < 0) continue;
+        eval.ForEachSatisfying(
+            rule,
+            [&](const Valuation& v) {
+              if (!seen.insert(v.rows).second) return true;
+              if (!eval.Satisfies(rule, v, rule.consequence)) {
+                RecordViolation(rule, v, eval, &report);
+              }
+              return true;
+            },
+            static_cast<int>(var), row);
+      }
+    }
+  }
+  return report;
+}
+
+void ErrorDetector::DetectRuleInRanges(
+    const Ree& rule, const std::vector<par::WorkUnit::Range>& ranges,
+    const rules::Evaluator& eval, DetectionReport* report) const {
+  // Block-local nested-loop evaluation — the HyperCube executor's unit
+  // body. Correctness comes from covering every block combination.
+  Valuation v;
+  v.rows.assign(rule.tuple_vars.size(), 0);
+  v.vertices.assign(static_cast<size_t>(rule.num_vertex_vars), -1);
+
+  std::function<void(size_t)> recurse = [&](size_t var) {
+    if (var == rule.tuple_vars.size()) {
+      ++report->exhaustive_pairs_checked;
+      if (eval.SatisfiesPrecondition(rule, v) &&
+          !eval.Satisfies(rule, v, rule.consequence)) {
+        RecordViolation(rule, v, eval, report);
+      }
+      return;
+    }
+    for (int row = ranges[var].begin; row < ranges[var].end; ++row) {
+      v.rows[var] = row;
+      recurse(var + 1);
+    }
+  };
+  if (rule.num_vertex_vars == 0) recurse(0);
+}
+
+DetectionReport ErrorDetector::DetectParallel(
+    const std::vector<Ree>& rules, int num_workers,
+    par::ScheduleReport* schedule) const {
+  DetectionReport report;
+  rules::Evaluator eval(ctx_);
+
+  std::vector<par::WorkUnit> units;
+  for (size_t r = 0; r < rules.size(); ++r) {
+    std::vector<par::WorkUnit> rule_units = par::BuildHyperCubeUnits(
+        *ctx_.db, static_cast<int>(r), rules[r].tuple_vars,
+        options_.block_rows);
+    units.insert(units.end(), rule_units.begin(), rule_units.end());
+  }
+
+  par::WorkerPool pool(num_workers);
+  par::ScheduleReport local = pool.Execute(units, [&](const par::WorkUnit& u) {
+    DetectRuleInRanges(rules[static_cast<size_t>(u.rule_index)], u.ranges,
+                       eval, &report);
+  });
+  if (schedule != nullptr) *schedule = local;
+  return report;
+}
+
+}  // namespace rock::detect

@@ -1,0 +1,122 @@
+#ifndef ROCK_DETECT_DETECTOR_H_
+#define ROCK_DETECT_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/par/executor.h"
+#include "src/rules/eval.h"
+#include "src/rules/ree.h"
+
+namespace rock::detect {
+
+/// The error classes Rock reports (paper §3 "Error detection": duplicates,
+/// semantic inconsistencies, obsolete values and missing values).
+enum class ErrorClass { kDuplicate, kConflict, kMissing, kStale };
+
+const char* ErrorClassName(ErrorClass error_class);
+
+/// One detected error: a violation of one rule, localized to cells.
+struct ErrorRecord {
+  ErrorClass error_class;
+  std::string rule_id;
+  /// Cells implicated by the violated consequence; attr = -1 denotes the
+  /// whole tuple (duplicates).
+  struct Cell {
+    int rel = -1;
+    int64_t tid = -1;
+    int attr = -1;
+    bool operator<(const Cell& o) const {
+      return std::tie(rel, tid, attr) < std::tie(o.rel, o.tid, o.attr);
+    }
+    bool operator==(const Cell& o) const {
+      return rel == o.rel && tid == o.tid && attr == o.attr;
+    }
+  };
+  std::vector<Cell> cells;
+};
+
+struct DetectionReport {
+  std::vector<ErrorRecord> errors;
+  /// Raw violation count (several violations may implicate the same cell).
+  size_t violations = 0;
+  /// Valuations whose ML predicates were evaluated via the blocking filter
+  /// vs. exhaustively (for the §5.4 filter-and-verify accounting).
+  size_t blocked_pairs_checked = 0;
+  size_t exhaustive_pairs_checked = 0;
+
+  /// Distinct implicated cells.
+  std::set<ErrorRecord::Cell> DirtyCells() const;
+  /// Distinct implicated (rel, tid) tuples.
+  std::set<std::pair<int, int64_t>> DirtyTuples() const;
+};
+
+struct DetectorOptions {
+  /// Filter-and-verify for ML pair predicates (paper §5.4): when a rule's
+  /// only link between its two variables is an ML predicate, candidate
+  /// pairs come from an LSH blocking index instead of the cross product.
+  bool use_ml_blocking = true;
+  /// Rows per virtual block for HyperCube partitioning (parallel mode).
+  int block_rows = 512;
+};
+
+/// Error detection (paper §3): violations of REE++s in Σ, batch and
+/// incremental, with data-partitioned parallelism via HyperCube work units.
+class ErrorDetector {
+ public:
+  explicit ErrorDetector(rules::EvalContext ctx);
+  ErrorDetector(rules::EvalContext ctx, DetectorOptions options);
+
+  /// Batch detection over the full database.
+  DetectionReport Detect(const std::vector<rules::Ree>& rules) const;
+
+  /// Incremental detection: only violations whose valuation touches a
+  /// tuple in `dirty` (ΔD) are reported.
+  DetectionReport DetectIncremental(
+      const std::vector<rules::Ree>& rules,
+      const std::vector<std::pair<int, int64_t>>& dirty) const;
+
+  /// Parallel detection: HyperCube units executed under the worker pool;
+  /// fills `schedule` with the placement/stealing accounting used by the
+  /// scalability benches. Results are identical to Detect().
+  DetectionReport DetectParallel(const std::vector<rules::Ree>& rules,
+                                 int num_workers,
+                                 par::ScheduleReport* schedule) const;
+
+ private:
+  rules::EvalContext ctx_;
+  DetectorOptions options_;
+  // Lazy (rel, guard attr, consequence attr) -> pair-frequency table used
+  // by majority-side flagging of CR violations.
+  mutable std::map<std::tuple<int, int, int>,
+                   std::unordered_map<uint64_t, int>>
+      pair_freq_;
+
+  /// Frequency of (guard value, consequence value) among rel's tuples.
+  int PairFrequency(int rel, int guard_attr, int cons_attr,
+                    const Value& guard, const Value& cons) const;
+
+  void RecordViolation(const rules::Ree& rule, const rules::Valuation& v,
+                       const rules::Evaluator& eval,
+                       DetectionReport* report) const;
+  void DetectRule(const rules::Ree& rule, const rules::Evaluator& eval,
+                  DetectionReport* report) const;
+  /// Blocking-accelerated path for two-variable ML rules; returns false
+  /// when the rule does not qualify (caller falls back to DetectRule).
+  bool DetectWithBlocking(const rules::Ree& rule,
+                          const rules::Evaluator& eval,
+                          DetectionReport* report) const;
+  void DetectRuleInRanges(const rules::Ree& rule,
+                          const std::vector<par::WorkUnit::Range>& ranges,
+                          const rules::Evaluator& eval,
+                          DetectionReport* report) const;
+};
+
+}  // namespace rock::detect
+
+#endif  // ROCK_DETECT_DETECTOR_H_

@@ -1,0 +1,140 @@
+#include "src/discovery/topk.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rock::discovery {
+
+ml::FeatureVector RuleFeatures(const MinedRule& rule) {
+  ml::FeatureVector features = {
+      rule.support,
+      rule.confidence,
+      static_cast<double>(rule.rule.precondition.size()),
+      rule.rule.UsesMl() ? 1.0 : 0.0,
+      rule.rule.Task() == rules::RuleTask::kEr ? 1.0 : 0.0,
+      rule.rule.Task() == rules::RuleTask::kCr ? 1.0 : 0.0,
+      rule.rule.Task() == rules::RuleTask::kTd ? 1.0 : 0.0,
+      rule.rule.Task() == rules::RuleTask::kMi ? 1.0 : 0.0,
+  };
+  // Subjective preferences are usually *about something* — a target
+  // attribute or relation the user cares about — so the consequence's
+  // identity must be representable: bucketed one-hots for its relation
+  // and attribute.
+  constexpr int kBuckets = 8;
+  int rel = rule.rule.tuple_vars.empty() ? 0 : rule.rule.tuple_vars[0];
+  int attr = rule.rule.consequence.kind == rules::PredicateKind::kPredictValue
+                 ? rule.rule.consequence.attr2
+                 : rule.rule.consequence.attr;
+  if (attr < 0) attr = kBuckets - 1;  // EID / structural consequences
+  for (int b = 0; b < kBuckets; ++b) {
+    features.push_back(rel % kBuckets == b ? 1.0 : 0.0);
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    features.push_back(attr % kBuckets == b ? 1.0 : 0.0);
+  }
+  return features;
+}
+
+void RuleScoringModel::Train(const std::vector<MinedRule>& rules,
+                             const std::vector<int>& labels) {
+  examples_.clear();
+  labels_.clear();
+  for (size_t i = 0; i < rules.size() && i < labels.size(); ++i) {
+    examples_.push_back(RuleFeatures(rules[i]));
+    labels_.push_back(labels[i]);
+  }
+  if (!examples_.empty()) model_.Train(examples_, labels_);
+}
+
+void RuleScoringModel::AddFeedback(const MinedRule& rule, int label) {
+  examples_.push_back(RuleFeatures(rule));
+  labels_.push_back(label);
+  model_.Train(examples_, labels_);
+}
+
+double RuleScoringModel::Score(const MinedRule& rule) const {
+  if (!model_.trained()) {
+    // Objective fallback: confidence, tie-broken by support.
+    return rule.confidence + 0.01 * rule.support;
+  }
+  return model_.Score(RuleFeatures(rule));
+}
+
+std::vector<MinedRule> SelectTopK(
+    const std::vector<MinedRule>& rules, size_t k,
+    const RuleScoringModel& scorer, bool diversify,
+    const EvidenceTable* evidence,
+    const std::vector<std::vector<uint32_t>>* rule_rows) {
+  std::vector<MinedRule> out;
+  if (!diversify || evidence == nullptr || rule_rows == nullptr) {
+    std::vector<std::pair<double, size_t>> scored;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      scored.emplace_back(scorer.Score(rules[i]), i);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (size_t i = 0; i < scored.size() && out.size() < k; ++i) {
+      out.push_back(rules[scored[i].second]);
+      out.back().rule.score = scored[i].first;
+    }
+    return out;
+  }
+
+  // Diversified greedy max-coverage: marginal value = score × fraction of
+  // uncovered supporting rows.
+  std::set<uint32_t> covered;
+  std::vector<bool> taken(rules.size(), false);
+  while (out.size() < k) {
+    double best_value = -1.0;
+    size_t best_index = rules.size();
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (taken[i]) continue;
+      const std::vector<uint32_t>& rows = (*rule_rows)[i];
+      size_t uncovered = 0;
+      for (uint32_t row : rows) uncovered += covered.count(row) == 0;
+      double coverage =
+          rows.empty() ? 0.0
+                       : static_cast<double>(uncovered) /
+                             static_cast<double>(rows.size());
+      double value = scorer.Score(rules[i]) * (0.2 + 0.8 * coverage);
+      if (value > best_value) {
+        best_value = value;
+        best_index = i;
+      }
+    }
+    if (best_index == rules.size()) break;
+    taken[best_index] = true;
+    out.push_back(rules[best_index]);
+    out.back().rule.score = best_value;
+    for (uint32_t row : (*rule_rows)[best_index]) covered.insert(row);
+  }
+  return out;
+}
+
+AnytimeRuleStream::AnytimeRuleStream(std::vector<MinedRule> rules,
+                                     RuleScoringModel* scorer)
+    : rules_(std::move(rules)), scorer_(scorer) {
+  Rerank();
+}
+
+void AnytimeRuleStream::Rerank() {
+  std::stable_sort(rules_.begin() + static_cast<long>(emitted_),
+                   rules_.end(), [this](const MinedRule& a,
+                                        const MinedRule& b) {
+                     return scorer_->Score(a) > scorer_->Score(b);
+                   });
+}
+
+std::optional<MinedRule> AnytimeRuleStream::Next() {
+  if (emitted_ >= rules_.size()) return std::nullopt;
+  return rules_[emitted_++];
+}
+
+void AnytimeRuleStream::Feedback(const MinedRule& rule, int label) {
+  scorer_->AddFeedback(rule, label);
+  Rerank();
+}
+
+}  // namespace rock::discovery

@@ -1,0 +1,74 @@
+#ifndef ROCK_DISCOVERY_TOPK_H_
+#define ROCK_DISCOVERY_TOPK_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/discovery/miner.h"
+#include "src/ml/linear.h"
+
+namespace rock::discovery {
+
+/// Features of a mined rule for the interestingness scoring model
+/// (paper §3/§5.2, after [37]: objective measures — support, confidence —
+/// plus subjective measures learned from user labels).
+ml::FeatureVector RuleFeatures(const MinedRule& rule);
+
+/// The learned scoring model for ranking REE++s. Users label a handful of
+/// rules as useful / not useful; the model generalizes their preference.
+class RuleScoringModel {
+ public:
+  /// Trains from labeled rules (1 = useful). Falls back to the objective
+  /// score (support-weighted confidence) until trained.
+  void Train(const std::vector<MinedRule>& rules,
+             const std::vector<int>& labels);
+
+  /// Incremental refinement with additional feedback (paper §5.2: the
+  /// anytime algorithm "iteratively gathers feedback ... and incrementally
+  /// trains the model"). Previous examples are retained.
+  void AddFeedback(const MinedRule& rule, int label);
+
+  double Score(const MinedRule& rule) const;
+  bool trained() const { return model_.trained(); }
+
+ private:
+  ml::LogisticRegression model_;
+  std::vector<ml::FeatureVector> examples_;
+  std::vector<int> labels_;
+};
+
+/// Greedy top-k selection with optional data-coverage diversification
+/// (paper §5.2): each rule's marginal value is its score times the fraction
+/// of its supporting evidence rows not yet covered by selected rules.
+std::vector<MinedRule> SelectTopK(
+    const std::vector<MinedRule>& rules, size_t k,
+    const RuleScoringModel& scorer, bool diversify,
+    const EvidenceTable* evidence = nullptr,
+    const std::vector<std::vector<uint32_t>>* rule_rows = nullptr);
+
+/// Anytime iterator (paper §3 rule discovery (b)): returns successive
+/// batches of next-best rules via lazy evaluation, so callers can stop —
+/// or keep asking — at any time.
+class AnytimeRuleStream {
+ public:
+  AnytimeRuleStream(std::vector<MinedRule> rules, RuleScoringModel* scorer);
+
+  /// The next best unreturned rule; nullopt when exhausted.
+  std::optional<MinedRule> Next();
+
+  /// Feedback on a returned rule; re-ranks the remaining stream.
+  void Feedback(const MinedRule& rule, int label);
+
+  size_t remaining() const { return rules_.size() - emitted_; }
+
+ private:
+  std::vector<MinedRule> rules_;
+  RuleScoringModel* scorer_;
+  size_t emitted_ = 0;
+
+  void Rerank();
+};
+
+}  // namespace rock::discovery
+
+#endif  // ROCK_DISCOVERY_TOPK_H_

@@ -1,0 +1,79 @@
+#ifndef ROCK_KG_GRAPH_H_
+#define ROCK_KG_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/value.h"
+
+namespace rock::kg {
+
+using VertexId = int64_t;
+
+/// A knowledge graph G = (V, E, L) (paper §2): vertices and edges carry
+/// labels; edge labels typify predicates while vertex labels may carry
+/// values. Missing-value imputation extracts data from G via label paths.
+class KnowledgeGraph {
+ public:
+  /// Adds a vertex with the given label (the label doubles as the carried
+  /// value, e.g. an entity name or a literal). Returns its id.
+  VertexId AddVertex(std::string label);
+
+  /// Adds a directed labeled edge; both endpoints must exist.
+  Status AddEdge(VertexId from, const std::string& label, VertexId to);
+
+  size_t num_vertices() const { return labels_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  bool HasVertex(VertexId v) const {
+    return v >= 0 && static_cast<size_t>(v) < labels_.size();
+  }
+  const std::string& Label(VertexId v) const {
+    return labels_[static_cast<size_t>(v)];
+  }
+
+  /// Outgoing neighbours of `v` through edges labeled `label`.
+  std::vector<VertexId> Neighbors(VertexId v, const std::string& label) const;
+
+  /// All outgoing (label, target) pairs of `v`.
+  std::vector<std::pair<std::string, VertexId>> OutEdges(VertexId v) const;
+
+  /// A match of label path ρ = (l1, ..., ln) from `start` is a vertex list
+  /// (v0=start, v1, ..., vn) whose consecutive edges carry ρ's labels
+  /// (paper §2 Preliminaries). Returns every terminal vertex vn reachable
+  /// via such a match.
+  std::vector<VertexId> MatchPath(VertexId start,
+                                  const std::vector<std::string>& path) const;
+
+  /// True when at least one match of `path` exists from `start`.
+  bool HasPath(VertexId start, const std::vector<std::string>& path) const;
+
+  /// val(x.ρ): the value (label) of the vertex reached by the match of ρ
+  /// from `start` (paper §2.3). When several matches exist the
+  /// lexicographically-least terminal label is returned so the chase stays
+  /// deterministic; NotFound when no match exists.
+  Result<Value> ValueAtPath(VertexId start,
+                            const std::vector<std::string>& path) const;
+
+  /// Vertices whose label exactly equals `label` (an inverted index used by
+  /// HER blocking).
+  std::vector<VertexId> FindByLabel(const std::string& label) const;
+
+  /// All vertex ids (for scans in tests/benches).
+  std::vector<VertexId> AllVertices() const;
+
+ private:
+  std::vector<std::string> labels_;
+  // adjacency_[v] : edge label -> targets.
+  std::vector<std::unordered_map<std::string, std::vector<VertexId>>>
+      adjacency_;
+  std::unordered_map<std::string, std::vector<VertexId>> label_index_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace rock::kg
+
+#endif  // ROCK_KG_GRAPH_H_

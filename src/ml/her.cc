@@ -1,0 +1,117 @@
+#include "src/ml/her.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace rock::ml {
+
+HerModel::HerModel() : HerModel(Options()) {}
+
+std::vector<int> HerModel::EffectiveKeyAttrs(const Schema& schema) const {
+  if (!options_.key_attrs.empty()) return options_.key_attrs;
+  std::vector<int> out;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.AttributeType(static_cast<int>(a)) == ValueType::kString) {
+      out.push_back(static_cast<int>(a));
+    }
+  }
+  return out;
+}
+
+void HerModel::IndexGraph(const kg::KnowledgeGraph& graph) {
+  blocker_ = LshBlocker();
+  for (kg::VertexId v : graph.AllVertices()) {
+    blocker_.Add(v, Tokenize(graph.Label(v)));
+  }
+  indexed_ = true;
+}
+
+double HerModel::Score(const std::vector<Value>& values, const Schema& schema,
+                       const kg::KnowledgeGraph& graph,
+                       kg::VertexId x) const {
+  if (!graph.HasVertex(x)) return 0.0;
+  const std::string& label = graph.Label(x);
+
+  // Key component: best similarity between a key attribute and the label.
+  double key_score = 0.0;
+  for (int a : EffectiveKeyAttrs(schema)) {
+    const Value& v = values[static_cast<size_t>(a)];
+    if (v.is_null()) continue;
+    std::string text = v.ToString();
+    double sim = 0.5 * JaroWinkler(text, label) +
+                 0.5 * TokenJaccard(text, label);
+    key_score = std::max(key_score, sim);
+  }
+
+  // Context component: how many non-key values reappear among the labels of
+  // the vertex's 1-hop neighbourhood.
+  std::vector<std::string> neighbour_labels;
+  for (const auto& [edge_label, target] : graph.OutEdges(x)) {
+    (void)edge_label;
+    neighbour_labels.push_back(graph.Label(target));
+  }
+  double context_score = 0.0;
+  int counted = 0;
+  for (size_t a = 0; a < values.size(); ++a) {
+    const Value& v = values[a];
+    if (v.is_null()) continue;
+    std::string text = v.ToString();
+    double best = 0.0;
+    for (const std::string& nl : neighbour_labels) {
+      best = std::max(best, TokenJaccard(text, nl) > 0.99
+                                ? 1.0
+                                : JaroWinkler(text, nl));
+    }
+    context_score += best;
+    ++counted;
+  }
+  if (counted > 0) context_score /= counted;
+
+  return options_.key_weight * key_score +
+         (1.0 - options_.key_weight) * context_score;
+}
+
+std::vector<kg::VertexId> HerModel::Candidates(
+    const std::vector<Value>& values, const Schema& schema) const {
+  if (!indexed_) return {};
+  // Query the blocking index once per key attribute: a vertex label that
+  // matches one attribute well would be drowned out by the union of every
+  // attribute's tokens.
+  std::vector<kg::VertexId> out;
+  for (int a : EffectiveKeyAttrs(schema)) {
+    const Value& v = values[static_cast<size_t>(a)];
+    if (v.is_null()) continue;
+    for (int64_t id : blocker_.Candidates(Tokenize(v.ToString()))) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void PathMatchModel::AddSynonym(const std::string& attr_name,
+                                const std::vector<std::string>& path) {
+  synonyms_[ToLower(attr_name)].push_back(path);
+}
+
+std::string PathMatchModel::PathText(const std::vector<std::string>& path) {
+  return Join(path, " ");
+}
+
+double PathMatchModel::Score(const std::string& attr_name,
+                             const std::vector<std::string>& path) const {
+  auto it = synonyms_.find(ToLower(attr_name));
+  if (it != synonyms_.end()) {
+    for (const auto& known : it->second) {
+      if (known == path) return 1.0;
+    }
+  }
+  FeatureVector ea = text_.ExtractNormalized(attr_name);
+  FeatureVector ep = text_.ExtractNormalized(PathText(path));
+  double cos = Cosine(ea, ep);
+  return std::max(0.0, cos);
+}
+
+}  // namespace rock::ml

@@ -1,0 +1,99 @@
+#ifndef ROCK_ML_HER_H_
+#define ROCK_ML_HER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kg/graph.h"
+#include "src/ml/feature.h"
+#include "src/ml/lsh.h"
+#include "src/storage/relation.h"
+#include "src/storage/schema.h"
+
+namespace rock::ml {
+
+/// Heterogeneous entity resolution HER(t, x) (paper §2.3, after [31]):
+/// decides whether relational tuple t and knowledge-graph vertex x refer to
+/// the same entity. The paper uses parametric simulation; this model scores
+/// a tuple against a vertex by (a) similarity between the tuple's key
+/// attribute values and the vertex label, and (b) overlap between the
+/// tuple's remaining values and the labels of the vertex's graph
+/// neighbourhood — a light-weight stand-in with the same interface.
+class HerModel {
+ public:
+  struct Options {
+    /// Attribute indices whose values name the entity (e.g. "name"); when
+    /// empty, all string attributes participate.
+    std::vector<int> key_attrs;
+    double threshold = 0.7;
+    /// Relative weight of the key-vs-label component.
+    double key_weight = 0.7;
+  };
+
+  HerModel();
+  explicit HerModel(Options options) : options_(options) {}
+
+  /// Builds the candidate index over the graph's vertex labels.
+  void IndexGraph(const kg::KnowledgeGraph& graph);
+
+  /// Match score in [0,1] between tuple values and vertex `x`.
+  double Score(const std::vector<Value>& values, const Schema& schema,
+               const kg::KnowledgeGraph& graph, kg::VertexId x) const;
+
+  bool Match(const std::vector<Value>& values, const Schema& schema,
+             const kg::KnowledgeGraph& graph, kg::VertexId x) const {
+    return Score(values, schema, graph, x) >= options_.threshold;
+  }
+
+  /// Candidate vertices for a tuple (LSH blocking over vertex labels);
+  /// callers verify with Match(). Requires IndexGraph() first.
+  std::vector<kg::VertexId> Candidates(const std::vector<Value>& values,
+                                       const Schema& schema) const;
+
+  double threshold() const { return options_.threshold; }
+
+ private:
+  Options options_;
+  LshBlocker blocker_;
+  bool indexed_ = false;
+
+  std::vector<int> EffectiveKeyAttrs(const Schema& schema) const;
+};
+
+/// match(t.A, x.ρ) (paper §2.3): does label path ρ encode attribute A?
+/// The paper implements this with an LSTM [31]; the stand-in scores the
+/// attribute name against the path's label sequence with a character
+/// n-gram embedding, plus an exact synonym table that can be trained from
+/// (attribute, path) examples.
+class PathMatchModel {
+ public:
+  explicit PathMatchModel(double threshold = 0.55)
+      : threshold_(threshold), text_(128) {}
+
+  /// Registers a known correspondence, e.g. ("location", {"LocationAt"}).
+  void AddSynonym(const std::string& attr_name,
+                  const std::vector<std::string>& path);
+
+  /// Score in [0,1] that `path` encodes attribute `attr_name`.
+  double Score(const std::string& attr_name,
+               const std::vector<std::string>& path) const;
+
+  bool Matches(const std::string& attr_name,
+               const std::vector<std::string>& path) const {
+    return Score(attr_name, path) >= threshold_;
+  }
+
+ private:
+  double threshold_;
+  HashedTextFeaturizer text_;
+  std::unordered_map<std::string, std::vector<std::vector<std::string>>>
+      synonyms_;
+
+  static std::string PathText(const std::vector<std::string>& path);
+};
+
+}  // namespace rock::ml
+
+#endif  // ROCK_ML_HER_H_

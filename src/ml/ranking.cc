@@ -1,0 +1,187 @@
+#include "src/ml/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace rock::ml {
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble ||
+         t == ValueType::kTime;
+}
+
+}  // namespace
+
+RankingModel::RankingModel(const Schema& schema, int attr)
+    : RankingModel(schema, attr, Options()) {}
+
+RankingModel::RankingModel(const Schema& schema, int attr, Options options)
+    : schema_(schema),
+      attr_(attr),
+      options_(options),
+      text_(options.text_dim),
+      pair_model_(options.logistic) {}
+
+FeatureVector RankingModel::TupleFeatures(const Tuple& t) const {
+  FeatureVector out;
+  // Numeric attributes, squashed so scales are comparable.
+  for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+    if (!IsNumeric(schema_.AttributeType(static_cast<int>(a)))) continue;
+    const Value& v = t.values[a];
+    double x = v.is_null() ? 0.0
+               : (v.type() == ValueType::kTime
+                      ? static_cast<double>(v.AsTime())
+                      : v.AsDouble());
+    // Signed log squash keeps huge sales/timestamps in range.
+    out.push_back(std::copysign(std::log1p(std::abs(x)), x));
+    out.push_back(v.is_null() ? 1.0 : 0.0);
+  }
+  // Timestamp of the ranked attribute, when defined.
+  int64_t ts = t.timestamp(attr_);
+  out.push_back(ts == kNoTimestamp
+                    ? 0.0
+                    : std::copysign(std::log1p(std::abs(
+                                        static_cast<double>(ts))),
+                                    static_cast<double>(ts)));
+  out.push_back(ts == kNoTimestamp ? 1.0 : 0.0);
+  // Hashed text embedding of the ranked attribute's value: "arranging
+  // values chronologically by their distances to a target in the embedding
+  // space" — the linear weights over these buckets learn that target.
+  const Value& v = t.values[static_cast<size_t>(attr_)];
+  FeatureVector emb = text_.ExtractNormalized(v.is_null() ? "" : v.ToString());
+  out.insert(out.end(), emb.begin(), emb.end());
+  return out;
+}
+
+FeatureVector RankingModel::PairFeatures(const Tuple& t1,
+                                         const Tuple& t2) const {
+  FeatureVector a = TupleFeatures(t1);
+  FeatureVector b = TupleFeatures(t2);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = b[i] - a[i];
+  return a;
+}
+
+void RankingModel::Train(
+    const std::vector<std::pair<Tuple, Tuple>>& ordered_pairs) {
+  std::vector<FeatureVector> features;
+  std::vector<int> labels;
+  features.reserve(ordered_pairs.size() * 2);
+  for (const auto& [earlier, later] : ordered_pairs) {
+    features.push_back(PairFeatures(earlier, later));
+    labels.push_back(1);
+    features.push_back(PairFeatures(later, earlier));
+    labels.push_back(0);
+  }
+  pair_model_.Train(features, labels);
+}
+
+void RankingModel::TrainCreatorCritic(
+    const Relation& relation,
+    const std::vector<CurrencyConstraint>& constraints,
+    const std::vector<std::pair<Tuple, Tuple>>& seed_pairs) {
+  // Candidate pool: all tuple pairs, strided down to a workable size.
+  const size_t n = relation.size();
+  std::vector<std::pair<int, int>> candidates;
+  const size_t kMaxCandidates = 4000;
+  size_t total = n * (n - 1) / 2;
+  size_t stride = std::max<size_t>(1, total / kMaxCandidates);
+  size_t counter = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (counter++ % stride == 0) {
+        candidates.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+
+  // Critic pass 0: constraint-certified orders are ground truth.
+  std::vector<std::pair<Tuple, Tuple>> accepted = seed_pairs;
+  std::set<std::pair<int, int>> accepted_idx;  // (earlier_row, later_row)
+  std::vector<std::pair<int, int>> unlabeled;
+  for (const auto& [i, j] : candidates) {
+    const Tuple& ti = relation.tuple(static_cast<size_t>(i));
+    const Tuple& tj = relation.tuple(static_cast<size_t>(j));
+    int verdict = 0;
+    for (const CurrencyConstraint& c : constraints) {
+      int v = c.judge(schema_, ti, tj, attr_);
+      if (v != 0) {
+        verdict = v;
+        break;
+      }
+    }
+    if (verdict > 0) {
+      accepted.emplace_back(ti, tj);
+      accepted_idx.emplace(i, j);
+    } else if (verdict < 0) {
+      accepted.emplace_back(tj, ti);
+      accepted_idx.emplace(j, i);
+    } else {
+      unlabeled.emplace_back(i, j);
+    }
+  }
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    if (accepted.empty()) break;
+    Train(accepted);
+    // Creator: propose orders on unlabeled pairs; critic keeps only
+    // confident proposals that do not contradict accepted orders.
+    std::vector<std::pair<int, int>> still_unlabeled;
+    for (const auto& [i, j] : unlabeled) {
+      const Tuple& ti = relation.tuple(static_cast<size_t>(i));
+      const Tuple& tj = relation.tuple(static_cast<size_t>(j));
+      double conf = Confidence(ti, tj, attr_, /*strict=*/false);
+      int earlier = -1, later = -1;
+      if (conf > 0.9) {
+        earlier = i;
+        later = j;
+      } else if (conf < 0.1) {
+        earlier = j;
+        later = i;
+      }
+      if (earlier < 0) {
+        still_unlabeled.emplace_back(i, j);
+        continue;
+      }
+      if (accepted_idx.count({later, earlier})) {
+        // Contradicts a certified order: the critic rejects it.
+        still_unlabeled.emplace_back(i, j);
+        continue;
+      }
+      accepted.emplace_back(relation.tuple(static_cast<size_t>(earlier)),
+                            relation.tuple(static_cast<size_t>(later)));
+      accepted_idx.emplace(earlier, later);
+    }
+    unlabeled = std::move(still_unlabeled);
+  }
+  if (!accepted.empty()) Train(accepted);
+}
+
+double RankingModel::Confidence(const Tuple& t1, const Tuple& t2, int attr,
+                                bool strict) const {
+  // Timestamps, when both defined, decide outright (paper §2.2: a later
+  // confirmation timestamp implies at-least-as-current).
+  int64_t ts1 = t1.timestamp(attr);
+  int64_t ts2 = t2.timestamp(attr);
+  if (ts1 != kNoTimestamp && ts2 != kNoTimestamp) {
+    if (strict) return ts1 < ts2 ? 1.0 : 0.0;
+    return ts1 <= ts2 ? 1.0 : 0.0;
+  }
+  const Value& v1 = t1.values[static_cast<size_t>(attr)];
+  const Value& v2 = t2.values[static_cast<size_t>(attr)];
+  if (strict && !v1.is_null() && v1 == v2) return 0.0;
+  if (!pair_model_.trained()) return 0.5;
+  return pair_model_.Score(PairFeatures(t1, t2));
+}
+
+double RankingModel::RecencyScore(const Tuple& t) const {
+  if (!pair_model_.trained()) return 0.0;
+  FeatureVector f = TupleFeatures(t);
+  double z = 0.0;
+  const std::vector<double>& w = pair_model_.weights();
+  for (size_t i = 0; i < std::min(f.size(), w.size()); ++i) z += w[i] * f[i];
+  return z;
+}
+
+}  // namespace rock::ml

@@ -1,0 +1,153 @@
+#include "src/par/executor.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+
+namespace rock::par {
+
+std::string WorkUnit::PlacementKey() const {
+  std::string key = "u" + std::to_string(rule_index);
+  for (const Range& r : ranges) {
+    key += ":" + std::to_string(r.rel) + "." + std::to_string(r.begin);
+  }
+  return key;
+}
+
+double CostModel::Estimate(const WorkUnit& unit, int join_attr) const {
+  double cost = 1.0;
+  for (const WorkUnit::Range& r : unit.ranges) {
+    cost *= std::max(1, r.end - r.begin);
+  }
+  if (join_attr >= 0 && unit.ranges.size() >= 2) {
+    const ColumnStats& stats =
+        stats_->Get(unit.ranges[1].rel, join_attr);
+    if (stats.num_distinct > 0) {
+      // Equality join selectivity ~ 1 / distinct values.
+      cost /= static_cast<double>(stats.num_distinct);
+    }
+  }
+  return std::max(cost, 1.0);
+}
+
+std::vector<WorkUnit> BuildHyperCubeUnits(const Database& db, int rule_index,
+                                          const std::vector<int>& tuple_vars,
+                                          int block_rows) {
+  std::vector<WorkUnit> units;
+  // Block boundaries per variable.
+  std::vector<std::vector<std::pair<int, int>>> blocks(tuple_vars.size());
+  for (size_t var = 0; var < tuple_vars.size(); ++var) {
+    int size = static_cast<int>(db.relation(tuple_vars[var]).size());
+    for (int begin = 0; begin < size; begin += block_rows) {
+      blocks[var].emplace_back(begin, std::min(begin + block_rows, size));
+    }
+    if (blocks[var].empty()) blocks[var].emplace_back(0, 0);
+  }
+  // Cross product of block choices (the HyperCube grid).
+  std::vector<size_t> choice(tuple_vars.size(), 0);
+  while (true) {
+    WorkUnit unit;
+    unit.rule_index = rule_index;
+    for (size_t var = 0; var < tuple_vars.size(); ++var) {
+      auto [begin, end] = blocks[var][choice[var]];
+      unit.ranges.push_back({tuple_vars[var], begin, end});
+    }
+    units.push_back(std::move(unit));
+    // Advance the odometer.
+    size_t var = 0;
+    while (var < choice.size()) {
+      if (++choice[var] < blocks[var].size()) break;
+      choice[var] = 0;
+      ++var;
+    }
+    if (var == choice.size()) break;
+  }
+  return units;
+}
+
+WorkerPool::WorkerPool(int num_workers) : num_workers_(num_workers) {
+  for (int w = 0; w < num_workers; ++w) {
+    Status s = ring_.AddNode("worker-" + std::to_string(w));
+    ROCK_CHECK(s.ok());
+  }
+}
+
+ScheduleReport WorkerPool::Execute(
+    const std::vector<WorkUnit>& units,
+    const std::function<void(const WorkUnit&)>& body) {
+  ScheduleReport report;
+  report.num_workers = num_workers_;
+  report.initial_units.assign(static_cast<size_t>(num_workers_), 0);
+  report.executed_units.assign(static_cast<size_t>(num_workers_), 0);
+
+  // 1. Run every unit (real work), measuring durations.
+  std::vector<double> durations(units.size(), 0.0);
+  for (size_t i = 0; i < units.size(); ++i) {
+    Timer timer;
+    body(units[i]);
+    durations[i] = timer.ElapsedSeconds();
+    report.serial_seconds += durations[i];
+  }
+
+  // 2. Placement: each unit goes to its ring owner.
+  std::vector<std::deque<size_t>> queues(static_cast<size_t>(num_workers_));
+  for (size_t i = 0; i < units.size(); ++i) {
+    auto owner = ring_.Locate(units[i].PlacementKey());
+    int worker = 0;
+    if (owner.ok()) {
+      worker = std::stoi(owner->substr(owner->find('-') + 1));
+    }
+    queues[static_cast<size_t>(worker)].push_back(i);
+    report.initial_units[static_cast<size_t>(worker)]++;
+  }
+
+  // 3. Event-driven schedule simulation with work stealing: when a worker's
+  // queue drains it steals the tail of the longest remaining queue
+  // (paper §5.2: "when a node finishes its assigned work units, it evokes
+  // the work manager to fetch work units from other nodes").
+  std::vector<double> clock(static_cast<size_t>(num_workers_), 0.0);
+  using Event = std::pair<double, int>;  // (time ready, worker)
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> ready;
+  for (int w = 0; w < num_workers_; ++w) ready.emplace(0.0, w);
+
+  size_t remaining = units.size();
+  while (remaining > 0 && !ready.empty()) {
+    auto [now, worker] = ready.top();
+    ready.pop();
+    auto& queue = queues[static_cast<size_t>(worker)];
+    if (queue.empty()) {
+      // Steal from the worker with the most queued units.
+      int victim = -1;
+      size_t best = 0;
+      for (int w = 0; w < num_workers_; ++w) {
+        if (w == worker) continue;
+        if (queues[static_cast<size_t>(w)].size() > best) {
+          best = queues[static_cast<size_t>(w)].size();
+          victim = w;
+        }
+      }
+      if (victim < 0) continue;  // nothing left anywhere
+      queue.push_back(queues[static_cast<size_t>(victim)].back());
+      queues[static_cast<size_t>(victim)].pop_back();
+      ++report.stolen_units;
+    }
+    size_t unit = queue.front();
+    queue.pop_front();
+    double finish = now + durations[unit];
+    clock[static_cast<size_t>(worker)] = finish;
+    report.executed_units[static_cast<size_t>(worker)]++;
+    --remaining;
+    ready.emplace(finish, worker);
+  }
+  report.makespan_seconds =
+      *std::max_element(clock.begin(), clock.end());
+  if (report.makespan_seconds <= 0.0) {
+    report.makespan_seconds = report.serial_seconds;
+  }
+  return report;
+}
+
+}  // namespace rock::par

@@ -1,0 +1,139 @@
+#include "src/rules/classic.h"
+
+namespace rock::rules {
+namespace {
+
+/// Negates a comparison operator (for DC consequence construction).
+CmpOp Negate(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return CmpOp::kNe;
+}
+
+Result<int> RequireAttr(const Schema& schema, const std::string& name) {
+  int attr = schema.AttributeIndex(name);
+  if (attr < 0) {
+    return Status::InvalidArgument("no attribute '" + name + "' in " +
+                                   schema.name());
+  }
+  return attr;
+}
+
+}  // namespace
+
+Result<std::vector<Ree>> CfdToRees(const Cfd& cfd,
+                                   const DatabaseSchema& schema) {
+  int rel = schema.RelationIndex(cfd.relation);
+  if (rel < 0) {
+    return Status::InvalidArgument("no relation " + cfd.relation);
+  }
+  const Schema& relation = schema.relation(rel);
+  if (!cfd.pattern.empty() && cfd.pattern.size() != cfd.lhs.size()) {
+    return Status::InvalidArgument("pattern arity != LHS arity");
+  }
+
+  std::vector<Predicate> precondition;
+  for (size_t i = 0; i < cfd.lhs.size(); ++i) {
+    auto attr = RequireAttr(relation, cfd.lhs[i]);
+    if (!attr.ok()) return attr.status();
+    precondition.push_back(
+        Predicate::AttrCompare(0, *attr, CmpOp::kEq, 1, *attr));
+    if (!cfd.pattern.empty() && !cfd.pattern[i].empty() &&
+        cfd.pattern[i] != "_") {
+      auto constant = Value::Parse(cfd.pattern[i],
+                                   relation.AttributeType(*attr));
+      if (!constant.ok()) return constant.status();
+      precondition.push_back(
+          Predicate::Constant(0, *attr, CmpOp::kEq, *constant));
+      precondition.push_back(
+          Predicate::Constant(1, *attr, CmpOp::kEq, *constant));
+    }
+  }
+
+  std::vector<Ree> out;
+  for (const std::string& rhs : cfd.rhs) {
+    auto attr = RequireAttr(relation, rhs);
+    if (!attr.ok()) return attr.status();
+    Ree rule;
+    rule.id = "cfd:" + cfd.relation + ":" + rhs;
+    rule.tuple_vars = {rel, rel};
+    rule.precondition = precondition;
+    rule.consequence = Predicate::AttrCompare(0, *attr, CmpOp::kEq, 1, *attr);
+    out.push_back(std::move(rule));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("CFD has no RHS attributes");
+  }
+  return out;
+}
+
+Result<Ree> DcToRee(const DenialConstraint& dc,
+                    const DatabaseSchema& schema) {
+  int rel = schema.RelationIndex(dc.relation);
+  if (rel < 0) {
+    return Status::InvalidArgument("no relation " + dc.relation);
+  }
+  if (dc.predicates.empty()) {
+    return Status::InvalidArgument("DC needs at least one predicate");
+  }
+  const Schema& relation = schema.relation(rel);
+  Ree rule;
+  rule.id = "dc:" + dc.relation;
+  rule.tuple_vars = {rel, rel};
+  // ¬(p1 ∧ ... ∧ pk)  ≡  p1 ∧ ... ∧ p(k-1) -> ¬pk.
+  for (size_t i = 0; i + 1 < dc.predicates.size(); ++i) {
+    auto a = RequireAttr(relation, dc.predicates[i].attr_a);
+    if (!a.ok()) return a.status();
+    auto b = RequireAttr(relation, dc.predicates[i].attr_b);
+    if (!b.ok()) return b.status();
+    rule.precondition.push_back(
+        Predicate::AttrCompare(0, *a, dc.predicates[i].op, 1, *b));
+  }
+  const auto& last = dc.predicates.back();
+  auto a = RequireAttr(relation, last.attr_a);
+  if (!a.ok()) return a.status();
+  auto b = RequireAttr(relation, last.attr_b);
+  if (!b.ok()) return b.status();
+  rule.consequence =
+      Predicate::AttrCompare(0, *a, Negate(last.op), 1, *b);
+  return rule;
+}
+
+Result<Ree> MdToRee(const MatchingDependency& md,
+                    const DatabaseSchema& schema) {
+  int rel = schema.RelationIndex(md.relation);
+  if (rel < 0) {
+    return Status::InvalidArgument("no relation " + md.relation);
+  }
+  if (md.similar_attrs.empty()) {
+    return Status::InvalidArgument("MD needs at least one attribute");
+  }
+  const Schema& relation = schema.relation(rel);
+  std::vector<int> attrs;
+  for (const std::string& name : md.similar_attrs) {
+    auto attr = RequireAttr(relation, name);
+    if (!attr.ok()) return attr.status();
+    attrs.push_back(*attr);
+  }
+  Ree rule;
+  rule.id = "md:" + md.relation;
+  rule.tuple_vars = {rel, rel};
+  rule.precondition.push_back(
+      Predicate::MlPair(md.matcher, 0, attrs, 1, attrs));
+  rule.consequence = Predicate::EidCompare(0, CmpOp::kEq, 1);
+  return rule;
+}
+
+}  // namespace rock::rules

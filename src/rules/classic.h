@@ -1,0 +1,67 @@
+#ifndef ROCK_RULES_CLASSIC_H_
+#define ROCK_RULES_CLASSIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rules/ree.h"
+#include "src/storage/schema.h"
+
+namespace rock::rules {
+
+// Classic data-quality constraints and their embeddings into REE++s.
+// The paper (§2.1, after [39]) claims REEs subsume conditional functional
+// dependencies, denial constraints and matching dependencies as special
+// cases; these converters make the embedding executable.
+
+/// A conditional functional dependency R(X -> Y, tp): when the pattern
+/// tuple tp matches (constants bind, "_" is a wildcard), the X attributes
+/// functionally determine the Y attributes.
+struct Cfd {
+  std::string relation;
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+  /// Pattern over LHS attributes; empty string = wildcard "_".
+  std::vector<std::string> pattern;
+};
+
+/// A denial constraint ¬(R(t0) ∧ R(t1) ∧ p1 ∧ ... ∧ pk) over comparison
+/// predicates between the two tuples' attributes.
+struct DenialConstraint {
+  std::string relation;
+  struct Comparison {
+    std::string attr_a;  // of t0
+    CmpOp op;
+    std::string attr_b;  // of t1
+  };
+  std::vector<Comparison> predicates;
+};
+
+/// A matching dependency R[A1 ≈ B1, ...] -> R[EID = EID]: similarity of
+/// the listed attributes (via the named ML matcher) identifies entities.
+struct MatchingDependency {
+  std::string relation;
+  std::vector<std::string> similar_attrs;
+  std::string matcher = "MER";
+};
+
+/// Embeds a CFD as an REE++ φ: R(t0) ∧ R(t1) ∧ pattern ∧
+/// ∧_{A∈X} t0.A = t1.A -> t0.B = t1.B (one rule per RHS attribute; this
+/// returns them all). Violation sets coincide with the CFD's.
+Result<std::vector<Ree>> CfdToRees(const Cfd& cfd,
+                                   const DatabaseSchema& schema);
+
+/// Embeds a DC: its predicates minus one become the precondition, the
+/// negation of the held-out predicate the consequence. Any violation of
+/// the REE++ is a witness of the DC and vice versa.
+Result<Ree> DcToRee(const DenialConstraint& dc, const DatabaseSchema& schema);
+
+/// Embeds an MD as an REE++ with an ML pair predicate in the precondition
+/// and t0.EID = t1.EID as the consequence.
+Result<Ree> MdToRee(const MatchingDependency& md,
+                    const DatabaseSchema& schema);
+
+}  // namespace rock::rules
+
+#endif  // ROCK_RULES_CLASSIC_H_

@@ -1,0 +1,379 @@
+#include "src/rules/eval.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/ml/correlation.h"
+#include "src/ml/her.h"
+#include "src/ml/ranking.h"
+
+namespace rock::rules {
+
+Value Evaluator::GetCell(const Ree& rule, const Valuation& v, int var,
+                         int attr) const {
+  int rel = rule.tuple_vars[static_cast<size_t>(var)];
+  const Tuple& t = ctx_.db->relation(rel).tuple(
+      static_cast<size_t>(v.rows[static_cast<size_t>(var)]));
+  if (ctx_.overlay != nullptr) {
+    std::optional<Value> patched = ctx_.overlay->GetCell(rel, t.tid, attr);
+    if (patched.has_value()) return *patched;
+  }
+  return t.value(attr);
+}
+
+int64_t Evaluator::GetEid(const Ree& rule, const Valuation& v, int var) const {
+  int rel = rule.tuple_vars[static_cast<size_t>(var)];
+  const Tuple& t = ctx_.db->relation(rel).tuple(
+      static_cast<size_t>(v.rows[static_cast<size_t>(var)]));
+  if (ctx_.overlay != nullptr) {
+    std::optional<int64_t> patched = ctx_.overlay->GetEid(rel, t.tid);
+    if (patched.has_value()) return *patched;
+  }
+  return t.eid;
+}
+
+const Tuple& Evaluator::GetTuple(const Ree& rule, const Valuation& v,
+                                 int var) const {
+  int rel = rule.tuple_vars[static_cast<size_t>(var)];
+  return ctx_.db->relation(rel).tuple(
+      static_cast<size_t>(v.rows[static_cast<size_t>(var)]));
+}
+
+std::vector<Value> Evaluator::GetValues(const Ree& rule, const Valuation& v,
+                                        int var) const {
+  int rel = rule.tuple_vars[static_cast<size_t>(var)];
+  const Schema& schema = ctx_.db->schema().relation(rel);
+  std::vector<Value> out;
+  out.reserve(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    out.push_back(GetCell(rule, v, var, static_cast<int>(a)));
+  }
+  return out;
+}
+
+bool Evaluator::Satisfies(const Ree& rule, const Valuation& v,
+                          const Predicate& p) const {
+  switch (p.kind) {
+    case PredicateKind::kConstant: {
+      Value cell = GetCell(rule, v, p.var, p.attr);
+      if (cell.is_null() || p.constant.is_null()) return false;
+      if (!cell.ComparableWith(p.constant)) return false;
+      return EvalCmp(p.op, cell.Compare(p.constant));
+    }
+    case PredicateKind::kAttrCompare: {
+      if (p.attr == kEidAttr) {
+        int64_t e1 = GetEid(rule, v, p.var);
+        int64_t e2 = GetEid(rule, v, p.var2);
+        int tw = e1 < e2 ? -1 : (e1 > e2 ? 1 : 0);
+        return EvalCmp(p.op, tw);
+      }
+      Value a = GetCell(rule, v, p.var, p.attr);
+      Value b = GetCell(rule, v, p.var2, p.attr2);
+      if (a.is_null() || b.is_null()) return false;
+      if (!a.ComparableWith(b)) return false;
+      return EvalCmp(p.op, a.Compare(b));
+    }
+    case PredicateKind::kMlPair: {
+      if (ctx_.models == nullptr) return false;
+      const ml::PairClassifier* model = ctx_.models->FindPair(p.model);
+      if (model == nullptr) {
+        ROCK_LOG(kWarning) << "unknown pair model " << p.model;
+        return false;
+      }
+      std::vector<Value> a, b;
+      a.reserve(p.attrs_a.size());
+      b.reserve(p.attrs_b.size());
+      for (int attr : p.attrs_a) a.push_back(GetCell(rule, v, p.var, attr));
+      for (int attr : p.attrs_b) b.push_back(GetCell(rule, v, p.var2, attr));
+      return model->Predict(a, b);
+    }
+    case PredicateKind::kTemporal: {
+      int rel = rule.tuple_vars[static_cast<size_t>(p.var)];
+      const Tuple& t1 = GetTuple(rule, v, p.var);
+      const Tuple& t2 = GetTuple(rule, v, p.var2);
+      if (!p.model.empty()) {
+        // Ranker-backed ML predicate M_rank(t1, t2, ⊗A).
+        const ml::TemporalRanker* ranker =
+            ctx_.models == nullptr ? nullptr
+                                   : ctx_.models->FindRanker(p.model);
+        if (ranker == nullptr) return false;
+        return ranker->Predict(t1, t2, p.attr, p.strict);
+      }
+      // Plain temporal predicate over the explicit partial order. ⪯ is
+      // reflexive and ≺ irreflexive on the same tuple.
+      if (t1.tid == t2.tid) return !p.strict;
+      if (ctx_.temporal != nullptr) {
+        std::optional<bool> known =
+            ctx_.temporal->Holds(rel, p.attr, t1.tid, t2.tid, p.strict);
+        if (known.has_value()) return *known;
+      }
+      int64_t ts1 = t1.timestamp(p.attr);
+      int64_t ts2 = t2.timestamp(p.attr);
+      if (ts1 != kNoTimestamp && ts2 != kNoTimestamp) {
+        return p.strict ? ts1 < ts2 : ts1 <= ts2;
+      }
+      return false;
+    }
+    case PredicateKind::kHer: {
+      if (ctx_.models == nullptr || ctx_.models->her() == nullptr ||
+          ctx_.graph == nullptr) {
+        return false;
+      }
+      int rel = rule.tuple_vars[static_cast<size_t>(p.var)];
+      return ctx_.models->her()->Match(
+          GetValues(rule, v, p.var), ctx_.db->schema().relation(rel),
+          *ctx_.graph, v.vertices[static_cast<size_t>(p.vertex_var)]);
+    }
+    case PredicateKind::kPathMatch: {
+      if (ctx_.graph == nullptr) return false;
+      int rel = rule.tuple_vars[static_cast<size_t>(p.var)];
+      const std::string& attr_name =
+          ctx_.db->schema().relation(rel).AttributeName(p.attr);
+      kg::VertexId x = v.vertices[static_cast<size_t>(p.vertex_var)];
+      bool name_match =
+          ctx_.models != nullptr && ctx_.models->path_matcher() != nullptr
+              ? ctx_.models->path_matcher()->Matches(attr_name, p.path)
+              : true;
+      return name_match && ctx_.graph->HasPath(x, p.path);
+    }
+    case PredicateKind::kValExtract: {
+      if (ctx_.graph == nullptr) return false;
+      kg::VertexId x = v.vertices[static_cast<size_t>(p.vertex_var)];
+      Result<Value> extracted = ctx_.graph->ValueAtPath(x, p.path);
+      if (!extracted.ok()) return false;
+      Value cell = GetCell(rule, v, p.var, p.attr);
+      return !cell.is_null() && cell == *extracted;
+    }
+    case PredicateKind::kCorrelation: {
+      if (ctx_.models == nullptr) return false;
+      const ml::CorrelationModel* model =
+          ctx_.models->FindCorrelation(p.model);
+      if (model == nullptr) return false;
+      std::vector<Value> values = GetValues(rule, v, p.var);
+      Value candidate = p.has_constant
+                            ? p.constant
+                            : GetCell(rule, v, p.var, p.attr2);
+      if (candidate.is_null()) return false;
+      return model->Strength(values, p.attrs_a, p.attr2, candidate) >=
+             p.threshold;
+    }
+    case PredicateKind::kPredictValue: {
+      if (ctx_.models == nullptr) return false;
+      const ml::ValuePredictor* model = ctx_.models->FindPredictor(p.model);
+      if (model == nullptr) return false;
+      std::vector<Value> values = GetValues(rule, v, p.var);
+      Result<Value> predicted =
+          model->PredictValue(values, p.attrs_a, p.attr2);
+      if (!predicted.ok()) return false;
+      Value cell = GetCell(rule, v, p.var, p.attr2);
+      return !cell.is_null() && cell == *predicted;
+    }
+    case PredicateKind::kIsNull:
+      return GetCell(rule, v, p.var, p.attr).is_null();
+  }
+  return false;
+}
+
+bool Evaluator::SatisfiesPrecondition(const Ree& rule,
+                                      const Valuation& v) const {
+  for (const Predicate& p : rule.precondition) {
+    if (!Satisfies(rule, v, p)) return false;
+  }
+  return true;
+}
+
+bool Evaluator::LookupCandidates(int rel, int attr, const Value& value,
+                                 std::vector<int>* out) const {
+  out->clear();
+  const Relation& relation = ctx_.db->relation(rel);
+  auto key = std::make_pair(rel, attr);
+  auto it = eq_index_.find(key);
+  if (it == eq_index_.end()) {
+    std::unordered_map<uint64_t, std::vector<int>> index;
+    // The index covers raw values only; overlay-patched rows are unioned in
+    // below on every lookup (their current value is unknown to the index).
+    for (size_t row = 0; row < relation.size(); ++row) {
+      const Value& cell = relation.tuple(row).value(attr);
+      if (cell.is_null()) continue;
+      index[cell.Hash()].push_back(static_cast<int>(row));
+    }
+    it = eq_index_.emplace(key, std::move(index)).first;
+  }
+  auto rows = it->second.find(value.Hash());
+  if (rows != it->second.end()) {
+    *out = rows->second;
+  }
+  if (ctx_.overlay != nullptr) {
+    for (int64_t tid :
+         ctx_.overlay->PatchedTidsEq(rel, attr, value.Hash())) {
+      int row = relation.RowOfTid(tid);
+      if (row >= 0) out->push_back(row);
+    }
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+  }
+  return true;
+}
+
+void Evaluator::ForEachSatisfying(
+    const Ree& rule, const std::function<bool(const Valuation&)>& cb,
+    int pinned_var, int pinned_row) const {
+  // ready_preds[d] = predicates fully bound once vars 0..d are assigned
+  // (vertex-var predicates are deferred to the vertex phase).
+  size_t num_vars = rule.tuple_vars.size();
+  std::vector<std::vector<const Predicate*>> ready(num_vars);
+  for (const Predicate& p : rule.precondition) {
+    if (p.vertex_var >= 0) continue;
+    int max_var = -1;
+    for (int tv : p.TupleVars()) max_var = std::max(max_var, tv);
+    if (max_var < 0) max_var = 0;
+    if (static_cast<size_t>(max_var) < num_vars) {
+      ready[static_cast<size_t>(max_var)].push_back(&p);
+    }
+  }
+  Valuation v;
+  v.rows.assign(num_vars, -1);
+  v.vertices.assign(static_cast<size_t>(rule.num_vertex_vars), -1);
+  bool keep_going = true;
+  Recurse(rule, v, 0, ready, cb, keep_going, pinned_var, pinned_row);
+}
+
+void Evaluator::Recurse(
+    const Ree& rule, Valuation& v, size_t depth,
+    const std::vector<std::vector<const Predicate*>>& ready_preds,
+    const std::function<bool(const Valuation&)>& cb, bool& keep_going,
+    int pinned_var, int pinned_row) const {
+  if (!keep_going) return;
+  if (depth == rule.tuple_vars.size()) {
+    // All tuple variables bound; handle vertex variables (if any), checking
+    // the remaining predicates inside AssignVertices.
+    AssignVertices(rule, v, 0, cb, keep_going);
+    return;
+  }
+  int rel = rule.tuple_vars[depth];
+  const Relation& relation = ctx_.db->relation(rel);
+
+  // Try to restrict candidates by an equality predicate whose other side is
+  // already bound (join index) or constant.
+  std::vector<int> candidate_rows;
+  bool restricted = false;
+  for (const Predicate* p : ready_preds[depth]) {
+    if (p->op != CmpOp::kEq) continue;
+    if (p->kind == PredicateKind::kConstant &&
+        p->var == static_cast<int>(depth)) {
+      restricted = LookupCandidates(rel, p->attr, p->constant,
+                                    &candidate_rows);
+    } else if (p->kind == PredicateKind::kAttrCompare &&
+               p->attr != kEidAttr) {
+      // One side must be the new variable, the other already bound.
+      if (p->var2 == static_cast<int>(depth) && p->var >= 0 &&
+          static_cast<size_t>(p->var) < depth) {
+        Value bound = GetCell(rule, v, p->var, p->attr);
+        if (bound.is_null()) return;  // null never satisfies equality
+        restricted = LookupCandidates(rel, p->attr2, bound, &candidate_rows);
+      } else if (p->var == static_cast<int>(depth) && p->var2 >= 0 &&
+                 static_cast<size_t>(p->var2) < depth) {
+        Value bound = GetCell(rule, v, p->var2, p->attr2);
+        if (bound.is_null()) return;
+        restricted = LookupCandidates(rel, p->attr, bound, &candidate_rows);
+      }
+    }
+    if (restricted) break;
+  }
+
+  auto try_row = [&](int row) {
+    if (!keep_going) return;
+    v.rows[depth] = row;
+    for (const Predicate* p : ready_preds[depth]) {
+      if (!Satisfies(rule, v, *p)) {
+        v.rows[depth] = -1;
+        return;
+      }
+    }
+    Recurse(rule, v, depth + 1, ready_preds, cb, keep_going, pinned_var,
+            pinned_row);
+    v.rows[depth] = -1;
+  };
+
+  if (pinned_var == static_cast<int>(depth)) {
+    if (pinned_row >= 0 && static_cast<size_t>(pinned_row) < relation.size()) {
+      try_row(pinned_row);
+    }
+    return;
+  }
+
+  if (restricted) {
+    for (int row : candidate_rows) {
+      if (!keep_going) break;
+      try_row(row);
+    }
+  } else {
+    for (size_t row = 0; row < relation.size(); ++row) {
+      if (!keep_going) break;
+      try_row(static_cast<int>(row));
+    }
+  }
+}
+
+bool Evaluator::AssignVertices(
+    const Ree& rule, Valuation& v, int vertex_depth,
+    const std::function<bool(const Valuation&)>& cb, bool& keep_going) const {
+  if (!keep_going) return false;
+  if (vertex_depth == rule.num_vertex_vars) {
+    // Check every predicate involving vertex variables (tuple-only
+    // predicates were already checked during Recurse).
+    for (const Predicate& p : rule.precondition) {
+      if (p.vertex_var < 0) continue;
+      if (!Satisfies(rule, v, p)) return true;
+    }
+    if (!cb(v)) keep_going = false;
+    return true;
+  }
+  if (ctx_.graph == nullptr) return true;
+
+  // Restrict candidates by a HER predicate's blocking index when present.
+  std::vector<kg::VertexId> candidates;
+  bool restricted = false;
+  if (ctx_.models != nullptr && ctx_.models->her() != nullptr) {
+    for (const Predicate& p : rule.precondition) {
+      if (p.kind == PredicateKind::kHer && p.vertex_var == vertex_depth) {
+        int rel = rule.tuple_vars[static_cast<size_t>(p.var)];
+        candidates = ctx_.models->her()->Candidates(
+            GetValues(rule, v, p.var), ctx_.db->schema().relation(rel));
+        restricted = true;
+        break;
+      }
+    }
+  }
+  if (!restricted) candidates = ctx_.graph->AllVertices();
+
+  for (kg::VertexId x : candidates) {
+    if (!keep_going) break;
+    v.vertices[static_cast<size_t>(vertex_depth)] = x;
+    AssignVertices(rule, v, vertex_depth + 1, cb, keep_going);
+    v.vertices[static_cast<size_t>(vertex_depth)] = -1;
+  }
+  return true;
+}
+
+void Evaluator::ForEachViolation(
+    const Ree& rule, const std::function<bool(const Valuation&)>& cb) const {
+  ForEachSatisfying(rule, [&](const Valuation& v) {
+    if (!Satisfies(rule, v, rule.consequence)) return cb(v);
+    return true;
+  });
+}
+
+std::pair<size_t, size_t> Evaluator::CountSupport(const Ree& rule,
+                                                  size_t cap) const {
+  size_t sat_x = 0;
+  size_t sat_both = 0;
+  ForEachSatisfying(rule, [&](const Valuation& v) {
+    ++sat_x;
+    if (Satisfies(rule, v, rule.consequence)) ++sat_both;
+    return cap == 0 || sat_x < cap;
+  });
+  return {sat_x, sat_both};
+}
+
+}  // namespace rock::rules

@@ -1,0 +1,159 @@
+#ifndef ROCK_RULES_EVAL_H_
+#define ROCK_RULES_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kg/graph.h"
+#include "src/ml/library.h"
+#include "src/rules/ree.h"
+#include "src/storage/relation.h"
+
+namespace rock::rules {
+
+/// Overlay of repaired cells and merged EIDs. The chase evaluates rules
+/// against the repaired view of the data without mutating the raw relations;
+/// it implements this interface over its fix store U.
+class CellOverlay {
+ public:
+  virtual ~CellOverlay() = default;
+  /// Repaired value of (rel, tid, attr), or nullopt to fall through to the
+  /// raw data.
+  virtual std::optional<Value> GetCell(int rel, int64_t tid,
+                                       int attr) const = 0;
+  /// Canonical EID of (rel, tid), or nullopt to use the stored EID.
+  virtual std::optional<int64_t> GetEid(int rel, int64_t tid) const = 0;
+
+  /// Tids whose (rel, attr) cell may differ from the raw data. The
+  /// evaluator unions these with raw-value index hits so hash-join
+  /// acceleration stays sound under an overlay (candidates are always
+  /// re-verified against the overlay-aware predicate).
+  virtual std::vector<int64_t> PatchedTids(int rel, int attr) const {
+    (void)rel;
+    (void)attr;
+    return {};
+  }
+
+  /// Patched tids whose overlay value hashes to `value_hash` — the
+  /// narrow variant the equality index uses (a patched cell with a
+  /// different value cannot satisfy the equality anyway). Defaults to the
+  /// broad set.
+  virtual std::vector<int64_t> PatchedTidsEq(int rel, int attr,
+                                             uint64_t value_hash) const {
+    (void)value_hash;
+    return PatchedTids(rel, attr);
+  }
+};
+
+/// Oracle for the explicit temporal orders ⪯A of a temporal instance
+/// (paper §2.2). Returns true/false when the order status of (tid1, tid2)
+/// on `attr` is known, nullopt when unknown.
+class TemporalOracle {
+ public:
+  virtual ~TemporalOracle() = default;
+  virtual std::optional<bool> Holds(int rel, int attr, int64_t tid1,
+                                    int64_t tid2, bool strict) const = 0;
+};
+
+/// Everything needed to evaluate REE++ predicates. graph/models/overlay/
+/// temporal may be null when the rule set does not use them.
+struct EvalContext {
+  const Database* db = nullptr;
+  const kg::KnowledgeGraph* graph = nullptr;
+  const ml::MlLibrary* models = nullptr;
+  const CellOverlay* overlay = nullptr;
+  const TemporalOracle* temporal = nullptr;
+};
+
+/// A valuation h of a rule's variables: a row index per tuple variable and
+/// a vertex id per vertex variable (paper §2.1/§2.3 semantics).
+struct Valuation {
+  std::vector<int> rows;
+  std::vector<kg::VertexId> vertices;
+
+  bool operator==(const Valuation& other) const {
+    return rows == other.rows && vertices == other.vertices;
+  }
+};
+
+/// Evaluates REE++s over a database (+ optional graph/models/overlay).
+/// Satisfaction follows §2: comparisons touching null are unsatisfied
+/// (except the explicit null(t[A]) predicate); ML predicates delegate to
+/// the model library; temporal predicates consult the oracle, then
+/// timestamps, then (for ranker-backed predicates) M_rank.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalContext ctx) : ctx_(ctx) {}
+
+  const EvalContext& context() const { return ctx_; }
+
+  /// The (overlay-aware) value of attribute `attr` of the tuple bound to
+  /// variable `var`.
+  Value GetCell(const Ree& rule, const Valuation& v, int var, int attr) const;
+
+  /// The (overlay-aware) EID of the tuple bound to `var`.
+  int64_t GetEid(const Ree& rule, const Valuation& v, int var) const;
+
+  /// The bound tuple itself (raw, without overlay).
+  const Tuple& GetTuple(const Ree& rule, const Valuation& v, int var) const;
+
+  /// Overlay-aware copy of the full value vector of `var`'s tuple.
+  std::vector<Value> GetValues(const Ree& rule, const Valuation& v,
+                               int var) const;
+
+  /// h |= p.
+  bool Satisfies(const Ree& rule, const Valuation& v,
+                 const Predicate& p) const;
+
+  /// h |= X (every precondition predicate).
+  bool SatisfiesPrecondition(const Ree& rule, const Valuation& v) const;
+
+  /// Enumerates valuations with h |= X. The callback returns false to stop
+  /// early. Equality predicates against already-bound variables and
+  /// constants are pushed into hash-index lookups; HER predicates restrict
+  /// vertex candidates via the model's blocking index.
+  ///
+  /// When pinned_var >= 0, that tuple variable is fixed to row pinned_row —
+  /// the delta enumeration used by incremental detection and the
+  /// incremental chase (only valuations touching an updated tuple fire).
+  void ForEachSatisfying(const Ree& rule,
+                         const std::function<bool(const Valuation&)>& cb,
+                         int pinned_var = -1, int pinned_row = -1) const;
+
+  /// Enumerates violations: h |= X but h !|= p0.
+  void ForEachViolation(const Ree& rule,
+                        const std::function<bool(const Valuation&)>& cb) const;
+
+  /// Counts (#h |= X, #h |= X ∧ p0) — the support/confidence counters used
+  /// by discovery. Stops early after `cap` satisfying valuations when
+  /// cap > 0.
+  std::pair<size_t, size_t> CountSupport(const Ree& rule,
+                                         size_t cap = 0) const;
+
+ private:
+  EvalContext ctx_;
+  // Lazily built equality indexes: (rel, attr) -> value hash -> rows.
+  mutable std::map<std::pair<int, int>,
+                   std::unordered_map<uint64_t, std::vector<int>>>
+      eq_index_;
+
+  /// Fills `out` with candidate rows for value equality on (rel, attr):
+  /// raw-index hits plus overlay-patched rows. Returns false when no
+  /// restriction is possible.
+  bool LookupCandidates(int rel, int attr, const Value& value,
+                        std::vector<int>* out) const;
+  void Recurse(const Ree& rule, Valuation& v, size_t depth,
+               const std::vector<std::vector<const Predicate*>>& ready_preds,
+               const std::function<bool(const Valuation&)>& cb,
+               bool& keep_going, int pinned_var, int pinned_row) const;
+  bool AssignVertices(const Ree& rule, Valuation& v, int vertex_depth,
+                      const std::function<bool(const Valuation&)>& cb,
+                      bool& keep_going) const;
+};
+
+}  // namespace rock::rules
+
+#endif  // ROCK_RULES_EVAL_H_

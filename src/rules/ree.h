@@ -1,0 +1,61 @@
+#ifndef ROCK_RULES_REE_H_
+#define ROCK_RULES_REE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/rules/predicate.h"
+#include "src/storage/schema.h"
+
+namespace rock::rules {
+
+/// The data-quality task a rule serves, derived from its consequence shape
+/// (paper §4.2): ER (t.EID ⊕ s.EID), CR (t.A ⊕ c / t.A ⊕ s.B), TD
+/// (t ⪯A s / t ≺A s), MI (t[A] = c on a null cell, val-extraction, or
+/// M_d prediction).
+enum class RuleTask { kEr, kCr, kTd, kMi, kGeneral };
+
+const char* RuleTaskName(RuleTask task);
+
+/// An extended entity enhancing rule (REE++)  φ : X → p0  (paper §2).
+/// Tuple variable i is bound by the relation atom R(t_i) with
+/// R = tuple_vars[i]; vertex variables are bound by vertex(x_j, G) atoms
+/// (all over the single ambient knowledge graph).
+struct Ree {
+  std::string id;
+  /// tuple_vars[i] = relation index (into the DatabaseSchema) binding t_i.
+  std::vector<int> tuple_vars;
+  int num_vertex_vars = 0;
+  /// X — conjunction of non-atom predicates.
+  std::vector<Predicate> precondition;
+  /// p0.
+  Predicate consequence;
+
+  // Discovery metadata.
+  double support = 0.0;
+  double confidence = 0.0;
+  double score = 0.0;
+
+  /// Task classification from the consequence (see RuleTask).
+  RuleTask Task() const;
+
+  /// True when some predicate (X or p0) embeds an ML model — the property
+  /// Rock_noML strips (paper §6).
+  bool UsesMl() const;
+
+  /// Renders the rule in the textual rule language understood by
+  /// ParseRee(), e.g.
+  ///   "Trans(t0) ^ Trans(t1) ^ t0.com = t1.com -> t0.mfg = t1.mfg".
+  std::string ToString(const DatabaseSchema& schema) const;
+
+  /// Structural equality ignoring metadata.
+  bool SameRule(const Ree& other) const;
+};
+
+/// Renders one predicate (helper shared by Ree::ToString and diagnostics).
+std::string PredicateToString(const Predicate& p, const Ree& rule,
+                              const DatabaseSchema& schema);
+
+}  // namespace rock::rules
+
+#endif  // ROCK_RULES_REE_H_

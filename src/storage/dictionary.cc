@@ -1,0 +1,68 @@
+#include "src/storage/dictionary.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rock {
+
+DictionaryEncodedRelation DictionaryEncodedRelation::Build(
+    const Relation& relation) {
+  DictionaryEncodedRelation out;
+  const size_t num_attrs = relation.schema().num_attributes();
+  const size_t num_rows = relation.size();
+
+  out.rows_.assign(num_rows, std::vector<uint32_t>(num_attrs, 0));
+  out.dictionaries_.resize(num_attrs);
+  out.postings_.resize(num_attrs);
+  out.similarity_order_.resize(num_attrs);
+
+  for (size_t attr = 0; attr < num_attrs; ++attr) {
+    // std::map orders values, giving the similarity ordering for free.
+    std::map<Value, uint32_t, std::less<Value>> codes;
+    // Reserve id 0 for null so a missing cell is always code 0.
+    codes.emplace(Value::Null(), 0);
+    for (size_t row = 0; row < num_rows; ++row) {
+      const Value& v = relation.tuple(row).value(static_cast<int>(attr));
+      auto [it, inserted] = codes.emplace(v, 0);
+      (void)it;
+      (void)inserted;
+    }
+    // Assign dense codes: null first (code 0), then value order.
+    uint32_t next = 0;
+    out.dictionaries_[attr].resize(codes.size());
+    for (auto& [value, code] : codes) {
+      code = next;
+      out.dictionaries_[attr][next] = value;
+      ++next;
+    }
+    out.postings_[attr].assign(codes.size(), {});
+    for (size_t row = 0; row < num_rows; ++row) {
+      const Value& v = relation.tuple(row).value(static_cast<int>(attr));
+      uint32_t code = codes.at(v);
+      out.rows_[row][attr] = code;
+      out.postings_[attr][code].push_back(static_cast<uint32_t>(row));
+    }
+    out.similarity_order_[attr].reserve(codes.size());
+    for (uint32_t c = 0; c < codes.size(); ++c) {
+      out.similarity_order_[attr].push_back(c);
+    }
+  }
+  return out;
+}
+
+int64_t DictionaryEncodedRelation::Encode(int attr, const Value& v) const {
+  const auto& dict = dictionaries_[static_cast<size_t>(attr)];
+  // Dictionary is stored null-first then sorted; binary-search the sorted
+  // suffix and check code 0 for null explicitly.
+  if (v.is_null()) {
+    return (!dict.empty() && dict[0].is_null()) ? 0 : -1;
+  }
+  auto begin = dict.begin() + (dict.empty() || !dict[0].is_null() ? 0 : 1);
+  auto it = std::lower_bound(begin, dict.end(), v);
+  if (it != dict.end() && *it == v) {
+    return static_cast<int64_t>(it - dict.begin());
+  }
+  return -1;
+}
+
+}  // namespace rock

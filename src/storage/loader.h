@@ -1,0 +1,53 @@
+#ifndef ROCK_STORAGE_LOADER_H_
+#define ROCK_STORAGE_LOADER_H_
+
+#include <string>
+
+#include "src/common/csv.h"
+#include "src/common/status.h"
+#include "src/storage/relation.h"
+
+namespace rock {
+
+/// Options for CSV ingestion into a relation.
+struct CsvLoadOptions {
+  /// Name of the column carrying the entity id; empty = every tuple is its
+  /// own entity. The column is consumed (not stored as an attribute).
+  std::string eid_column;
+  /// Per-attribute timestamp columns are recognized by this suffix, e.g.
+  /// "city__ts" carries T(t[city]) as epoch seconds; empty disables.
+  std::string timestamp_suffix = "__ts";
+  /// Cells equal to any of these (after trimming) parse as null.
+  std::vector<std::string> null_literals = {"", "null", "NULL", "NA"};
+};
+
+/// Infers a schema from a CSV header + rows: a column is kInt if every
+/// non-null cell parses as an integer, else kDouble if numeric, else
+/// kString. Timestamp columns (suffix) and the EID column are excluded
+/// from the schema.
+Result<Schema> InferCsvSchema(const std::string& relation_name,
+                              const CsvTable& table,
+                              const CsvLoadOptions& options = {});
+
+/// Loads a CSV table into `db`'s relation `rel_index` (whose schema must
+/// match the CSV's non-special columns by name). Returns the number of
+/// tuples inserted.
+Result<size_t> LoadCsvInto(Database* db, int rel_index,
+                           const CsvTable& table,
+                           const CsvLoadOptions& options = {});
+
+/// One-shot: infer a schema, add the relation to `db`, load the rows.
+/// Returns the new relation's index.
+Result<int> AddRelationFromCsv(Database* db,
+                               const std::string& relation_name,
+                               const CsvTable& table,
+                               const CsvLoadOptions& options = {});
+
+/// Serializes a relation back to CSV (EID as a leading "eid" column;
+/// timestamps appended with the configured suffix when present).
+CsvTable RelationToCsv(const Relation& relation,
+                       const CsvLoadOptions& options = {});
+
+}  // namespace rock
+
+#endif  // ROCK_STORAGE_LOADER_H_

@@ -1,0 +1,116 @@
+#ifndef ROCK_STORAGE_RELATION_H_
+#define ROCK_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace rock {
+
+/// Timestamp value meaning "T(t[A]) is undefined" — the partial function T of
+/// a temporal relation (D, T) need not cover every cell (paper §2.2).
+inline constexpr int64_t kNoTimestamp = INT64_MIN;
+
+/// A tuple: a row of attribute values plus the built-in tid/EID. `tid` is
+/// globally unique within the database; `eid` identifies the real-world
+/// entity the tuple (currently) represents.
+struct Tuple {
+  int64_t tid = -1;
+  int64_t eid = -1;
+  std::vector<Value> values;
+  /// Per-attribute timestamps T(t[A]); kNoTimestamp where undefined.
+  /// Empty when the relation carries no temporal information.
+  std::vector<int64_t> timestamps;
+
+  const Value& value(int attr) const {
+    return values[static_cast<size_t>(attr)];
+  }
+  int64_t timestamp(int attr) const {
+    if (timestamps.empty()) return kNoTimestamp;
+    return timestamps[static_cast<size_t>(attr)];
+  }
+};
+
+/// A relation D of schema R: an append-only vector of tuples with index
+/// lookup by tid. Mutation happens through the chase's repair view rather
+/// than in place, so the raw data stays available as evidence.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  /// Appends `tuple` after checking arity and attribute types (null is
+  /// allowed for every type). Assigns a fresh tid when tuple.tid < 0.
+  Status Append(Tuple tuple);
+
+  size_t size() const { return tuples_.size(); }
+  const Tuple& tuple(size_t row) const { return tuples_[row]; }
+  Tuple& mutable_tuple(size_t row) { return tuples_[row]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Row index of the tuple with the given tid, or -1.
+  int RowOfTid(int64_t tid) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  std::vector<std::pair<int64_t, int>> tid_index_;  // sorted (tid, row)
+  bool tid_index_dirty_ = false;
+};
+
+/// An instance D = (D1, ..., Dm) of a database schema. Owns tid allocation
+/// so tids are unique across relations.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(DatabaseSchema schema);
+
+  const DatabaseSchema& schema() const { return schema_; }
+  size_t num_relations() const { return relations_.size(); }
+
+  Relation& relation(int index) { return relations_[static_cast<size_t>(index)]; }
+  const Relation& relation(int index) const {
+    return relations_[static_cast<size_t>(index)];
+  }
+
+  /// Relation by name; nullptr when absent.
+  Relation* FindRelation(std::string_view name);
+  const Relation* FindRelation(std::string_view name) const;
+
+  /// Appends to relation `rel_index`, assigning a globally fresh tid (and an
+  /// eid equal to the tid when eid < 0, i.e. each tuple starts as its own
+  /// entity). Returns the assigned tid.
+  Result<int64_t> Insert(int rel_index, Tuple tuple);
+
+  /// Total tuple count across relations.
+  size_t TotalTuples() const;
+
+  int64_t next_tid() const { return next_tid_; }
+
+ private:
+  DatabaseSchema schema_;
+  std::vector<Relation> relations_;
+  int64_t next_tid_ = 0;
+};
+
+/// A batch of updates ΔD for incremental detection/correction: tuples to be
+/// inserted (the incremental algorithms treat value modifications as
+/// delete+insert of the affected tuple).
+struct Delta {
+  struct Insertion {
+    int rel_index;
+    Tuple tuple;
+  };
+  std::vector<Insertion> insertions;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_STORAGE_RELATION_H_

@@ -1,0 +1,27 @@
+#include "src/storage/schema.h"
+
+namespace rock {
+
+int Schema::AttributeIndex(std::string_view attr) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status DatabaseSchema::AddRelation(Schema schema) {
+  if (RelationIndex(schema.name()) >= 0) {
+    return Status::AlreadyExists("relation already defined: " + schema.name());
+  }
+  relations_.push_back(std::move(schema));
+  return Status::Ok();
+}
+
+int DatabaseSchema::RelationIndex(std::string_view name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace rock

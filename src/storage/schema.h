@@ -1,0 +1,67 @@
+#ifndef ROCK_STORAGE_SCHEMA_H_
+#define ROCK_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/value.h"
+
+namespace rock {
+
+/// One attribute of a relation schema: a name and a type τ.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// A relation schema R(A1:τ1, ..., Ak:τk). Following [21] (paper §2), every
+/// tuple additionally carries a built-in EID identifying the entity it
+/// represents; EID is not listed among the attributes.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// Index of the attribute named `attr`, or -1 if absent.
+  int AttributeIndex(std::string_view attr) const;
+
+  /// Type of attribute `index`; precondition: valid index.
+  ValueType AttributeType(int index) const {
+    return attributes_[static_cast<size_t>(index)].type;
+  }
+
+  const std::string& AttributeName(int index) const {
+    return attributes_[static_cast<size_t>(index)].name;
+  }
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+/// A database schema R = (R1, ..., Rm).
+class DatabaseSchema {
+ public:
+  /// Adds a relation schema; names must be unique.
+  Status AddRelation(Schema schema);
+
+  int RelationIndex(std::string_view name) const;
+  const Schema& relation(int index) const {
+    return relations_[static_cast<size_t>(index)];
+  }
+  size_t num_relations() const { return relations_.size(); }
+  const std::vector<Schema>& relations() const { return relations_; }
+
+ private:
+  std::vector<Schema> relations_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_STORAGE_SCHEMA_H_

@@ -1,0 +1,115 @@
+#include "src/storage/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/hash.h"
+#include "src/common/strings.h"
+
+namespace rock {
+namespace {
+
+constexpr size_t kSignatureSlots = 8;
+constexpr size_t kTopValues = 16;
+
+struct ValueHashEq {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+  bool operator()(const Value& a, const Value& b) const { return a == b; }
+};
+
+}  // namespace
+
+ColumnStats ComputeColumnStats(const Relation& relation, int attr) {
+  ColumnStats stats;
+  stats.num_rows = relation.size();
+  const ValueType type = relation.schema().AttributeType(attr);
+  const bool numeric = type == ValueType::kInt || type == ValueType::kDouble ||
+                       type == ValueType::kTime;
+
+  std::unordered_map<Value, size_t, ValueHashEq, ValueHashEq> counts;
+  double sum = 0.0, sum_sq = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  size_t numeric_count = 0;
+  std::vector<uint64_t> signature(kSignatureSlots,
+                                  std::numeric_limits<uint64_t>::max());
+
+  for (size_t row = 0; row < relation.size(); ++row) {
+    const Value& v = relation.tuple(row).value(attr);
+    if (v.is_null()) {
+      ++stats.num_nulls;
+      continue;
+    }
+    ++counts[v];
+    if (numeric) {
+      double x = (type == ValueType::kTime)
+                     ? static_cast<double>(v.AsTime())
+                     : v.AsDouble();
+      sum += x;
+      sum_sq += x * x;
+      mn = std::min(mn, x);
+      mx = std::max(mx, x);
+      ++numeric_count;
+    } else if (type == ValueType::kString) {
+      for (const std::string& tok : Tokenize(v.AsString())) {
+        uint64_t h = Hash64(tok);
+        for (size_t slot = 0; slot < kSignatureSlots; ++slot) {
+          uint64_t slot_hash = MixHash64(h ^ (0x1234ull + slot * 0x9E37ull));
+          signature[slot] = std::min(signature[slot], slot_hash);
+        }
+      }
+    }
+  }
+
+  stats.num_distinct = counts.size();
+  if (numeric_count > 0) {
+    double n = static_cast<double>(numeric_count);
+    stats.mean = sum / n;
+    double var = std::max(0.0, sum_sq / n - stats.mean * stats.mean);
+    stats.stddev = std::sqrt(var);
+    stats.min = mn;
+    stats.max = mx;
+  }
+  if (type == ValueType::kString && stats.num_distinct > 0) {
+    stats.signature = std::move(signature);
+  }
+
+  std::vector<std::pair<Value, size_t>> ordered(counts.begin(), counts.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (ordered.size() > kTopValues) ordered.resize(kTopValues);
+  stats.top_values = std::move(ordered);
+  return stats;
+}
+
+DatabaseStats DatabaseStats::Compute(const Database& db) {
+  DatabaseStats out;
+  out.stats_.resize(db.num_relations());
+  for (size_t rel = 0; rel < db.num_relations(); ++rel) {
+    const Relation& relation = db.relation(static_cast<int>(rel));
+    size_t num_attrs = relation.schema().num_attributes();
+    out.stats_[rel].resize(num_attrs);
+    for (size_t attr = 0; attr < num_attrs; ++attr) {
+      out.stats_[rel][attr] =
+          ComputeColumnStats(relation, static_cast<int>(attr));
+    }
+  }
+  return out;
+}
+
+double DatabaseStats::SignatureSimilarity(const ColumnStats& a,
+                                          const ColumnStats& b) {
+  if (a.signature.empty() || b.signature.empty()) return 0.0;
+  size_t slots = std::min(a.signature.size(), b.signature.size());
+  size_t matches = 0;
+  for (size_t i = 0; i < slots; ++i) {
+    if (a.signature[i] == b.signature[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(slots);
+}
+
+}  // namespace rock

@@ -1,0 +1,68 @@
+#ifndef ROCK_STORAGE_STATS_H_
+#define ROCK_STORAGE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/relation.h"
+
+namespace rock {
+
+/// Per-attribute statistics — the "column distribution" and "attribute
+/// summary" metadata Crystal maintains (paper §5.1). Consumed by the cost
+/// model (§5.2) and the FDX-style predicate pruning (§5.4).
+struct ColumnStats {
+  size_t num_rows = 0;
+  size_t num_nulls = 0;
+  size_t num_distinct = 0;
+  /// Numeric moments (0 when the column is non-numeric).
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Most frequent values with counts (top 16), the categorical distribution.
+  std::vector<std::pair<Value, size_t>> top_values;
+  /// Signature of a textual attribute: the 64-bit MinHash-style sketch of
+  /// its token universe (8 hash slots). Attributes with similar content
+  /// have close signatures; used for schema-mapping blocking (§6 Logistics).
+  std::vector<uint64_t> signature;
+
+  double null_ratio() const {
+    return num_rows == 0 ? 0.0
+                         : static_cast<double>(num_nulls) /
+                               static_cast<double>(num_rows);
+  }
+  double distinct_ratio() const {
+    return num_rows == 0 ? 0.0
+                         : static_cast<double>(num_distinct) /
+                               static_cast<double>(num_rows);
+  }
+};
+
+/// Computes statistics for one attribute of `relation`.
+ColumnStats ComputeColumnStats(const Relation& relation, int attr);
+
+/// Computes statistics for every attribute of every relation.
+/// Keyed by (relation index, attribute index).
+class DatabaseStats {
+ public:
+  static DatabaseStats Compute(const Database& db);
+
+  const ColumnStats& Get(int rel, int attr) const {
+    return stats_[static_cast<size_t>(rel)][static_cast<size_t>(attr)];
+  }
+
+  /// Similarity in [0,1] between two attribute signatures (fraction of
+  /// matching MinHash slots); 0 when either lacks a signature.
+  static double SignatureSimilarity(const ColumnStats& a,
+                                    const ColumnStats& b);
+
+ private:
+  std::vector<std::vector<ColumnStats>> stats_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_STORAGE_STATS_H_

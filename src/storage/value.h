@@ -1,0 +1,82 @@
+#ifndef ROCK_STORAGE_VALUE_H_
+#define ROCK_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace rock {
+
+/// Attribute types supported by the relational model (paper §2, schema
+/// R(A1:τ1, ..., Ak:τk)). kTime values are epoch seconds; they back the
+/// timestamps T(t[A]) of temporal relations as well as date attributes.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+  kTime,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A single attribute value: a tagged scalar with a total order within each
+/// type. Null compares equal only to null and is less than every non-null
+/// value (needed for deterministic sorting; rule predicates treat any
+/// comparison involving null as unsatisfied, which the evaluator enforces).
+class Value {
+ public:
+  /// Null value.
+  Value() : type_(ValueType::kNull), int_(0), double_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  static Value Time(int64_t epoch_seconds);
+
+  /// Parses `text` into the requested type ("" parses to null for any type).
+  static Result<Value> Parse(std::string_view text, ValueType type);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Typed accessors; preconditions: matching type().
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const {
+    return type_ == ValueType::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+  int64_t AsTime() const { return int_; }
+
+  /// True when both values can appear in the same comparison predicate
+  /// (identical types, or int/double which are mutually comparable).
+  bool ComparableWith(const Value& other) const;
+
+  /// Three-way comparison: -1, 0, +1. Nulls sort first; values of
+  /// incomparable types are ordered by type tag for determinism.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable 64-bit hash consistent with operator== across int/double when
+  /// the double holds an integral value.
+  uint64_t Hash() const;
+
+  /// Human-readable form; null renders as "null".
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  int64_t int_;
+  double double_;
+  std::string string_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_STORAGE_VALUE_H_

@@ -1,0 +1,136 @@
+#include "src/workload/ecommerce.h"
+
+#include "src/common/logging.h"
+
+namespace rock::workload {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+/// Dates are encoded as YYYYMMDD in a kTime value: monotone in calendar
+/// order, which is all the temporal predicates need.
+Value D(int64_t yyyymmdd) { return Value::Time(yyyymmdd); }
+
+void AddTuple(Database& db, int rel, int64_t eid, std::vector<Value> values) {
+  Tuple t;
+  t.eid = eid;
+  t.values = std::move(values);
+  auto tid = db.Insert(rel, std::move(t));
+  ROCK_CHECK(tid.ok());
+}
+
+}  // namespace
+
+EcommerceData MakeEcommerceData() {
+  DatabaseSchema schema;
+  ROCK_CHECK(schema
+                 .AddRelation(Schema("Person",
+                                     {{"pid", ValueType::kString},
+                                      {"LN", ValueType::kString},
+                                      {"FN", ValueType::kString},
+                                      {"gender", ValueType::kString},
+                                      {"home", ValueType::kString},
+                                      {"status", ValueType::kString},
+                                      {"spouse", ValueType::kString}}))
+                 .ok());
+  ROCK_CHECK(schema
+                 .AddRelation(Schema("Store",
+                                     {{"sid", ValueType::kString},
+                                      {"name", ValueType::kString},
+                                      {"type", ValueType::kString},
+                                      {"location", ValueType::kString},
+                                      {"accu_sales", ValueType::kDouble},
+                                      {"area_code", ValueType::kString}}))
+                 .ok());
+  ROCK_CHECK(schema
+                 .AddRelation(Schema("Trans",
+                                     {{"pid", ValueType::kString},
+                                      {"sid", ValueType::kString},
+                                      {"com", ValueType::kString},
+                                      {"mfg", ValueType::kString},
+                                      {"price", ValueType::kDouble},
+                                      {"date", ValueType::kTime}}))
+                 .ok());
+
+  EcommerceData out;
+  out.db = Database(std::move(schema));
+  Database& db = out.db;
+
+  // Person (Table 1); erroneous values from the paper are kept verbatim:
+  // t2.home "5 West Road" (should be "5 Beijing West Road"), t2.status
+  // "single" with a spouse, t5 has nulls to impute.
+  AddTuple(db, out.person, 101,
+           {S("p1"), S("Jones"), S("Christine"), S("F"),
+            S("5 Beijing West Road"), S("single"), Value::Null()});
+  AddTuple(db, out.person, 102,
+           {S("p2"), S("Smith"), S("Christine"), S("F"), S("5 West Road"),
+            S("single"), S("p3")});
+  AddTuple(db, out.person, 102,
+           {S("p2"), S("Smith"), S("Christine"), S("F"), S("12 Beijing Road"),
+            S("married"), S("p4")});
+  AddTuple(db, out.person, 103,
+           {S("p3"), S("Smith"), S("George"), S("M"), S("12 Beijing Road"),
+            S("married"), S("p2")});
+  AddTuple(db, out.person, 104,
+           {S("p4"), S("Smith"), S("George"), S("M"), Value::Null(),
+            Value::Null(), Value::Null()});
+
+  // Store (Table 2).
+  AddTuple(db, out.store, 211,
+           {S("s1"), S("Apple Jingdong Self-run"), S("Electron."),
+            S("Beijing"), Value::Double(15e6), Value::Null()});
+  AddTuple(db, out.store, 212,
+           {S("s2"), S("Apple Taobao Flagship"), S("Electron."), Value::Null(),
+            Value::Null(), Value::Null()});
+  AddTuple(db, out.store, 213,
+           {S("s3"), S("Huawei Flagship"), S("Electron."), S("Beijing"),
+            Value::Double(11e6), Value::Null()});
+  AddTuple(db, out.store, 214,
+           {S("s4"), S("Huawei"), S("Sports"), S("Shanghai"),
+            Value::Double(10e6), S("021")});
+  AddTuple(db, out.store, 215,
+           {S("s5"), S("Nike China"), S("Sports"), S("Shanghai"),
+            Value::Null(), S("021")});
+
+  // Transaction (Table 3). t15.mfg "Apple" is erroneous (should be Huawei);
+  // t13/t15 prices are missing.
+  AddTuple(db, out.trans, 321,
+           {S("p1"), S("s2"), S("IPhone 13"), S("Apple"),
+            Value::Double(9000), D(20201218)});
+  AddTuple(db, out.trans, 322,
+           {S("p1"), S("s1"), S("IPhone 14 (Discount ID 41)"), S("Apple"),
+            Value::Double(6500), D(20211111)});
+  AddTuple(db, out.trans, 323,
+           {S("p2"), S("s1"), S("IPhone 14 (Discount Code 41)"), S("Apple"),
+            Value::Null(), D(20211111)});
+  AddTuple(db, out.trans, 324,
+           {S("p3"), S("s3"), S("Mate X2 (Limited Sold)"), S("Huawei"),
+            Value::Double(5200), D(20230812)});
+  AddTuple(db, out.trans, 325,
+           {S("p4"), S("s4"), S("Mate X2 (Limited Sold)"), S("Apple"),
+            Value::Null(), D(20230812)});
+
+  // Wikipedia-like knowledge graph for φ7-style extraction.
+  kg::KnowledgeGraph& g = out.graph;
+  kg::VertexId huawei = g.AddVertex("Huawei Flagship");
+  kg::VertexId nike = g.AddVertex("Nike China");
+  kg::VertexId apple_jd = g.AddVertex("Apple Jingdong Self-run");
+  kg::VertexId apple_tb = g.AddVertex("Apple Taobao Flagship");
+  kg::VertexId beijing = g.AddVertex("Beijing");
+  kg::VertexId shanghai = g.AddVertex("Shanghai");
+  kg::VertexId electronics = g.AddVertex("Electron.");
+  kg::VertexId sports = g.AddVertex("Sports");
+  ROCK_CHECK(g.AddEdge(huawei, "LocationAt", beijing).ok());
+  ROCK_CHECK(g.AddEdge(nike, "LocationAt", shanghai).ok());
+  ROCK_CHECK(g.AddEdge(apple_jd, "LocationAt", beijing).ok());
+  ROCK_CHECK(g.AddEdge(apple_tb, "LocationAt", beijing).ok());
+  ROCK_CHECK(g.AddEdge(huawei, "TypeOf", electronics).ok());
+  ROCK_CHECK(g.AddEdge(apple_jd, "TypeOf", electronics).ok());
+  ROCK_CHECK(g.AddEdge(apple_tb, "TypeOf", electronics).ok());
+  ROCK_CHECK(g.AddEdge(nike, "TypeOf", sports).ok());
+  out.huawei_store_vertex = huawei;
+  out.nike_store_vertex = nike;
+  return out;
+}
+
+}  // namespace rock::workload

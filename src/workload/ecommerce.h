@@ -1,0 +1,45 @@
+#ifndef ROCK_WORKLOAD_ECOMMERCE_H_
+#define ROCK_WORKLOAD_ECOMMERCE_H_
+
+#include "src/kg/graph.h"
+#include "src/storage/relation.h"
+
+namespace rock::workload {
+
+/// The running example of the paper (Tables 1-3): an e-commerce database
+/// with Person / Store / Transaction relations, including the erroneous
+/// values printed in bold in the paper, plus a small Wikipedia-like
+/// knowledge graph for the MI examples (φ7).
+///
+/// Schemas:
+///   Person(pid, LN, FN, gender, home, status, spouse)
+///   Store(sid, name, type, location, accu_sales, area_code)
+///   Trans(pid, sid, com, mfg, price, date)
+///
+/// EIDs: person tuples t1..t5 carry entity ids p1..p4 (as integers
+/// 101..104); store tuples s1..s5 use 211..215; transactions 321..325.
+/// The ranges are disjoint from the tid space so later inserts (which
+/// default to eid = tid) cannot collide with these entities.
+struct EcommerceData {
+  Database db;
+  kg::KnowledgeGraph graph;
+
+  /// Relation indices within db.
+  int person = 0;
+  int store = 1;
+  int trans = 2;
+
+  /// Vertex for the "Huawei Flagship" store in the knowledge graph (it has
+  /// a LocationAt edge to "Beijing").
+  kg::VertexId huawei_store_vertex = -1;
+  /// Vertex for "Nike China" (LocationAt -> "Shanghai").
+  kg::VertexId nike_store_vertex = -1;
+};
+
+/// Builds the example database. Tuple order matches the paper: Person rows
+/// 0..4 = t1..t5, Store rows 0..4 = t6..t10, Trans rows 0..4 = t11..t15.
+EcommerceData MakeEcommerceData();
+
+}  // namespace rock::workload
+
+#endif  // ROCK_WORKLOAD_ECOMMERCE_H_

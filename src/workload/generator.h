@@ -1,0 +1,87 @@
+#ifndef ROCK_WORKLOAD_GENERATOR_H_
+#define ROCK_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kg/graph.h"
+#include "src/rules/ree.h"
+#include "src/storage/relation.h"
+
+namespace rock::workload {
+
+/// The kind of data-quality defect injected into a cell/tuple; maps 1:1 to
+/// the paper's error classes and to the four tasks (duplicates→ER,
+/// conflicts→CR, nulls→MI, stale→TD).
+enum class InjectedError { kDuplicate, kConflict, kNull, kStale };
+
+const char* InjectedErrorName(InjectedError type);
+
+/// Bookkeeping for one injected error; generators retain the clean value so
+/// detection and correction can be scored exactly.
+struct ErrorLogEntry {
+  InjectedError type;
+  int rel = -1;
+  int64_t tid = -1;   // corrupted tuple
+  int attr = -1;      // corrupted attribute (-1 for duplicates)
+  int64_t tid2 = -1;  // duplicates: the original tuple; stale: the current
+                      // version's tuple
+  Value clean_value;  // the value the cell should hold
+};
+
+struct GeneratorOptions {
+  /// Base entities per primary table (the generated DB is a few times
+  /// larger with duplicates and dependent tables).
+  size_t rows = 400;
+  /// Fraction of tuples receiving each applicable error channel.
+  double error_rate = 0.08;
+  uint64_t seed = 20240609;
+};
+
+/// A generated application dataset: database (+ optional knowledge graph),
+/// the exact injected-error log, the tids of untouched ("clean") tuples
+/// usable as initial ground truth Γ, and the application's curated rule
+/// set in rule-language text (one rule per line; parse with ParseRules).
+struct GeneratedData {
+  Database db;
+  kg::KnowledgeGraph graph;
+  std::vector<ErrorLogEntry> errors;
+  std::vector<std::pair<int, int64_t>> clean_tuples;
+  std::string rule_text;
+};
+
+/// Bank application (paper §6): Customer / Company / Payment relations.
+/// Tasks: CNC (customer-name cleaning: typo'd duplicates), CIC (company
+/// info conflicts via city→reg_code), TPA (total payment amounts:
+/// total = amount + fee + tax, corrupted and nulled), ESClean (all).
+GeneratedData MakeBankData(const GeneratorOptions& options);
+
+/// Logistics application: one Shipment relation, consistent but
+/// incomplete (many nulls), plus a postal knowledge graph. Tasks:
+/// RS (recipient street), RR (residential area), SN (seller names),
+/// RClean (all).
+GeneratedData MakeLogisticsData(const GeneratorOptions& options);
+
+/// Sales application: Product / Order relations with many numeric
+/// attributes. Tasks: CIN (customer info), CCN (company/brand names),
+/// TPWT (tax-free price: price_no_tax = price / (1 + tax_rate)),
+/// SClean (all).
+GeneratedData MakeSalesData(const GeneratorOptions& options);
+
+/// Dispatches by application name ("Bank" / "Logistics" / "Sales").
+GeneratedData MakeAppData(const std::string& app,
+                          const GeneratorOptions& options);
+
+// ---- Shared corruption helpers (exposed for tests) ----
+
+/// Introduces 1-2 character typos (swap/drop/duplicate) into `text`.
+std::string InjectTypo(const std::string& text, Rng* rng);
+
+/// A synthetic person/company name from pools, keyed by entity index so
+/// repeated calls for one entity agree.
+std::string SyntheticName(size_t entity, bool company);
+
+}  // namespace rock::workload
+
+#endif  // ROCK_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,208 @@
+#include "src/workload/scoring.h"
+
+#include <algorithm>
+
+namespace rock::workload {
+namespace {
+
+/// Maps a raw EID to its true entity: identity except for duplicate clones,
+/// whose true entity is the original tuple's.
+std::map<int64_t, int64_t> TrueEntityMap(const GeneratedData& data) {
+  std::map<int64_t, int64_t> out;
+  for (const ErrorLogEntry& entry : data.errors) {
+    if (entry.type != InjectedError::kDuplicate) continue;
+    const Relation& relation = data.db.relation(entry.rel);
+    int clone_row = relation.RowOfTid(entry.tid);
+    int orig_row = relation.RowOfTid(entry.tid2);
+    if (clone_row < 0 || orig_row < 0) continue;
+    out[relation.tuple(static_cast<size_t>(clone_row)).eid] =
+        relation.tuple(static_cast<size_t>(orig_row)).eid;
+  }
+  return out;
+}
+
+int64_t TrueEntity(const std::map<int64_t, int64_t>& map, int64_t eid) {
+  auto it = map.find(eid);
+  return it == map.end() ? eid : it->second;
+}
+
+}  // namespace
+
+std::set<std::pair<int, int64_t>> TruthTuples(
+    const GeneratedData& data, std::optional<InjectedError> only) {
+  std::set<std::pair<int, int64_t>> out;
+  for (const ErrorLogEntry& entry : data.errors) {
+    if (only.has_value() && entry.type != *only) continue;
+    out.emplace(entry.rel, entry.tid);
+    // Duplicates and stale versions implicate their partner tuple too: a
+    // detector legitimately flags the pair.
+    if ((entry.type == InjectedError::kDuplicate ||
+         entry.type == InjectedError::kStale) &&
+        entry.tid2 >= 0) {
+      out.emplace(entry.rel, entry.tid2);
+    }
+  }
+  return out;
+}
+
+Prf ScoreDetection(const GeneratedData& data,
+                   const std::set<std::pair<int, int64_t>>& flagged,
+                   std::optional<InjectedError> only) {
+  std::set<std::pair<int, int64_t>> truth = TruthTuples(data, only);
+  // All truth tuples (any type) for precision accounting: flagging a tuple
+  // with some other injected error is not a false positive of this task.
+  std::set<std::pair<int, int64_t>> any_truth = TruthTuples(data);
+  Prf prf;
+  for (const auto& tuple : flagged) {
+    if (truth.count(tuple)) {
+      ++prf.true_positives;
+    } else if (any_truth.count(tuple) == 0) {
+      ++prf.false_positives;
+    }
+  }
+  for (const auto& tuple : truth) {
+    if (flagged.count(tuple) == 0) ++prf.false_negatives;
+  }
+  return prf;
+}
+
+Prf ScoreDetectionTask(const GeneratedData& data,
+                       const std::set<std::pair<int, int64_t>>& flagged,
+                       const TaskFilter& task) {
+  std::set<std::pair<int, int64_t>> truth;
+  for (const ErrorLogEntry& entry : data.errors) {
+    if (!task.Matches(entry)) continue;
+    truth.emplace(entry.rel, entry.tid);
+    if ((entry.type == InjectedError::kDuplicate ||
+         entry.type == InjectedError::kStale) &&
+        entry.tid2 >= 0) {
+      truth.emplace(entry.rel, entry.tid2);
+    }
+  }
+  std::set<std::pair<int, int64_t>> any_truth = TruthTuples(data);
+  Prf prf;
+  for (const auto& tuple : flagged) {
+    if (!task.rels.empty() && task.rels.count(tuple.first) == 0) continue;
+    if (truth.count(tuple)) {
+      ++prf.true_positives;
+    } else if (any_truth.count(tuple) == 0) {
+      ++prf.false_positives;
+    }
+  }
+  for (const auto& tuple : truth) {
+    if (flagged.count(tuple) == 0) ++prf.false_negatives;
+  }
+  return prf;
+}
+
+CorrectionScore ScoreCorrection(const GeneratedData& data,
+                                const chase::ChaseEngine& engine) {
+  CorrectionScore score;
+  std::map<int64_t, int64_t> true_entities = TrueEntityMap(data);
+  const chase::FixStore& fixes = engine.fix_store();
+
+  // Index value-error log entries by cell. A stale version's cell counts
+  // as correctable too: overwriting the obsolete value with the current
+  // one is TD's "fix" (deduce the latest value).
+  std::map<std::tuple<int, int64_t, int>, const ErrorLogEntry*> cell_truth;
+  for (const ErrorLogEntry& entry : data.errors) {
+    if (entry.type == InjectedError::kConflict ||
+        entry.type == InjectedError::kNull ||
+        entry.type == InjectedError::kStale) {
+      cell_truth[{entry.rel, entry.tid, entry.attr}] = &entry;
+    }
+  }
+
+  // Precision side 1: cell fixes.
+  std::set<std::tuple<int, int64_t, int>> corrected_cells;
+  for (const chase::CellFix& fix : engine.CellFixes()) {
+    auto it = cell_truth.find({fix.rel, fix.tid, fix.attr});
+    bool correct =
+        it != cell_truth.end() && fix.new_value == it->second->clean_value;
+    if (correct) {
+      corrected_cells.insert({fix.rel, fix.tid, fix.attr});
+      ++score.overall.true_positives;
+      ++score.by_type[it->second->type].true_positives;
+    } else {
+      ++score.overall.false_positives;
+      if (it != cell_truth.end()) {
+        ++score.by_type[it->second->type].false_positives;
+      } else {
+        // A change to a cell with no injected error: attribute it to the
+        // conflict channel (an unwarranted repair).
+        ++score.by_type[InjectedError::kConflict].false_positives;
+      }
+    }
+  }
+
+  // Precision side 2: EID merges.
+  for (const chase::FixRecord& record : fixes.fixes()) {
+    if (record.kind != chase::FixRecord::Kind::kMergeEid) continue;
+    if (record.rule_id == "Γ") continue;
+    if (record.eid_a < 0 || record.eid_b < 0) continue;
+    bool correct = TrueEntity(true_entities, record.eid_a) ==
+                   TrueEntity(true_entities, record.eid_b);
+    if (correct) {
+      ++score.overall.true_positives;
+      ++score.by_type[InjectedError::kDuplicate].true_positives;
+    } else {
+      ++score.overall.false_positives;
+      ++score.by_type[InjectedError::kDuplicate].false_positives;
+    }
+  }
+
+  // Recall over the log.
+  for (const ErrorLogEntry& entry : data.errors) {
+    switch (entry.type) {
+      case InjectedError::kDuplicate: {
+        const Relation& relation = data.db.relation(entry.rel);
+        int clone_row = relation.RowOfTid(entry.tid);
+        int orig_row = relation.RowOfTid(entry.tid2);
+        bool merged =
+            clone_row >= 0 && orig_row >= 0 &&
+            fixes.eids().Find(
+                relation.tuple(static_cast<size_t>(clone_row)).eid) ==
+                fixes.eids().Find(
+                    relation.tuple(static_cast<size_t>(orig_row)).eid);
+        if (!merged) {
+          ++score.overall.false_negatives;
+          ++score.by_type[InjectedError::kDuplicate].false_negatives;
+        }
+        break;
+      }
+      case InjectedError::kConflict:
+      case InjectedError::kNull: {
+        if (corrected_cells.count({entry.rel, entry.tid, entry.attr}) == 0) {
+          ++score.overall.false_negatives;
+          ++score.by_type[entry.type].false_negatives;
+        }
+        break;
+      }
+      case InjectedError::kStale: {
+        if (corrected_cells.count({entry.rel, entry.tid, entry.attr}) > 0) {
+          break;  // corrected by overwriting the obsolete cell
+        }
+        auto holds = fixes.Holds(entry.rel, entry.attr, entry.tid,
+                                 entry.tid2, /*strict=*/false);
+        if (holds == std::optional<bool>(true)) {
+          ++score.overall.true_positives;
+          ++score.by_type[InjectedError::kStale].true_positives;
+        } else {
+          auto reversed = fixes.Holds(entry.rel, entry.attr, entry.tid2,
+                                      entry.tid, /*strict=*/false);
+          if (reversed == std::optional<bool>(true)) {
+            // Actively wrong ordering.
+            ++score.overall.false_positives;
+            ++score.by_type[InjectedError::kStale].false_positives;
+          }
+          ++score.overall.false_negatives;
+          ++score.by_type[InjectedError::kStale].false_negatives;
+        }
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace rock::workload

@@ -1,0 +1,84 @@
+#ifndef ROCK_WORKLOAD_SCORING_H_
+#define ROCK_WORKLOAD_SCORING_H_
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/chase/chase.h"
+#include "src/workload/generator.h"
+
+namespace rock::workload {
+
+/// Precision / recall / F-measure with the underlying counts, as used
+/// throughout the paper's evaluation (§6).
+struct Prf {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  double precision() const {
+    size_t denom = true_positives + false_positives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double recall() const {
+    size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double f1() const {
+    double p = precision(), r = recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+};
+
+/// Scores error detection at tuple granularity (the paper manually checks
+/// tuples): a flagged tuple is a true positive iff it carries an injected
+/// error. `only` restricts the truth set to one error type (per-task F1).
+Prf ScoreDetection(const GeneratedData& data,
+                   const std::set<std::pair<int, int64_t>>& flagged,
+                   std::optional<InjectedError> only = std::nullopt);
+
+/// Correction scoring against the injected-error log:
+///  - duplicates: corrected iff the clone and original share a canonical
+///    EID after the chase;
+///  - conflicts / nulls: corrected iff the repaired cell equals the clean
+///    value;
+///  - stale: corrected iff the fix store orders the stale version at or
+///    below the current one on the corrupted attribute.
+/// Precision counts the chase's changes (cell fixes, merges, temporal
+/// pairs) that match the log; recall counts log entries recovered.
+struct CorrectionScore {
+  Prf overall;
+  std::map<InjectedError, Prf> by_type;
+};
+
+CorrectionScore ScoreCorrection(const GeneratedData& data,
+                                const chase::ChaseEngine& engine);
+
+/// Truth tuples (any injected error), optionally restricted by type.
+std::set<std::pair<int, int64_t>> TruthTuples(
+    const GeneratedData& data,
+    std::optional<InjectedError> only = std::nullopt);
+
+/// Per-task detection scoring (paper Fig 4(d)-(f)): a task is a filter over
+/// the error log (error types + relations); flagged tuples outside the
+/// task's relations are ignored.
+struct TaskFilter {
+  std::string name;
+  /// Empty = every type / relation.
+  std::set<InjectedError> types;
+  std::set<int> rels;
+
+  bool Matches(const ErrorLogEntry& entry) const {
+    return (types.empty() || types.count(entry.type) > 0) &&
+           (rels.empty() || rels.count(entry.rel) > 0);
+  }
+};
+
+Prf ScoreDetectionTask(const GeneratedData& data,
+                       const std::set<std::pair<int, int64_t>>& flagged,
+                       const TaskFilter& task);
+
+}  // namespace rock::workload
+
+#endif  // ROCK_WORKLOAD_SCORING_H_

@@ -1,0 +1,248 @@
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/csv.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace rock {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing rule");
+}
+
+TEST(StatusTest, ConflictCodeExists) {
+  Status s = Status::Conflict("t1 < t2 and t2 < t1");
+  EXPECT_EQ(s.code(), StatusCode::kConflict);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MovableValue) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingle) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, ToLowerAndAffixes) {
+  EXPECT_EQ(ToLower("IPhone 14"), "iphone 14");
+  EXPECT_TRUE(StartsWith("transaction", "trans"));
+  EXPECT_FALSE(StartsWith("tr", "trans"));
+  EXPECT_TRUE(EndsWith("store.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(StringsTest, TokenizeLowersAndSplitsOnPunct) {
+  auto toks = Tokenize("IPhone 14 (Discount ID 41)");
+  std::vector<std::string> expected = {"iphone", "14", "discount", "id", "41"};
+  EXPECT_EQ(toks, expected);
+}
+
+TEST(StringsTest, EditDistanceBasics) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("", "xyz"), 3);
+}
+
+TEST(StringsTest, EditSimilarityRange) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_GT(EditSimilarity("smith", "smyth"), 0.7);
+  EXPECT_LT(EditSimilarity("abc", "xyz"), 0.01);
+}
+
+TEST(StringsTest, JaroWinklerFavorsSharedPrefix) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("martha", "martha"), 1.0);
+  double jw1 = JaroWinkler("martha", "marhta");
+  EXPECT_GT(jw1, 0.94);
+  // Different strings entirely.
+  EXPECT_LT(JaroWinkler("abc", "xyz"), 0.1);
+  // Prefix boost: marth~ closer than ~artha rearrangements.
+  EXPECT_GT(JaroWinkler("prefixed", "prefixes"),
+            JaroWinkler("prefixed", "refixedp"));
+}
+
+TEST(StringsTest, TokenJaccard) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+  EXPECT_NEAR(TokenJaccard("apple store", "apple shop"), 1.0 / 3.0, 1e-9);
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(HashTest, Crc32KnownVector) {
+  // Standard test vector for CRC-32/IEEE.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(HashTest, Hash64Disperses) {
+  std::unordered_set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(Hash64("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashTest, MixHashChangesValue) {
+  EXPECT_NE(MixHash64(1), MixHash64(2));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeight) {
+  Rng rng(13);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto table = CsvTable::Parse("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][1], "4");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto table = CsvTable::Parse("name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "Smith, John");
+  EXPECT_EQ(table->rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = CsvTable::Parse("a,b\n1\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto table = CsvTable::Parse("a\n\"oops\n");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, RoundTrips) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"1", "a,b"}, {"2", "line\nbreak"}};
+  auto parsed = CsvTable::Parse(t.ToCsv());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, t.rows);
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto table = CsvTable::ReadFile("/nonexistent/file.csv");
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rock

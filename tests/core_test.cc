@@ -1,0 +1,202 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/workload/generator.h"
+#include "src/workload/scoring.h"
+
+namespace rock::core {
+namespace {
+
+using workload::GeneratedData;
+using workload::GeneratorOptions;
+using workload::InjectedError;
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions options;
+  options.rows = 150;
+  options.error_rate = 0.08;
+  options.seed = 17;
+  return options;
+}
+
+ModelTrainingSpec BankSpec() {
+  ModelTrainingSpec spec;
+  spec.rank_targets = {{"Customer", "city"}};
+  spec.monotone_attrs = {{"Customer", "points"}};
+  spec.path_synonyms = {{"area", {"AreaOf"}}};
+  return spec;
+}
+
+class CoreBankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = workload::MakeBankData(SmallOptions());
+  }
+  GeneratedData data_;
+};
+
+TEST_F(CoreBankTest, GeneratorProducesErrorsAndCleanTuples) {
+  EXPECT_GT(data_.errors.size(), 10u);
+  EXPECT_GT(data_.clean_tuples.size(), 100u);
+  // All four channels present.
+  std::set<InjectedError> kinds;
+  for (const auto& e : data_.errors) kinds.insert(e.type);
+  EXPECT_EQ(kinds.size(), 4u);
+}
+
+TEST_F(CoreBankTest, CuratedRulesParse) {
+  Rock rock(&data_.db, &data_.graph);
+  auto rules = rock.LoadRules(data_.rule_text);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_GE(rules->size(), 5u);
+}
+
+TEST_F(CoreBankTest, NoMlVariantStripsMlRules) {
+  RockOptions options;
+  options.variant = Variant::kNoMl;
+  Rock rock(&data_.db, &data_.graph, options);
+  auto rules = rock.LoadRules(data_.rule_text);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_FALSE(rule.UsesMl());
+  }
+}
+
+TEST_F(CoreBankTest, DetectionFindsMostInjectedErrors) {
+  Rock rock(&data_.db, &data_.graph);
+  rock.TrainModels(BankSpec());
+  rock.DiscoverPolynomials();
+  auto rules = rock.LoadRules(data_.rule_text);
+  ASSERT_TRUE(rules.ok());
+  auto report = rock.DetectErrors(*rules);
+  EXPECT_GT(report.violations, 0u);
+  workload::Prf prf = workload::ScoreDetection(data_, report.DirtyTuples());
+  EXPECT_GT(prf.f1(), 0.5) << "P=" << prf.precision()
+                           << " R=" << prf.recall();
+}
+
+TEST_F(CoreBankTest, PolynomialDiscoveryFindsTotal) {
+  Rock rock(&data_.db, &data_.graph);
+  auto polys = rock.DiscoverPolynomials();
+  // Payment.total = amount + fee + tax must be discovered.
+  bool found_total = false;
+  for (const auto& poly : polys) {
+    if (poly.rel == 2 && poly.expr.target_attr == 5) {
+      found_total = true;
+      EXPECT_GT(poly.expr.r_squared, 0.99);
+    }
+  }
+  EXPECT_TRUE(found_total);
+}
+
+TEST_F(CoreBankTest, CorrectionRecoversErrors) {
+  Rock rock(&data_.db, &data_.graph);
+  rock.TrainModels(BankSpec());
+  rock.DiscoverPolynomials();
+  auto rules = rock.LoadRules(data_.rule_text);
+  ASSERT_TRUE(rules.ok());
+
+  CorrectionResult result;
+  auto engine = rock.CorrectErrors(*rules, data_.clean_tuples, &result);
+  EXPECT_TRUE(result.chase.converged);
+  auto score = workload::ScoreCorrection(data_, *engine);
+  EXPECT_GT(score.overall.f1(), 0.6)
+      << "P=" << score.overall.precision()
+      << " R=" << score.overall.recall()
+      << " TP=" << score.overall.true_positives
+      << " FP=" << score.overall.false_positives
+      << " FN=" << score.overall.false_negatives;
+}
+
+TEST_F(CoreBankTest, VariantsOrderAsInPaper) {
+  // F1(Rock) >= F1(Rock_noML) and F1(Rock) > F1(Rock_noC) (paper §6
+  // ablations: ML predicates and task interaction both help).
+  auto run = [this](Variant variant) {
+    GeneratedData data = workload::MakeBankData(SmallOptions());
+    RockOptions options;
+    options.variant = variant;
+    Rock rock(&data.db, &data.graph, options);
+    rock.TrainModels(BankSpec());
+    rock.DiscoverPolynomials();
+    auto rules = rock.LoadRules(data.rule_text);
+    EXPECT_TRUE(rules.ok());
+    CorrectionResult result;
+    auto engine = rock.CorrectErrors(*rules, data.clean_tuples, &result);
+    return workload::ScoreCorrection(data, *engine).overall.f1();
+  };
+  double rock_f1 = run(Variant::kRock);
+  double noml_f1 = run(Variant::kNoMl);
+  double noc_f1 = run(Variant::kNoChase);
+  double seq_f1 = run(Variant::kSequential);
+  EXPECT_GE(rock_f1 + 1e-9, noml_f1);
+  EXPECT_GT(rock_f1, noc_f1);
+  EXPECT_NEAR(rock_f1, seq_f1, 0.05);  // same fixpoint, same accuracy
+}
+
+TEST(CoreLogisticsTest, ImputationViaGraphWorks) {
+  auto data = workload::MakeLogisticsData(SmallOptions());
+  Rock rock(&data.db, &data.graph);
+  ModelTrainingSpec spec;
+  spec.path_synonyms = {{"area", {"AreaOf"}}, {"city", {"CityOf"}}};
+  rock.TrainModels(spec);
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  CorrectionResult result;
+  auto engine = rock.CorrectErrors(*rules, data.clean_tuples, &result);
+  auto score = workload::ScoreCorrection(data, *engine);
+  // Nulls dominate logistics errors; most must be recovered.
+  auto it = score.by_type.find(InjectedError::kNull);
+  ASSERT_NE(it, score.by_type.end());
+  EXPECT_GT(it->second.recall(), 0.6)
+      << "TP=" << it->second.true_positives
+      << " FN=" << it->second.false_negatives;
+}
+
+TEST(CoreSalesTest, EndToEndPerTaskScores) {
+  auto data = workload::MakeSalesData(SmallOptions());
+  Rock rock(&data.db, &data.graph);
+  ModelTrainingSpec spec;
+  spec.rank_targets = {{"Client", "discount"}};
+  spec.monotone_attrs = {{"Client", "lifetime_value"}};
+  rock.TrainModels(spec);
+  rock.DiscoverPolynomials();
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  CorrectionResult result;
+  auto engine = rock.CorrectErrors(*rules, data.clean_tuples, &result);
+  auto score = workload::ScoreCorrection(data, *engine);
+  EXPECT_GT(score.overall.f1(), 0.5)
+      << "P=" << score.overall.precision() << " R=" << score.overall.recall();
+  // TD must be exercised: stale versions ordered below current.
+  auto stale = score.by_type.find(InjectedError::kStale);
+  ASSERT_NE(stale, score.by_type.end());
+  EXPECT_GT(stale->second.recall(), 0.5)
+      << "TP=" << stale->second.true_positives
+      << " FN=" << stale->second.false_negatives;
+}
+
+TEST(CoreDiscoveryTest, MinerRecoversCuratedDependencies) {
+  GeneratorOptions options = SmallOptions();
+  options.rows = 120;
+  auto data = workload::MakeLogisticsData(options);
+  Rock rock(&data.db, &data.graph);
+  discovery::PredicateSpaceOptions space;
+  space.max_constants_per_attr = 0;
+  auto mined = rock.DiscoverRules(space);
+  // zip -> area (or street/city) must be among the mined rules.
+  bool found = false;
+  for (const auto& rule : mined) {
+    std::string text = rule.rule.ToString(data.db.schema());
+    if (text.find("t0.zip = t1.zip") != std::string::npos &&
+        text.find("-> t0.area = t1.area") != std::string::npos) {
+      found = true;
+      EXPECT_GT(rule.confidence, 0.85);
+    }
+  }
+  EXPECT_TRUE(found) << "mined " << mined.size() << " rules";
+}
+
+}  // namespace
+}  // namespace rock::core

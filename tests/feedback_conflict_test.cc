@@ -1,0 +1,166 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/chase/chase.h"
+#include "src/discovery/feedback.h"
+#include "src/rules/parser.h"
+#include "src/workload/generator.h"
+#include "src/workload/scoring.h"
+
+namespace rock {
+namespace {
+
+// ---------- User conflict queue (§4.2 (1)) ----------
+
+class UserQueueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two shipments with the same seller_id but conflicting names, and no
+    // ground truth: only a user can settle which name is right.
+    DatabaseSchema schema;
+    ASSERT_TRUE(schema
+                    .AddRelation(Schema("S",
+                                        {{"seller_id", ValueType::kString},
+                                         {"seller_name",
+                                          ValueType::kString}}))
+                    .ok());
+    db_ = Database(std::move(schema));
+    Tuple a;
+    a.values = {Value::String("sel1"), Value::String("Acme Ltd")};
+    ASSERT_TRUE(db_.Insert(0, a).ok());
+    Tuple b;
+    b.values = {Value::String("sel1"), Value::String("Acme Ltd.")};
+    ASSERT_TRUE(db_.Insert(0, b).ok());
+    auto rule = rules::ParseRee(
+        "S(t0) ^ S(t1) ^ t0.seller_id = t1.seller_id -> "
+        "t0.seller_name = t1.seller_name",
+        db_.schema());
+    ASSERT_TRUE(rule.ok());
+    rule_ = *rule;
+    rule_.id = "sn";
+  }
+
+  Database db_;
+  rules::Ree rule_;
+  ml::MlLibrary models_;
+};
+
+TEST_F(UserQueueTest, WithoutResolverConflictIsQueued) {
+  chase::ChaseEngine engine(&db_, nullptr, &models_);
+  chase::ChaseResult result = engine.Run({rule_});
+  ASSERT_FALSE(result.conflicts.empty());
+  EXPECT_EQ(result.conflicts[0].resolution, "user_queue");
+  // No fix was forced.
+  EXPECT_TRUE(engine.CellFixes().empty());
+}
+
+TEST_F(UserQueueTest, ResolverSettlesTheConflict) {
+  chase::ChaseOptions options;
+  int consultations = 0;
+  options.user_resolver = [&](const chase::ConflictRecord& record,
+                              const Value& a, const Value& b)
+      -> std::optional<Value> {
+    ++consultations;
+    EXPECT_EQ(record.rule_id, "sn");
+    // The user prefers the dotted form.
+    return a.ToString().back() == '.' ? a : b;
+  };
+  chase::ChaseEngine engine(&db_, nullptr, &models_, options);
+  chase::ChaseResult result = engine.Run({rule_});
+  EXPECT_GT(consultations, 0);
+  // Both tuples end with the chosen value.
+  Database repaired = engine.MaterializeRepairs();
+  EXPECT_EQ(repaired.relation(0).tuple(0).value(1).AsString(), "Acme Ltd.");
+  EXPECT_EQ(repaired.relation(0).tuple(1).value(1).AsString(), "Acme Ltd.");
+  // The conflict record documents the decision.
+  bool resolved = false;
+  for (const auto& conflict : result.conflicts) {
+    if (conflict.resolution.rfind("user_resolved:", 0) == 0) resolved = true;
+  }
+  EXPECT_TRUE(resolved);
+}
+
+TEST_F(UserQueueTest, ResolverMayDecline) {
+  chase::ChaseOptions options;
+  options.user_resolver = [](const chase::ConflictRecord&, const Value&,
+                             const Value&) -> std::optional<Value> {
+    return std::nullopt;  // "come back later"
+  };
+  chase::ChaseEngine engine(&db_, nullptr, &models_, options);
+  engine.Run({rule_});
+  EXPECT_TRUE(engine.CellFixes().empty());
+}
+
+// ---------- Prior-knowledge learning (§5.2 / §5.4) ----------
+
+TEST(PriorKnowledgeTest, OracleFeedbackReordersRules) {
+  workload::GeneratorOptions options;
+  options.rows = 80;
+  options.seed = 3;
+  auto data = workload::MakeLogisticsData(options);
+  rules::EvalContext ctx;
+  ctx.db = &data.db;
+  rules::Evaluator eval(ctx);
+  discovery::PredicateSpaceOptions space_options;
+  space_options.max_constants_per_attr = 0;
+  auto space = discovery::BuildPairSpace(data.db, 0, space_options);
+  discovery::RuleMiner miner;
+  auto mined = miner.Mine(eval, space);
+  ASSERT_GT(mined.size(), 3u);
+
+  // Simulated user: only rules whose consequence touches seller_name are
+  // useful for the SN task.
+  int seller_name = data.db.schema().relation(0).AttributeIndex(
+      "seller_name");
+  discovery::PriorKnowledgeSession session(ctx);
+  auto oracle = [&](const rules::Ree& rule,
+                    const std::vector<std::pair<int, int64_t>>& flagged) {
+    (void)flagged;
+    return rule.consequence.kind == rules::PredicateKind::kAttrCompare &&
+           rule.consequence.attr == seller_name;
+  };
+  session.Run(mined, oracle, /*rounds=*/3);
+  EXPECT_GT(session.rules_labeled(), 8u);
+  EXPECT_TRUE(session.scorer().trained());
+
+  // The learned preference now ranks an SN rule above a non-SN rule of
+  // comparable statistics.
+  auto top = discovery::SelectTopK(mined, 3, session.scorer(), false);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].rule.consequence.attr, seller_name)
+      << top[0].rule.ToString(data.db.schema());
+}
+
+TEST(PriorKnowledgeTest, FlaggedSamplesReachTheOracle) {
+  workload::GeneratorOptions options;
+  options.rows = 60;
+  options.seed = 4;
+  auto data = workload::MakeLogisticsData(options);
+  rules::EvalContext ctx;
+  ctx.db = &data.db;
+  rules::Evaluator eval(ctx);
+  discovery::PredicateSpaceOptions space_options;
+  space_options.max_constants_per_attr = 0;
+  auto space = discovery::BuildPairSpace(data.db, 0, space_options);
+  discovery::RuleMiner miner;
+  auto mined = miner.Mine(eval, space);
+  ASSERT_FALSE(mined.empty());
+
+  size_t total_flagged = 0;
+  discovery::PriorKnowledgeSession session(ctx);
+  session.Run(
+      mined,
+      [&](const rules::Ree&,
+          const std::vector<std::pair<int, int64_t>>& flagged) {
+        total_flagged += flagged.size();
+        return true;
+      },
+      /*rounds=*/1);
+  // At least one shown rule flags something in the sample (the generator
+  // injects errors into the first rows too).
+  EXPECT_GT(total_flagged, 0u);
+}
+
+}  // namespace
+}  // namespace rock

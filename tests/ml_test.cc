@@ -1,0 +1,416 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ml/correlation.h"
+#include "src/ml/feature.h"
+#include "src/ml/her.h"
+#include "src/ml/library.h"
+#include "src/ml/linear.h"
+#include "src/ml/lsh.h"
+#include "src/ml/ranking.h"
+#include "src/ml/tree.h"
+#include "src/workload/ecommerce.h"
+
+namespace rock::ml {
+namespace {
+
+// ---------- Features ----------
+
+TEST(PairFeaturizerTest, LayoutAndExactMatch) {
+  PairFeaturizer featurizer(2);
+  EXPECT_EQ(featurizer.dimension(), 12);
+  std::vector<Value> a = {Value::String("apple"), Value::Int(5)};
+  std::vector<Value> b = {Value::String("apple"), Value::Int(10)};
+  FeatureVector f = featurizer.Extract(a, b);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // exact match on attr 0
+  EXPECT_DOUBLE_EQ(f[6], 0.0);  // not exact on attr 1
+  EXPECT_GT(f[11], 0.0);        // numeric closeness populated
+}
+
+TEST(PairFeaturizerTest, NullHandling) {
+  PairFeaturizer featurizer(1);
+  FeatureVector both_null =
+      featurizer.Extract({Value::Null()}, {Value::Null()});
+  EXPECT_DOUBLE_EQ(both_null[1], 1.0);
+  FeatureVector one_null =
+      featurizer.Extract({Value::String("x")}, {Value::Null()});
+  for (double v : one_null) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(HashedTextFeaturizerTest, SimilarTextsShareBuckets) {
+  HashedTextFeaturizer featurizer(128);
+  FeatureVector a = featurizer.ExtractNormalized("Beijing West Road");
+  FeatureVector b = featurizer.ExtractNormalized("Beijing West Rd");
+  FeatureVector c = featurizer.ExtractNormalized("quantum flux");
+  EXPECT_GT(Cosine(a, b), Cosine(a, c));
+  EXPECT_NEAR(Dot(a, a), 1.0, 1e-9);  // normalized
+}
+
+TEST(FeatureMathTest, CosineEdgeCases) {
+  EXPECT_DOUBLE_EQ(Cosine({0, 0}, {1, 1}), 0.0);
+  EXPECT_NEAR(Cosine({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(Cosine({1, 0}, {0, 1}), 0.0, 1e-12);
+}
+
+// ---------- Logistic regression ----------
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  Rng rng(3);
+  std::vector<FeatureVector> x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.NextDouble() * 2 - 1;
+    double b = rng.NextDouble() * 2 - 1;
+    x.push_back({a, b});
+    y.push_back(a + b > 0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  model.Train(x, y);
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    correct += model.Predict(x[i]) == (y[i] == 1);
+  }
+  EXPECT_GT(correct, 380);
+}
+
+TEST(LogisticRegressionTest, UntrainedScoresHalf) {
+  LogisticRegression model;
+  EXPECT_FALSE(model.trained());
+  EXPECT_DOUBLE_EQ(model.Score({1.0, 2.0}), 0.5);
+}
+
+// ---------- LASSO ----------
+
+TEST(LassoTest, RecoversSparseLinearModel) {
+  Rng rng(7);
+  std::vector<FeatureVector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    FeatureVector row = {rng.NextDouble(), rng.NextDouble(),
+                         rng.NextDouble(), rng.NextDouble()};
+    x.push_back(row);
+    y.push_back(3.0 * row[1] - 2.0 * row[3] + 0.5);
+  }
+  Lasso::Options options;
+  options.lambda = 0.001;
+  Lasso lasso(options);
+  lasso.Train(x, y);
+  EXPECT_NEAR(lasso.weights()[1], 3.0, 0.1);
+  EXPECT_NEAR(lasso.weights()[3], -2.0, 0.1);
+  EXPECT_NEAR(lasso.bias(), 0.5, 0.1);
+  // Irrelevant features shrink to (near) zero.
+  EXPECT_LT(std::abs(lasso.weights()[0]), 0.05);
+  EXPECT_LT(std::abs(lasso.weights()[2]), 0.05);
+}
+
+TEST(LassoTest, StrongPenaltyZeroesEverything) {
+  std::vector<FeatureVector> x = {{1}, {2}, {3}, {4}};
+  std::vector<double> y = {1, 2, 3, 4};
+  Lasso::Options options;
+  options.lambda = 100.0;
+  Lasso lasso(options);
+  lasso.Train(x, y);
+  EXPECT_TRUE(lasso.SelectedFeatures().empty());
+  // Prediction collapses to the mean.
+  EXPECT_NEAR(lasso.Predict({2.5}), 2.5, 1e-6);
+}
+
+// ---------- Trees ----------
+
+TEST(DecisionTreeTest, FitsStepFunction) {
+  std::vector<FeatureVector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 50 ? 1.0 : 5.0);
+  }
+  DecisionTree tree;
+  tree.Train(x, y);
+  EXPECT_NEAR(tree.Predict({10}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({90}), 5.0, 1e-9);
+  EXPECT_GT(tree.feature_gain()[0], 0.0);
+}
+
+TEST(GbdtTest, LearnsAdditiveFunction) {
+  Rng rng(13);
+  std::vector<FeatureVector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double a = rng.NextDouble() * 10;
+    double b = rng.NextDouble() * 10;
+    x.push_back({a, b});
+    y.push_back(2 * a + 7 * b);
+  }
+  GradientBoostedTrees gbt;
+  gbt.Train(x, y);
+  double err = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    err += std::abs(gbt.Predict(x[i]) - y[i]);
+  }
+  EXPECT_LT(err / static_cast<double>(x.size()), 6.0);
+  // b contributes more variance, so it should dominate importance.
+  auto importance = gbt.FeatureImportance();
+  EXPECT_GT(importance[1], importance[0]);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(GbdtTest, UntrainedPredictsZero) {
+  GradientBoostedTrees gbt;
+  EXPECT_FALSE(gbt.trained());
+  EXPECT_DOUBLE_EQ(gbt.Predict({1, 2}), 0.0);
+}
+
+// ---------- MinHash / LSH ----------
+
+TEST(MinHashTest, SimilarityTracksJaccard) {
+  MinHash minhash(128);
+  std::vector<std::string> a = {"a", "b", "c", "d"};
+  std::vector<std::string> b = {"a", "b", "c", "e"};   // jaccard 0.6
+  std::vector<std::string> c = {"x", "y", "z", "w"};   // jaccard 0
+  auto sa = minhash.Signature(a);
+  auto sb = minhash.Signature(b);
+  auto sc = minhash.Signature(c);
+  EXPECT_NEAR(MinHash::Similarity(sa, sb), 0.6, 0.15);
+  EXPECT_LT(MinHash::Similarity(sa, sc), 0.1);
+  EXPECT_DOUBLE_EQ(MinHash::Similarity(sa, sa), 1.0);
+}
+
+TEST(LshBlockerTest, NearDuplicatesBecomeCandidates) {
+  LshBlocker blocker;
+  blocker.Add(1, {"james", "smith", "beijing"});
+  blocker.Add(2, {"james", "smith", "beijin"});
+  blocker.Add(3, {"unrelated", "tokens", "here"});
+  auto candidates = blocker.Candidates({"james", "smith", "beijing"});
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), 1),
+            candidates.end());
+  // The unrelated record should not surface.
+  EXPECT_EQ(std::find(candidates.begin(), candidates.end(), 3),
+            candidates.end());
+}
+
+TEST(LshBlockerTest, CandidatePairsAreOrderedAndDeduped) {
+  LshBlocker blocker;
+  for (int64_t id = 0; id < 6; ++id) {
+    blocker.Add(id, {"shared", "tokens", "block"});
+  }
+  auto pairs = blocker.CandidatePairs();
+  EXPECT_EQ(pairs.size(), 15u);  // C(6,2)
+  for (const auto& [a, b] : pairs) EXPECT_LT(a, b);
+}
+
+TEST(SimHashTest, SimilarVectorsHaveCloseHashes) {
+  HashedTextFeaturizer featurizer(128);
+  uint64_t a = SimHash64(featurizer.Extract("Beijing West Road"));
+  uint64_t b = SimHash64(featurizer.Extract("Beijing West Rd"));
+  uint64_t c = SimHash64(featurizer.Extract("totally different"));
+  EXPECT_LT(__builtin_popcountll(a ^ b), __builtin_popcountll(a ^ c));
+}
+
+// ---------- Pair classifiers + library ----------
+
+TEST(SimilarityClassifierTest, TypoPairsMatchUnrelatedDoNot) {
+  SimilarityClassifier model(0.8);
+  EXPECT_TRUE(model.Predict({Value::String("James Smith 42")},
+                            {Value::String("Jmaes Smith 42")}));
+  EXPECT_FALSE(model.Predict({Value::String("James Smith 42")},
+                             {Value::String("Elena Rossi 7")}));
+}
+
+TEST(LogisticPairClassifierTest, TrainsOnLabeledPairs) {
+  Rng rng(5);
+  std::vector<std::pair<std::vector<Value>, std::vector<Value>>> pairs;
+  std::vector<int> labels;
+  const char* names[] = {"alpha corp", "beta ltd", "gamma inc",
+                         "delta group"};
+  for (int i = 0; i < 200; ++i) {
+    std::string base = names[rng.NextBounded(4)];
+    if (rng.NextBernoulli(0.5)) {
+      std::string variant = base;
+      variant[1 + rng.NextBounded(3)] = 'z';
+      pairs.push_back({{Value::String(base)}, {Value::String(variant)}});
+      labels.push_back(1);
+    } else {
+      pairs.push_back({{Value::String(base)},
+                       {Value::String(names[rng.NextBounded(4)] +
+                                      std::string(" other"))}});
+      labels.push_back(0);
+    }
+  }
+  LogisticPairClassifier model(1);
+  ASSERT_TRUE(model.Train(pairs, labels).ok());
+  EXPECT_TRUE(model.trained());
+  EXPECT_TRUE(model.Predict({Value::String("alpha corp")},
+                            {Value::String("alpha zorp")}));
+  EXPECT_FALSE(model.Predict({Value::String("alpha corp")},
+                             {Value::String("delta group other")}));
+}
+
+TEST(MlLibraryTest, RegistryRoundTrips) {
+  MlLibrary library;
+  EXPECT_EQ(library.FindPair("MER"), nullptr);
+  library.RegisterPair("MER", std::make_shared<SimilarityClassifier>());
+  EXPECT_NE(library.FindPair("MER"), nullptr);
+  EXPECT_EQ(library.FindRanker("Mrank"), nullptr);
+  EXPECT_EQ(library.her(), nullptr);
+  EXPECT_EQ(library.PairModelNames(), std::vector<std::string>{"MER"});
+}
+
+// ---------- Ranking model ----------
+
+Schema VersionSchema() {
+  return Schema("V", {{"status", ValueType::kString},
+                      {"points", ValueType::kDouble}});
+}
+
+Tuple VersionTuple(int64_t eid, const char* status, double points,
+                   int64_t ts = kNoTimestamp) {
+  Tuple t;
+  t.eid = eid;
+  t.values = {Value::String(status), Value::Double(points)};
+  t.timestamps = {ts, kNoTimestamp};
+  return t;
+}
+
+TEST(RankingModelTest, TimestampsDominate) {
+  RankingModel model(VersionSchema(), 0);
+  Tuple older = VersionTuple(1, "standard", 10, 100);
+  Tuple newer = VersionTuple(1, "premium", 20, 200);
+  EXPECT_DOUBLE_EQ(model.Confidence(older, newer, 0, false), 1.0);
+  EXPECT_DOUBLE_EQ(model.Confidence(newer, older, 0, false), 0.0);
+  EXPECT_DOUBLE_EQ(model.Confidence(older, newer, 0, true), 1.0);
+}
+
+TEST(RankingModelTest, CreatorCriticLearnsMonotoneSignal) {
+  // Entities have two versions: the one with more points is newer, and
+  // its status text is "premium" vs "standard". The critic knows the
+  // monotone attribute; the creator generalizes to unstamped pairs.
+  Relation relation(VersionSchema());
+  Rng rng(21);
+  for (int e = 0; e < 60; ++e) {
+    double base = 10 + static_cast<double>(rng.NextBounded(100));
+    ASSERT_TRUE(relation
+                    .Append(VersionTuple(e, "standard", base))
+                    .ok());
+    ASSERT_TRUE(relation
+                    .Append(VersionTuple(e, "premium", base * 2))
+                    .ok());
+  }
+  std::vector<CurrencyConstraint> constraints;
+  constraints.push_back(
+      {"points-monotone",
+       [](const Schema&, const Tuple& t1, const Tuple& t2, int) {
+         if (t1.eid != t2.eid) return 0;
+         int cmp = t1.values[1].Compare(t2.values[1]);
+         return cmp == 0 ? 0 : (cmp < 0 ? 1 : -1);
+       }});
+  RankingModel model(VersionSchema(), 0);
+  model.TrainCreatorCritic(relation, constraints);
+
+  // Unseen pair with no timestamps and an unseen entity: the learned
+  // embedding/numeric signal must still order standard ⪯ premium.
+  Tuple standard = VersionTuple(999, "standard", 40);
+  Tuple premium = VersionTuple(999, "premium", 80);
+  EXPECT_GT(model.Confidence(standard, premium, 0, false), 0.5);
+  EXPECT_LT(model.Confidence(premium, standard, 0, false), 0.5);
+}
+
+TEST(RankingModelTest, StrictOnEqualValuesIsFalse) {
+  RankingModel model(VersionSchema(), 0);
+  Tuple a = VersionTuple(1, "same", 1);
+  Tuple b = VersionTuple(2, "same", 1);
+  EXPECT_DOUBLE_EQ(model.Confidence(a, b, 0, true), 0.0);
+}
+
+// ---------- Correlation models ----------
+
+TEST(CooccurrenceModelTest, StrengthFollowsConditionalFrequency) {
+  Relation relation(Schema("T", {{"com", ValueType::kString},
+                                 {"mfg", ValueType::kString}}));
+  auto add = [&relation](const char* com, const char* mfg) {
+    Tuple t;
+    t.values = {Value::String(com), Value::String(mfg)};
+    ASSERT_TRUE(relation.Append(std::move(t)).ok());
+  };
+  for (int i = 0; i < 9; ++i) add("iphone", "Apple");
+  add("iphone", "Huawei");  // one corrupted pairing
+  CooccurrenceModel model;
+  model.TrainOnRelation(relation);
+
+  std::vector<Value> tuple = {Value::String("iphone"), Value::Null()};
+  double apple = model.Strength(tuple, {0}, 1, Value::String("Apple"));
+  double huawei = model.Strength(tuple, {0}, 1, Value::String("Huawei"));
+  EXPECT_GT(apple, 0.7);
+  EXPECT_GT(apple, huawei * 2);
+}
+
+TEST(CooccurrenceModelTest, PredictValueReturnsDominantPairing) {
+  Relation relation(Schema("T", {{"city", ValueType::kString},
+                                 {"code", ValueType::kString}}));
+  auto add = [&relation](const char* a, const char* b) {
+    Tuple t;
+    t.values = {Value::String(a), Value::String(b)};
+    ASSERT_TRUE(relation.Append(std::move(t)).ok());
+  };
+  for (int i = 0; i < 5; ++i) add("Beijing", "010");
+  for (int i = 0; i < 5; ++i) add("Shanghai", "021");
+  CooccurrenceModel model;
+  model.TrainOnRelation(relation);
+  std::vector<Value> tuple = {Value::String("Beijing"), Value::Null()};
+  auto predicted = model.PredictValue(tuple, {0}, 1);
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ(predicted->AsString(), "010");
+  // No evidence at all -> NotFound.
+  std::vector<Value> unknown = {Value::String("Atlantis"), Value::Null()};
+  EXPECT_FALSE(model.PredictValue(unknown, {0}, 1).ok());
+}
+
+TEST(CooccurrenceModelTest, GraphTrainingAddsCandidates) {
+  kg::KnowledgeGraph graph;
+  auto z = graph.AddVertex("Z10001");
+  auto area = graph.AddVertex("Chaoyang");
+  ASSERT_TRUE(graph.AddEdge(z, "AreaOf", area).ok());
+  CooccurrenceModel model;
+  model.TrainOnGraph(graph, /*subject_attr=*/0, /*object_attr=*/1);
+  std::vector<Value> tuple = {Value::String("Z10001"), Value::Null()};
+  auto predicted = model.PredictValue(tuple, {0}, 1);
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ(predicted->AsString(), "Chaoyang");
+}
+
+// ---------- HER + path matcher ----------
+
+TEST(HerModelTest, MatchesTupleToItsVertex) {
+  workload::EcommerceData data = workload::MakeEcommerceData();
+  HerModel her;
+  her.IndexGraph(data.graph);
+  const Relation& store = data.db.relation(data.store);
+  const Schema& schema = store.schema();
+  // Row 2 is "Huawei Flagship": it must match its own vertex and not
+  // Nike's.
+  std::vector<Value> values = store.tuple(2).values;
+  EXPECT_TRUE(her.Match(values, schema, data.graph,
+                        data.huawei_store_vertex));
+  EXPECT_FALSE(her.Match(values, schema, data.graph,
+                         data.nike_store_vertex));
+  // Blocking candidates include the matching vertex.
+  auto candidates = her.Candidates(values, schema);
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                      data.huawei_store_vertex),
+            candidates.end());
+}
+
+TEST(PathMatchModelTest, SynonymsAndEmbeddingScore) {
+  PathMatchModel model;
+  model.AddSynonym("location", {"LocationAt"});
+  EXPECT_TRUE(model.Matches("location", {"LocationAt"}));
+  EXPECT_DOUBLE_EQ(model.Score("location", {"LocationAt"}), 1.0);
+  // Char-ngram backoff: similar names score higher than unrelated ones.
+  EXPECT_GT(model.Score("area", {"AreaOf"}),
+            model.Score("area", {"ManufacturedBy"}));
+}
+
+}  // namespace
+}  // namespace rock::ml

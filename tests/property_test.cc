@@ -1,0 +1,340 @@
+// Cross-module property tests, parameterized over applications, seeds and
+// worker counts (TEST_P sweeps). These pin the invariants DESIGN.md lists:
+// Church-Rosser convergence, batch ≡ incremental, serial ≡ parallel,
+// rule-language round-trips, and certain-fix justification.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/chase/chase.h"
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/detect/detector.h"
+#include "src/rules/parser.h"
+#include "src/workload/generator.h"
+#include "src/workload/scoring.h"
+
+namespace rock {
+namespace {
+
+struct AppParam {
+  const char* app;
+  uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const AppParam& p) {
+  return os << p.app << "_seed" << p.seed;
+}
+
+workload::GeneratedData MakeData(const AppParam& param, size_t rows = 100) {
+  workload::GeneratorOptions options;
+  options.rows = rows;
+  options.error_rate = 0.1;
+  options.seed = param.seed;
+  return workload::MakeAppData(param.app, options);
+}
+
+core::ModelTrainingSpec SpecFor(const std::string& app) {
+  core::ModelTrainingSpec spec;
+  if (app == "Bank") {
+    spec.rank_targets = {{"Customer", "city"}};
+    spec.monotone_attrs = {{"Customer", "points"}};
+  } else if (app == "Sales") {
+    spec.rank_targets = {{"Client", "discount"}};
+    spec.monotone_attrs = {{"Client", "lifetime_value"}};
+  } else {
+    spec.path_synonyms = {{"area", {"AreaOf"}}, {"city", {"CityOf"}}};
+  }
+  return spec;
+}
+
+/// Canonical serialization of a chase outcome for equality comparison.
+std::string FixStoreDigest(const chase::ChaseEngine& engine,
+                           const Database& db) {
+  std::string digest;
+  for (const chase::CellFix& fix : engine.CellFixes()) {
+    digest += std::to_string(fix.rel) + ":" + std::to_string(fix.tid) +
+              ":" + std::to_string(fix.attr) + "=" +
+              fix.new_value.ToString() + ";";
+  }
+  for (size_t rel = 0; rel < db.num_relations(); ++rel) {
+    const Relation& relation = db.relation(static_cast<int>(rel));
+    for (size_t row = 0; row < relation.size(); ++row) {
+      digest += std::to_string(
+                    engine.fix_store().eids().Find(relation.tuple(row).eid)) +
+                ",";
+    }
+  }
+  return digest;
+}
+
+// ---------------- Church-Rosser across apps and seeds ----------------
+
+class ChurchRosserTest : public ::testing::TestWithParam<AppParam> {};
+
+TEST_P(ChurchRosserTest, ShuffledRuleOrdersConvergeInCertainMode) {
+  // Church-Rosser is guaranteed under §4.1's condition (1): an REE++ is
+  // applied only when its premises are validated by U. Relaxed "deep
+  // cleaning" mode may read not-yet-repaired cells, so its outcome can
+  // depend on rule order (observed empirically); the guarantee — and this
+  // test — applies to certain-fix mode.
+  workload::GeneratedData data = MakeData(GetParam());
+  core::Rock rock(&data.db, &data.graph);
+  rock.TrainModels(SpecFor(GetParam().app));
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok());
+
+  chase::ChaseOptions options;
+  options.certain_fixes_only = true;
+  std::string baseline;
+  Rng rng(GetParam().seed ^ 0xC0DE);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<rules::Ree> shuffled = *rules;
+    rng.Shuffle(shuffled);
+    chase::ChaseEngine engine(&data.db, &data.graph, rock.models(),
+                              options);
+    for (const auto& [rel, tid] : data.clean_tuples) {
+      Status ignored = engine.fix_store().AddGroundTruthTuple(rel, tid);
+      (void)ignored;
+    }
+    chase::ChaseResult result = engine.Run(shuffled);
+    EXPECT_TRUE(result.converged);
+    std::string digest = FixStoreDigest(engine, data.db);
+    if (trial == 0) {
+      baseline = digest;
+      EXPECT_GT(result.fixes_applied, 0u);
+    } else {
+      EXPECT_EQ(digest, baseline) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(ChurchRosserTest, EveryFixIsJustifiedByARule) {
+  workload::GeneratedData data = MakeData(GetParam());
+  core::Rock rock(&data.db, &data.graph);
+  rock.TrainModels(SpecFor(GetParam().app));
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok());
+  rock.DiscoverPolynomials();
+
+  core::CorrectionResult result;
+  auto engine = rock.CorrectErrors(*rules, data.clean_tuples, &result);
+  std::set<std::string> known_ids = {"Γ"};
+  for (const rules::Ree& rule : *rules) known_ids.insert(rule.id);
+  for (const core::PolyRule& poly : rock.poly_rules()) {
+    known_ids.insert("poly_" + std::to_string(poly.rel) + "_" +
+                     std::to_string(poly.expr.target_attr));
+  }
+  for (const chase::FixRecord& fix : engine->fix_store().fixes()) {
+    EXPECT_TRUE(known_ids.count(fix.rule_id) > 0)
+        << "unjustified fix: " << fix.ToString();
+  }
+}
+
+TEST_P(ChurchRosserTest, CertainModeIsConservativeAndPrecise) {
+  // Certain-fix mode admits a subset of rule applications: it can never
+  // deduce more fixes than relaxed mode, and the fixes it does deduce are
+  // backed by validated premises, so precision stays high in absolute
+  // terms.
+  workload::GeneratedData data = MakeData(GetParam());
+  core::Rock rock(&data.db, &data.graph);
+  rock.TrainModels(SpecFor(GetParam().app));
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok());
+
+  core::RockOptions certain_options;
+  certain_options.chase.certain_fixes_only = true;
+  core::Rock certain_rock(&data.db, &data.graph, certain_options);
+  certain_rock.TrainModels(SpecFor(GetParam().app));
+
+  core::CorrectionResult full_result, certain_result;
+  auto full = rock.CorrectErrors(*rules, data.clean_tuples, &full_result);
+  auto certain = certain_rock.CorrectErrors(*rules, data.clean_tuples,
+                                            &certain_result);
+  (void)full;
+  EXPECT_LE(certain_result.chase.fixes_applied,
+            full_result.chase.fixes_applied);
+  auto certain_score = workload::ScoreCorrection(data, *certain);
+  EXPECT_GT(certain_score.overall.precision(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndSeeds, ChurchRosserTest,
+    ::testing::Values(AppParam{"Bank", 101}, AppParam{"Bank", 202},
+                      AppParam{"Logistics", 101}, AppParam{"Logistics", 303},
+                      AppParam{"Sales", 101}, AppParam{"Sales", 404}));
+
+// ---------------- Batch ≡ incremental detection ----------------
+
+class IncrementalEquivalenceTest
+    : public ::testing::TestWithParam<AppParam> {};
+
+TEST_P(IncrementalEquivalenceTest, AllDirtyIncrementalEqualsBatch) {
+  workload::GeneratedData data = MakeData(GetParam());
+  core::Rock rock(&data.db, &data.graph);
+  rock.TrainModels(SpecFor(GetParam().app));
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok());
+
+  auto batch = rock.DetectErrors(*rules);
+  std::vector<std::pair<int, int64_t>> everything;
+  for (size_t rel = 0; rel < data.db.num_relations(); ++rel) {
+    const Relation& relation = data.db.relation(static_cast<int>(rel));
+    for (size_t row = 0; row < relation.size(); ++row) {
+      everything.emplace_back(static_cast<int>(rel),
+                              relation.tuple(row).tid);
+    }
+  }
+  auto incremental = rock.DetectErrorsIncremental(*rules, everything);
+  // Polynomial violations are batch-only extras; compare rule violations
+  // via dirty tuples of rule-based errors.
+  std::set<std::pair<int, int64_t>> batch_tuples;
+  for (const auto& error : batch.errors) {
+    if (error.rule_id.rfind("poly_", 0) == 0) continue;
+    for (const auto& cell : error.cells) {
+      batch_tuples.emplace(cell.rel, cell.tid);
+    }
+  }
+  EXPECT_EQ(incremental.DirtyTuples(), batch_tuples);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, IncrementalEquivalenceTest,
+    ::testing::Values(AppParam{"Bank", 11}, AppParam{"Logistics", 11},
+                      AppParam{"Sales", 11}));
+
+// ---------------- Serial ≡ parallel across worker counts ----------------
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalenceTest, DetectionIndependentOfWorkerCount) {
+  workload::GeneratedData data = MakeData({"Logistics", 7}, 80);
+  core::Rock rock(&data.db, &data.graph);
+  rock.TrainModels(SpecFor("Logistics"));
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok());
+
+  rules::EvalContext ctx;
+  ctx.db = &data.db;
+  ctx.graph = &data.graph;
+  ctx.models = rock.models();
+  detect::ErrorDetector serial(ctx);
+  auto expected = serial.Detect(*rules).DirtyCells();
+
+  detect::DetectorOptions options;
+  options.block_rows = 16;
+  detect::ErrorDetector parallel(ctx, options);
+  par::ScheduleReport schedule;
+  auto report = parallel.DetectParallel(*rules, GetParam(), &schedule);
+  EXPECT_EQ(report.DirtyCells(), expected);
+  EXPECT_EQ(schedule.num_workers, GetParam());
+}
+
+TEST_P(ParallelEquivalenceTest, ChaseIndependentOfWorkerCount) {
+  workload::GeneratedData serial_data = MakeData({"Logistics", 7}, 80);
+  core::Rock serial_rock(&serial_data.db, &serial_data.graph);
+  serial_rock.TrainModels(SpecFor("Logistics"));
+  auto rules = serial_rock.LoadRules(serial_data.rule_text);
+  ASSERT_TRUE(rules.ok());
+  chase::ChaseEngine serial_engine(&serial_data.db, &serial_data.graph,
+                                   serial_rock.models());
+  for (const auto& [rel, tid] : serial_data.clean_tuples) {
+    Status ignored = serial_engine.fix_store().AddGroundTruthTuple(rel, tid);
+    (void)ignored;
+  }
+  serial_engine.Run(*rules);
+  std::string expected = FixStoreDigest(serial_engine, serial_data.db);
+
+  workload::GeneratedData parallel_data = MakeData({"Logistics", 7}, 80);
+  core::Rock parallel_rock(&parallel_data.db, &parallel_data.graph);
+  parallel_rock.TrainModels(SpecFor("Logistics"));
+  chase::ChaseEngine parallel_engine(&parallel_data.db, &parallel_data.graph,
+                                     parallel_rock.models());
+  for (const auto& [rel, tid] : parallel_data.clean_tuples) {
+    Status ignored =
+        parallel_engine.fix_store().AddGroundTruthTuple(rel, tid);
+    (void)ignored;
+  }
+  par::ScheduleReport schedule;
+  parallel_engine.RunParallel(*rules, GetParam(), /*block_rows=*/16,
+                              &schedule);
+  EXPECT_EQ(FixStoreDigest(parallel_engine, parallel_data.db), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelEquivalenceTest,
+                         ::testing::Values(1, 2, 5, 9, 16));
+
+// ---------------- Rule-language round-trips ----------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, CuratedRulesRoundTripThroughTheParser) {
+  workload::GeneratedData data = MakeData({GetParam(), 5}, 40);
+  auto rules = rules::ParseRules(data.rule_text, data.db.schema());
+  ASSERT_TRUE(rules.ok());
+  for (const rules::Ree& rule : *rules) {
+    std::string printed = rule.ToString(data.db.schema());
+    auto reparsed = rules::ParseRee(printed, data.db.schema());
+    ASSERT_TRUE(reparsed.ok())
+        << printed << " => " << reparsed.status().ToString();
+    EXPECT_TRUE(rule.SameRule(*reparsed)) << printed;
+  }
+}
+
+TEST_P(RoundTripTest, MinedRulesRoundTripThroughTheParser) {
+  workload::GeneratedData data = MakeData({GetParam(), 5}, 60);
+  core::Rock rock(&data.db, &data.graph);
+  discovery::PredicateSpaceOptions space;
+  space.max_constants_per_attr = 1;
+  auto mined = rock.DiscoverRules(space);
+  size_t checked = 0;
+  for (const auto& rule : mined) {
+    if (checked++ > 40) break;  // bound the sweep
+    std::string printed = rule.rule.ToString(data.db.schema());
+    auto reparsed = rules::ParseRee(printed, data.db.schema());
+    ASSERT_TRUE(reparsed.ok())
+        << printed << " => " << reparsed.status().ToString();
+    EXPECT_TRUE(rule.rule.SameRule(*reparsed)) << printed;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, RoundTripTest,
+                         ::testing::Values("Bank", "Logistics", "Sales"));
+
+// ---------------- Repairs never corrupt clean ground truth ----------------
+
+class RepairSafetyTest : public ::testing::TestWithParam<AppParam> {};
+
+TEST_P(RepairSafetyTest, GroundTruthCellsAreNeverRewritten) {
+  workload::GeneratedData data = MakeData(GetParam());
+  core::Rock rock(&data.db, &data.graph);
+  rock.TrainModels(SpecFor(GetParam().app));
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok());
+  core::CorrectionResult result;
+  auto engine = rock.CorrectErrors(*rules, data.clean_tuples, &result);
+  Database repaired = engine->MaterializeRepairs();
+  for (const auto& [rel, tid] : data.clean_tuples) {
+    const Relation& before = data.db.relation(rel);
+    const Relation& after = repaired.relation(rel);
+    int row = before.RowOfTid(tid);
+    ASSERT_GE(row, 0);
+    for (size_t attr = 0; attr < before.schema().num_attributes(); ++attr) {
+      EXPECT_EQ(after.tuple(static_cast<size_t>(row)).value(
+                    static_cast<int>(attr)),
+                before.tuple(static_cast<size_t>(row)).value(
+                    static_cast<int>(attr)))
+          << "rel " << rel << " tid " << tid << " attr " << attr;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, RepairSafetyTest,
+    ::testing::Values(AppParam{"Bank", 77}, AppParam{"Logistics", 77},
+                      AppParam{"Sales", 77}));
+
+}  // namespace
+}  // namespace rock
