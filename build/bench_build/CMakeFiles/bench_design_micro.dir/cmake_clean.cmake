@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_design_micro"
+  "../bench/bench_design_micro.pdb"
+  "CMakeFiles/bench_design_micro.dir/bench_design_micro.cc.o"
+  "CMakeFiles/bench_design_micro.dir/bench_design_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

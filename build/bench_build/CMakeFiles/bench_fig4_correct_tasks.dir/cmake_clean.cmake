@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_correct_tasks"
+  "../bench/bench_fig4_correct_tasks.pdb"
+  "CMakeFiles/bench_fig4_correct_tasks.dir/bench_fig4_correct_tasks.cc.o"
+  "CMakeFiles/bench_fig4_correct_tasks.dir/bench_fig4_correct_tasks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_correct_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_scale_ec"
+  "../bench/bench_fig4_scale_ec.pdb"
+  "CMakeFiles/bench_fig4_scale_ec.dir/bench_fig4_scale_ec.cc.o"
+  "CMakeFiles/bench_fig4_scale_ec.dir/bench_fig4_scale_ec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scale_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_scale_ed"
+  "../bench/bench_fig4_scale_ed.pdb"
+  "CMakeFiles/bench_fig4_scale_ed.dir/bench_fig4_scale_ed.cc.o"
+  "CMakeFiles/bench_fig4_scale_ed.dir/bench_fig4_scale_ed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scale_ed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_cleaning.dir/csv_cleaning.cpp.o"
+  "CMakeFiles/csv_cleaning.dir/csv_cleaning.cpp.o.d"
+  "csv_cleaning"
+  "csv_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

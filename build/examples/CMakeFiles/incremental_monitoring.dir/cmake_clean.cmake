@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_monitoring.dir/incremental_monitoring.cpp.o"
+  "CMakeFiles/incremental_monitoring.dir/incremental_monitoring.cpp.o.d"
+  "incremental_monitoring"
+  "incremental_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

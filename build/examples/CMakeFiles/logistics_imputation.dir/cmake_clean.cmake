@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistics_imputation.dir/logistics_imputation.cpp.o"
+  "CMakeFiles/logistics_imputation.dir/logistics_imputation.cpp.o.d"
+  "logistics_imputation"
+  "logistics_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistics_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

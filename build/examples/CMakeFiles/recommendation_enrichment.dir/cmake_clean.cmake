@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommendation_enrichment.dir/recommendation_enrichment.cpp.o"
+  "CMakeFiles/recommendation_enrichment.dir/recommendation_enrichment.cpp.o.d"
+  "recommendation_enrichment"
+  "recommendation_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommendation_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

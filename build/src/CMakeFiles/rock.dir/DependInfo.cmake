@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/CMakeFiles/rock.dir/baselines/baselines.cc.o" "gcc" "src/CMakeFiles/rock.dir/baselines/baselines.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/rock.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/rock.dir/chase/chase.cc.o.d"
+  "/root/repo/src/chase/fix_store.cc" "src/CMakeFiles/rock.dir/chase/fix_store.cc.o" "gcc" "src/CMakeFiles/rock.dir/chase/fix_store.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/rock.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/rock.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/rock.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/rock.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rock.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rock.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/rock.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/rock.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rock.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rock.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/rock.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/rock.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/rock.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/rock.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/CMakeFiles/rock.dir/core/quality.cc.o" "gcc" "src/CMakeFiles/rock.dir/core/quality.cc.o.d"
+  "/root/repo/src/crystal/hash_ring.cc" "src/CMakeFiles/rock.dir/crystal/hash_ring.cc.o" "gcc" "src/CMakeFiles/rock.dir/crystal/hash_ring.cc.o.d"
+  "/root/repo/src/crystal/object_store.cc" "src/CMakeFiles/rock.dir/crystal/object_store.cc.o" "gcc" "src/CMakeFiles/rock.dir/crystal/object_store.cc.o.d"
+  "/root/repo/src/detect/detector.cc" "src/CMakeFiles/rock.dir/detect/detector.cc.o" "gcc" "src/CMakeFiles/rock.dir/detect/detector.cc.o.d"
+  "/root/repo/src/discovery/evidence.cc" "src/CMakeFiles/rock.dir/discovery/evidence.cc.o" "gcc" "src/CMakeFiles/rock.dir/discovery/evidence.cc.o.d"
+  "/root/repo/src/discovery/feedback.cc" "src/CMakeFiles/rock.dir/discovery/feedback.cc.o" "gcc" "src/CMakeFiles/rock.dir/discovery/feedback.cc.o.d"
+  "/root/repo/src/discovery/miner.cc" "src/CMakeFiles/rock.dir/discovery/miner.cc.o" "gcc" "src/CMakeFiles/rock.dir/discovery/miner.cc.o.d"
+  "/root/repo/src/discovery/poly.cc" "src/CMakeFiles/rock.dir/discovery/poly.cc.o" "gcc" "src/CMakeFiles/rock.dir/discovery/poly.cc.o.d"
+  "/root/repo/src/discovery/topk.cc" "src/CMakeFiles/rock.dir/discovery/topk.cc.o" "gcc" "src/CMakeFiles/rock.dir/discovery/topk.cc.o.d"
+  "/root/repo/src/kg/graph.cc" "src/CMakeFiles/rock.dir/kg/graph.cc.o" "gcc" "src/CMakeFiles/rock.dir/kg/graph.cc.o.d"
+  "/root/repo/src/ml/correlation.cc" "src/CMakeFiles/rock.dir/ml/correlation.cc.o" "gcc" "src/CMakeFiles/rock.dir/ml/correlation.cc.o.d"
+  "/root/repo/src/ml/feature.cc" "src/CMakeFiles/rock.dir/ml/feature.cc.o" "gcc" "src/CMakeFiles/rock.dir/ml/feature.cc.o.d"
+  "/root/repo/src/ml/her.cc" "src/CMakeFiles/rock.dir/ml/her.cc.o" "gcc" "src/CMakeFiles/rock.dir/ml/her.cc.o.d"
+  "/root/repo/src/ml/library.cc" "src/CMakeFiles/rock.dir/ml/library.cc.o" "gcc" "src/CMakeFiles/rock.dir/ml/library.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/CMakeFiles/rock.dir/ml/linear.cc.o" "gcc" "src/CMakeFiles/rock.dir/ml/linear.cc.o.d"
+  "/root/repo/src/ml/lsh.cc" "src/CMakeFiles/rock.dir/ml/lsh.cc.o" "gcc" "src/CMakeFiles/rock.dir/ml/lsh.cc.o.d"
+  "/root/repo/src/ml/ranking.cc" "src/CMakeFiles/rock.dir/ml/ranking.cc.o" "gcc" "src/CMakeFiles/rock.dir/ml/ranking.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/CMakeFiles/rock.dir/ml/tree.cc.o" "gcc" "src/CMakeFiles/rock.dir/ml/tree.cc.o.d"
+  "/root/repo/src/par/executor.cc" "src/CMakeFiles/rock.dir/par/executor.cc.o" "gcc" "src/CMakeFiles/rock.dir/par/executor.cc.o.d"
+  "/root/repo/src/rules/classic.cc" "src/CMakeFiles/rock.dir/rules/classic.cc.o" "gcc" "src/CMakeFiles/rock.dir/rules/classic.cc.o.d"
+  "/root/repo/src/rules/eval.cc" "src/CMakeFiles/rock.dir/rules/eval.cc.o" "gcc" "src/CMakeFiles/rock.dir/rules/eval.cc.o.d"
+  "/root/repo/src/rules/parser.cc" "src/CMakeFiles/rock.dir/rules/parser.cc.o" "gcc" "src/CMakeFiles/rock.dir/rules/parser.cc.o.d"
+  "/root/repo/src/rules/predicate.cc" "src/CMakeFiles/rock.dir/rules/predicate.cc.o" "gcc" "src/CMakeFiles/rock.dir/rules/predicate.cc.o.d"
+  "/root/repo/src/rules/ree.cc" "src/CMakeFiles/rock.dir/rules/ree.cc.o" "gcc" "src/CMakeFiles/rock.dir/rules/ree.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/CMakeFiles/rock.dir/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/rock.dir/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/loader.cc" "src/CMakeFiles/rock.dir/storage/loader.cc.o" "gcc" "src/CMakeFiles/rock.dir/storage/loader.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/rock.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/rock.dir/storage/relation.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/rock.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/rock.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/stats.cc" "src/CMakeFiles/rock.dir/storage/stats.cc.o" "gcc" "src/CMakeFiles/rock.dir/storage/stats.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/rock.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/rock.dir/storage/value.cc.o.d"
+  "/root/repo/src/workload/ecommerce.cc" "src/CMakeFiles/rock.dir/workload/ecommerce.cc.o" "gcc" "src/CMakeFiles/rock.dir/workload/ecommerce.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/rock.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/rock.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/scoring.cc" "src/CMakeFiles/rock.dir/workload/scoring.cc.o" "gcc" "src/CMakeFiles/rock.dir/workload/scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

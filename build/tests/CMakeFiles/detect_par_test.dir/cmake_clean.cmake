@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_par_test.dir/detect_par_test.cc.o"
+  "CMakeFiles/detect_par_test.dir/detect_par_test.cc.o.d"
+  "detect_par_test"
+  "detect_par_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_par_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_conflict_test.dir/feedback_conflict_test.cc.o"
+  "CMakeFiles/feedback_conflict_test.dir/feedback_conflict_test.cc.o.d"
+  "feedback_conflict_test"
+  "feedback_conflict_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_conflict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_crystal_test.dir/kg_crystal_test.cc.o"
+  "CMakeFiles/kg_crystal_test.dir/kg_crystal_test.cc.o.d"
+  "kg_crystal_test"
+  "kg_crystal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_crystal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loader_classic_test.dir/loader_classic_test.cc.o"
+  "CMakeFiles/loader_classic_test.dir/loader_classic_test.cc.o.d"
+  "loader_classic_test"
+  "loader_classic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loader_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
