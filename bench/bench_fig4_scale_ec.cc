@@ -6,27 +6,37 @@
 // HyperCube work units executed under the worker pool; see Fig 4(h) and
 // DESIGN.md for the measurement methodology.
 
+#include <thread>
+
 #include "bench/bench_common.h"
 
 namespace rock::bench {
 namespace {
 
+par::ScheduleReport RunOnce(int workers, par::ExecutionMode mode) {
+  // Fresh data per configuration: the chase mutates its fix store.
+  AppContext app = MakeApp("Logistics", 400);
+  RockSetup setup = PrepareRock(app, core::Variant::kRock);
+  chase::ChaseEngine engine(&app.data.db, &app.data.graph,
+                            setup.rock->models());
+  for (const auto& [rel, tid] : app.data.clean_tuples) {
+    Status ignored = engine.fix_store().AddGroundTruthTuple(rel, tid);
+    (void)ignored;
+  }
+  par::ScheduleReport schedule;
+  engine.RunParallel(setup.rules, workers, /*block_rows=*/64, &schedule,
+                     mode);
+  return schedule;
+}
+
 void Run() {
+  std::printf("-- simulated schedule (deterministic curve shape) --\n");
   std::printf("%8s %14s %14s %10s %8s\n", "workers", "makespan(s)",
               "serial(s)", "speedup", "stolen");
   double t4 = 0.0, t20 = 0.0;
   for (int workers : {4, 8, 12, 16, 20}) {
-    // Fresh data per configuration: the chase mutates its fix store.
-    AppContext app = MakeApp("Logistics", 400);
-    RockSetup setup = PrepareRock(app, core::Variant::kRock);
-    chase::ChaseEngine engine(&app.data.db, &app.data.graph,
-                              setup.rock->models());
-    for (const auto& [rel, tid] : app.data.clean_tuples) {
-      Status ignored = engine.fix_store().AddGroundTruthTuple(rel, tid);
-      (void)ignored;
-    }
-    par::ScheduleReport schedule;
-    engine.RunParallel(setup.rules, workers, /*block_rows=*/64, &schedule);
+    par::ScheduleReport schedule =
+        RunOnce(workers, par::ExecutionMode::kSimulated);
     std::printf("%8d %14.4f %14.4f %9.2fx %8d\n", workers,
                 schedule.makespan_seconds, schedule.serial_seconds,
                 schedule.speedup(), schedule.stolen_units);
@@ -35,6 +45,21 @@ void Run() {
   }
   std::printf("\nSpeedup from n=4 to n=20: %.2fx (paper reports 3.12x)\n",
               t20 > 0 ? t4 / t20 : 0.0);
+
+  std::printf(
+      "\n-- threaded execution (measured wall-clock; host has %u cores) "
+      "--\n",
+      std::thread::hardware_concurrency());
+  std::printf("%8s %14s %14s %12s %12s %8s\n", "workers", "wall(s)",
+              "serial(s)", "measured", "simulated", "stolen");
+  for (int workers : {1, 2, 4, 8}) {
+    par::ScheduleReport schedule =
+        RunOnce(workers, par::ExecutionMode::kThreads);
+    std::printf("%8d %14.4f %14.4f %11.2fx %11.2fx %8d\n", workers,
+                schedule.wall_seconds, schedule.serial_seconds,
+                schedule.measured_speedup(), schedule.speedup(),
+                schedule.stolen_units);
+  }
 }
 
 }  // namespace

@@ -272,6 +272,7 @@ detect::DetectionReport RbCleaner::Detect(const Database& db) const {
 Value RbCleaner::SuggestCorrection(const Database& db, int rel,
                                    const Tuple& t, int attr) const {
   (void)db;
+  (void)rel;
   std::vector<int> context;
   for (size_t a = 0; a < t.values.size(); ++a) {
     if (static_cast<int>(a) != attr && !t.values[a].is_null()) {

@@ -473,7 +473,8 @@ ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
 
 ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
                                      int num_workers, int block_rows,
-                                     par::ScheduleReport* schedule) {
+                                     par::ScheduleReport* schedule,
+                                     par::ExecutionMode mode) {
   ChaseResult result;
   rules::Evaluator eval(Context());
   std::vector<std::pair<int, int64_t>> next_dirty;
@@ -500,16 +501,31 @@ ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
     }
     unit_rules.push_back(&rule);
   }
-  par::WorkerPool pool(num_workers);
-  par::ScheduleReport local =
-      pool.Execute(units, [&](const par::WorkUnit& unit) {
+
+  // Evaluation phase: workers scan their blocks and record satisfying
+  // valuations into per-unit buffers. The fix store is read-only here —
+  // nothing is applied until every worker reaches the barrier — so
+  // concurrent precondition evaluation needs no locks. One evaluator per
+  // worker keeps the evaluator's lazy equality indexes thread-local.
+  par::WorkerPool pool(num_workers, mode);
+  std::vector<rules::Evaluator> evals;
+  evals.reserve(static_cast<size_t>(pool.num_workers()));
+  for (int w = 0; w < pool.num_workers(); ++w) {
+    evals.emplace_back(Context());
+  }
+  std::vector<std::vector<Valuation>> unit_hits(units.size());
+  par::ScheduleReport local = pool.Execute(
+      units, [&](const par::WorkUnit& unit, size_t unit_index, int worker) {
         const Ree& rule = rules[static_cast<size_t>(unit.rule_index)];
+        const rules::Evaluator& worker_eval =
+            evals[static_cast<size_t>(worker)];
+        std::vector<Valuation>& hits = unit_hits[unit_index];
         Valuation v;
         v.rows.assign(rule.tuple_vars.size(), 0);
         std::function<void(size_t)> recurse = [&](size_t var) {
           if (var == rule.tuple_vars.size()) {
-            if (eval.SatisfiesPrecondition(rule, v)) {
-              process_valuation(rule, v);
+            if (worker_eval.SatisfiesPrecondition(rule, v)) {
+              hits.push_back(v);
             }
             return;
           }
@@ -522,6 +538,19 @@ ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
         recurse(0);
       });
   if (schedule != nullptr) *schedule = local;
+
+  // Apply phase (after the barrier): consequences are deduced serially in
+  // unit order. Preconditions are re-verified against the now-growing
+  // overlay so a fix applied earlier in this loop can retract a later
+  // candidate, exactly as in the serial chase.
+  for (size_t unit_index = 0; unit_index < units.size(); ++unit_index) {
+    const Ree& rule =
+        rules[static_cast<size_t>(units[unit_index].rule_index)];
+    for (const Valuation& v : unit_hits[unit_index]) {
+      if (!eval.SatisfiesPrecondition(rule, v)) continue;
+      process_valuation(rule, v);
+    }
+  }
   // Vertex-variable rules + propagation rounds run through the ordinary
   // incremental loop seeded by the tuples the first round touched.
   for (const Ree& rule : rules) {

@@ -96,11 +96,21 @@ class ChaseEngine {
   /// Batch mode with HyperCube data-partitioned parallelism for the first
   /// (dominant) round: rule×block work units are executed under the worker
   /// pool, producing the schedule accounting used by the scalability
-  /// benches (Fig 4(l)); later rounds are small and run serially. Results
-  /// equal Run()'s.
+  /// benches (Fig 4(l)); later rounds are small and run serially.
+  ///
+  /// Workers only *evaluate* preconditions — each unit accumulates its
+  /// satisfying valuations into a per-unit buffer, the fix store stays
+  /// read-only, and the buffers are merged at the pool's barrier in unit
+  /// order. Consequences are then applied serially (re-verifying each
+  /// precondition against the growing overlay), so the chase reaches the
+  /// same fixpoint as Run() for every worker count and both execution
+  /// modes; valuations a round-0 fix newly enables are picked up by the
+  /// serial propagation rounds through the dirty set.
   ChaseResult RunParallel(const std::vector<rules::Ree>& rules,
                           int num_workers, int block_rows,
-                          par::ScheduleReport* schedule);
+                          par::ScheduleReport* schedule,
+                          par::ExecutionMode mode =
+                              par::ExecutionMode::kThreads);
 
   /// Applies U to a copy of the database: validated values overwrite cells,
   /// EIDs become canonical.

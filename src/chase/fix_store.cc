@@ -7,11 +7,15 @@
 namespace rock::chase {
 
 int64_t UnionFind::Find(int64_t eid) const {
-  auto it = parent_.find(eid);
-  if (it == parent_.end()) return eid;
-  // Path compression (parent_ is mutable).
-  int64_t root = Find(it->second);
-  parent_[eid] = root;
+  // Pure walk, no path compression: Find must stay safe for concurrent
+  // readers (see the thread contract in the header). Union keeps chains
+  // one level deep by re-pointing the merged class's members eagerly, so
+  // the walk is short anyway.
+  int64_t root = eid;
+  for (auto it = parent_.find(root); it != parent_.end();
+       it = parent_.find(root)) {
+    root = it->second;
+  }
   return root;
 }
 
@@ -24,6 +28,12 @@ int64_t UnionFind::Union(int64_t a, int64_t b) {
   int64_t root = std::min(ra, rb);
   int64_t child = std::max(ra, rb);
   parent_[child] = root;
+  // Eager compression (the mutating half of the thread contract): every
+  // member of the absorbed class points directly at the new root.
+  auto absorbed = members_.find(child);
+  if (absorbed != members_.end()) {
+    for (int64_t member : absorbed->second) parent_[member] = root;
+  }
   auto& root_members = members_[root];
   if (root_members.empty()) root_members.push_back(root);
   auto child_it = members_.find(child);

@@ -17,6 +17,11 @@ namespace rock::chase {
 
 /// Union-find over entity ids. EID classes only grow (entities are
 /// identified, never split), matching the chase's inflationary semantics.
+///
+/// Thread contract: Find/Members are pure reads (path compression happens
+/// eagerly inside Union, never in Find), so any number of threads may Find
+/// concurrently as long as no Union runs — the invariant the parallel
+/// chase's read-only evaluation phase relies on.
 class UnionFind {
  public:
   /// Canonical representative of `eid` (the smallest eid in its class, so
@@ -32,7 +37,7 @@ class UnionFind {
   size_t num_merges() const { return num_merges_; }
 
  private:
-  mutable std::unordered_map<int64_t, int64_t> parent_;
+  std::unordered_map<int64_t, int64_t> parent_;
   std::unordered_map<int64_t, std::vector<int64_t>> members_;
   size_t num_merges_ = 0;
 };

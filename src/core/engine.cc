@@ -238,7 +238,16 @@ detect::DetectionReport Rock::DetectErrorsIncremental(
 detect::DetectionReport Rock::DetectErrorsParallel(
     const std::vector<Ree>& rules, int num_workers,
     par::ScheduleReport* schedule) const {
-  detect::ErrorDetector detector(Context(), options_.detector);
+  return DetectErrorsParallel(rules, num_workers,
+                              options_.detector.execution_mode, schedule);
+}
+
+detect::DetectionReport Rock::DetectErrorsParallel(
+    const std::vector<Ree>& rules, int num_workers, par::ExecutionMode mode,
+    par::ScheduleReport* schedule) const {
+  detect::DetectorOptions detector_options = options_.detector;
+  detector_options.execution_mode = mode;
+  detect::ErrorDetector detector(Context(), detector_options);
   detect::DetectionReport report =
       detector.DetectParallel(rules, num_workers, schedule);
   DetectPolyViolations(&report);

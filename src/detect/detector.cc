@@ -1,6 +1,7 @@
 #include "src/detect/detector.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "src/common/hash.h"
 #include "src/ml/lsh.h"
@@ -53,6 +54,7 @@ ErrorDetector::ErrorDetector(rules::EvalContext ctx, DetectorOptions options)
 int ErrorDetector::PairFrequency(int rel, int guard_attr, int cons_attr,
                                  const Value& guard,
                                  const Value& cons) const {
+  std::lock_guard<std::mutex> lock(pair_freq_mu_);
   auto key = std::make_tuple(rel, guard_attr, cons_attr);
   auto it = pair_freq_.find(key);
   if (it == pair_freq_.end()) {
@@ -329,9 +331,6 @@ void ErrorDetector::DetectRuleInRanges(
 DetectionReport ErrorDetector::DetectParallel(
     const std::vector<Ree>& rules, int num_workers,
     par::ScheduleReport* schedule) const {
-  DetectionReport report;
-  rules::Evaluator eval(ctx_);
-
   std::vector<par::WorkUnit> units;
   for (size_t r = 0; r < rules.size(); ++r) {
     std::vector<par::WorkUnit> rule_units = par::BuildHyperCubeUnits(
@@ -340,12 +339,30 @@ DetectionReport ErrorDetector::DetectParallel(
     units.insert(units.end(), rule_units.begin(), rule_units.end());
   }
 
-  par::WorkerPool pool(num_workers);
-  par::ScheduleReport local = pool.Execute(units, [&](const par::WorkUnit& u) {
-    DetectRuleInRanges(rules[static_cast<size_t>(u.rule_index)], u.ranges,
-                       eval, &report);
-  });
+  par::WorkerPool pool(num_workers, options_.execution_mode);
+  // One evaluator per worker (the evaluator caches equality indexes) and
+  // one report per unit: workers never write shared state, and merging in
+  // unit order makes the result independent of worker count and stealing.
+  std::vector<rules::Evaluator> evals;
+  evals.reserve(static_cast<size_t>(pool.num_workers()));
+  for (int w = 0; w < pool.num_workers(); ++w) evals.emplace_back(ctx_);
+  std::vector<DetectionReport> unit_reports(units.size());
+  par::ScheduleReport local = pool.Execute(
+      units, [&](const par::WorkUnit& u, size_t unit_index, int worker) {
+        DetectRuleInRanges(rules[static_cast<size_t>(u.rule_index)], u.ranges,
+                           evals[static_cast<size_t>(worker)],
+                           &unit_reports[unit_index]);
+      });
   if (schedule != nullptr) *schedule = local;
+
+  DetectionReport report;
+  for (DetectionReport& unit_report : unit_reports) {
+    report.violations += unit_report.violations;
+    report.blocked_pairs_checked += unit_report.blocked_pairs_checked;
+    report.exhaustive_pairs_checked += unit_report.exhaustive_pairs_checked;
+    std::move(unit_report.errors.begin(), unit_report.errors.end(),
+              std::back_inserter(report.errors));
+  }
   return report;
 }
 

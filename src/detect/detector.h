@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <tuple>
 #include <unordered_map>
 #include <set>
@@ -63,6 +64,10 @@ struct DetectorOptions {
   bool use_ml_blocking = true;
   /// Rows per virtual block for HyperCube partitioning (parallel mode).
   int block_rows = 512;
+  /// How DetectParallel runs its work units: real worker threads (the
+  /// production path) or the deterministic simulated-time schedule used by
+  /// the speedup-shape benches.
+  par::ExecutionMode execution_mode = par::ExecutionMode::kThreads;
 };
 
 /// Error detection (paper §3): violations of REE++s in Σ, batch and
@@ -81,9 +86,13 @@ class ErrorDetector {
       const std::vector<rules::Ree>& rules,
       const std::vector<std::pair<int, int64_t>>& dirty) const;
 
-  /// Parallel detection: HyperCube units executed under the worker pool;
-  /// fills `schedule` with the placement/stealing accounting used by the
-  /// scalability benches. Results are identical to Detect().
+  /// Parallel detection: HyperCube units executed under the worker pool
+  /// (threaded or simulated per DetectorOptions::execution_mode); fills
+  /// `schedule` with the placement/stealing accounting used by the
+  /// scalability benches. Each unit accumulates into its own report and the
+  /// per-unit reports are merged in unit order, so the result is bitwise
+  /// identical for every worker count and both execution modes, and covers
+  /// the same dirty cells as Detect().
   DetectionReport DetectParallel(const std::vector<rules::Ree>& rules,
                                  int num_workers,
                                  par::ScheduleReport* schedule) const;
@@ -92,7 +101,9 @@ class ErrorDetector {
   rules::EvalContext ctx_;
   DetectorOptions options_;
   // Lazy (rel, guard attr, consequence attr) -> pair-frequency table used
-  // by majority-side flagging of CR violations.
+  // by majority-side flagging of CR violations. Guarded by pair_freq_mu_:
+  // DetectParallel's worker threads reach it through RecordViolation.
+  mutable std::mutex pair_freq_mu_;
   mutable std::map<std::tuple<int, int, int>,
                    std::unordered_map<uint64_t, int>>
       pair_freq_;

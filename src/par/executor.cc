@@ -1,8 +1,12 @@
 #include "src/par/executor.h"
 
+#include <ctime>
+
 #include <algorithm>
 #include <deque>
+#include <mutex>
 #include <queue>
+#include <thread>
 
 #include "src/common/logging.h"
 #include "src/common/timer.h"
@@ -68,32 +72,28 @@ std::vector<WorkUnit> BuildHyperCubeUnits(const Database& db, int rule_index,
   return units;
 }
 
-WorkerPool::WorkerPool(int num_workers) : num_workers_(num_workers) {
-  for (int w = 0; w < num_workers; ++w) {
+const char* ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kThreads:
+      return "threads";
+    case ExecutionMode::kSimulated:
+      return "simulated";
+  }
+  return "?";
+}
+
+WorkerPool::WorkerPool(int num_workers, ExecutionMode mode)
+    : num_workers_(std::max(1, num_workers)), mode_(mode) {
+  for (int w = 0; w < num_workers_; ++w) {
     Status s = ring_.AddNode("worker-" + std::to_string(w));
     ROCK_CHECK(s.ok());
   }
 }
 
-ScheduleReport WorkerPool::Execute(
-    const std::vector<WorkUnit>& units,
-    const std::function<void(const WorkUnit&)>& body) {
-  ScheduleReport report;
-  report.num_workers = num_workers_;
-  report.initial_units.assign(static_cast<size_t>(num_workers_), 0);
-  report.executed_units.assign(static_cast<size_t>(num_workers_), 0);
-
-  // 1. Run every unit (real work), measuring durations.
-  std::vector<double> durations(units.size(), 0.0);
-  for (size_t i = 0; i < units.size(); ++i) {
-    Timer timer;
-    body(units[i]);
-    durations[i] = timer.ElapsedSeconds();
-    report.serial_seconds += durations[i];
-  }
-
-  // 2. Placement: each unit goes to its ring owner.
-  std::vector<std::deque<size_t>> queues(static_cast<size_t>(num_workers_));
+std::vector<std::vector<size_t>> WorkerPool::PlaceUnits(
+    const std::vector<WorkUnit>& units) const {
+  std::vector<std::vector<size_t>> queues(
+      static_cast<size_t>(num_workers_));
   for (size_t i = 0; i < units.size(); ++i) {
     auto owner = ring_.Locate(units[i].PlacementKey());
     int worker = 0;
@@ -101,19 +101,42 @@ ScheduleReport WorkerPool::Execute(
       worker = std::stoi(owner->substr(owner->find('-') + 1));
     }
     queues[static_cast<size_t>(worker)].push_back(i);
-    report.initial_units[static_cast<size_t>(worker)]++;
+  }
+  return queues;
+}
+
+namespace {
+
+struct SimulationResult {
+  double makespan = 0.0;
+  std::vector<int> executed;
+  int stolen = 0;
+};
+
+/// Event-driven replay of the placement + work-stealing schedule from
+/// per-unit durations: when a worker's queue drains it steals the tail of
+/// the longest remaining queue (paper §5.2: "when a node finishes its
+/// assigned work units, it evokes the work manager to fetch work units from
+/// other nodes").
+SimulationResult SimulateSchedule(
+    const std::vector<std::vector<size_t>>& placement,
+    const std::vector<double>& durations, int num_workers) {
+  SimulationResult result;
+  result.executed.assign(static_cast<size_t>(num_workers), 0);
+  std::vector<std::deque<size_t>> queues(static_cast<size_t>(num_workers));
+  size_t remaining = 0;
+  for (int w = 0; w < num_workers; ++w) {
+    for (size_t unit : placement[static_cast<size_t>(w)]) {
+      queues[static_cast<size_t>(w)].push_back(unit);
+      ++remaining;
+    }
   }
 
-  // 3. Event-driven schedule simulation with work stealing: when a worker's
-  // queue drains it steals the tail of the longest remaining queue
-  // (paper §5.2: "when a node finishes its assigned work units, it evokes
-  // the work manager to fetch work units from other nodes").
-  std::vector<double> clock(static_cast<size_t>(num_workers_), 0.0);
+  std::vector<double> clock(static_cast<size_t>(num_workers), 0.0);
   using Event = std::pair<double, int>;  // (time ready, worker)
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> ready;
-  for (int w = 0; w < num_workers_; ++w) ready.emplace(0.0, w);
+  for (int w = 0; w < num_workers; ++w) ready.emplace(0.0, w);
 
-  size_t remaining = units.size();
   while (remaining > 0 && !ready.empty()) {
     auto [now, worker] = ready.top();
     ready.pop();
@@ -122,7 +145,7 @@ ScheduleReport WorkerPool::Execute(
       // Steal from the worker with the most queued units.
       int victim = -1;
       size_t best = 0;
-      for (int w = 0; w < num_workers_; ++w) {
+      for (int w = 0; w < num_workers; ++w) {
         if (w == worker) continue;
         if (queues[static_cast<size_t>(w)].size() > best) {
           best = queues[static_cast<size_t>(w)].size();
@@ -132,22 +155,201 @@ ScheduleReport WorkerPool::Execute(
       if (victim < 0) continue;  // nothing left anywhere
       queue.push_back(queues[static_cast<size_t>(victim)].back());
       queues[static_cast<size_t>(victim)].pop_back();
-      ++report.stolen_units;
+      ++result.stolen;
     }
     size_t unit = queue.front();
     queue.pop_front();
     double finish = now + durations[unit];
     clock[static_cast<size_t>(worker)] = finish;
-    report.executed_units[static_cast<size_t>(worker)]++;
+    result.executed[static_cast<size_t>(worker)]++;
     --remaining;
     ready.emplace(finish, worker);
   }
-  report.makespan_seconds =
-      *std::max_element(clock.begin(), clock.end());
-  if (report.makespan_seconds <= 0.0) {
-    report.makespan_seconds = report.serial_seconds;
+  result.makespan = clock.empty()
+                        ? 0.0
+                        : *std::max_element(clock.begin(), clock.end());
+  return result;
+}
+
+/// Per-thread CPU time. Unit durations must exclude time the thread spends
+/// descheduled: with more workers than cores, wall-clock per unit inflates
+/// by the oversubscription factor, which would corrupt serial_seconds and
+/// the modeled makespan.
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           1e-9 * static_cast<double>(ts.tv_nsec);
   }
+#endif
+  return -1.0;
+}
+
+/// One worker's deque, guarded by its own mutex. Owners pop the front;
+/// thieves pop the back, so a steal and a local pop only collide on the
+/// victim's lock, never on the same end of a one-element queue unguarded.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<size_t> queue;
+};
+
+}  // namespace
+
+ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
+                                          const UnitBody& body) {
+  ScheduleReport report;
+  report.num_workers = num_workers_;
+  report.mode = ExecutionMode::kThreads;
+  report.initial_units.assign(static_cast<size_t>(num_workers_), 0);
+  report.executed_units.assign(static_cast<size_t>(num_workers_), 0);
+
+  std::vector<std::vector<size_t>> placement = PlaceUnits(units);
+  std::vector<WorkerQueue> queues(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    auto& q = queues[static_cast<size_t>(w)];
+    q.queue.assign(placement[static_cast<size_t>(w)].begin(),
+                   placement[static_cast<size_t>(w)].end());
+    report.initial_units[static_cast<size_t>(w)] =
+        static_cast<int>(q.queue.size());
+  }
+
+  // Written concurrently, but each slot exactly once (a unit runs once, a
+  // worker owns its own counters) — no synchronization beyond the joins.
+  std::vector<double> durations(units.size(), 0.0);
+  std::vector<int> executed(static_cast<size_t>(num_workers_), 0);
+  std::vector<int> stolen(static_cast<size_t>(num_workers_), 0);
+
+  auto worker_main = [&](int me) {
+    auto& own = queues[static_cast<size_t>(me)];
+    while (true) {
+      size_t unit = 0;
+      bool have_unit = false;
+      {
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.queue.empty()) {
+          unit = own.queue.front();
+          own.queue.pop_front();
+          have_unit = true;
+        }
+      }
+      if (!have_unit) {
+        // Steal from the most loaded peer. Sizes are sampled under each
+        // peer's lock; the re-check under the victim's lock keeps the pop
+        // correct when the queue drained in between.
+        int victim = -1;
+        size_t best = 0;
+        for (int w = 0; w < num_workers_; ++w) {
+          if (w == me) continue;
+          std::lock_guard<std::mutex> lock(
+              queues[static_cast<size_t>(w)].mu);
+          size_t size = queues[static_cast<size_t>(w)].queue.size();
+          if (size > best) {
+            best = size;
+            victim = w;
+          }
+        }
+        if (victim < 0) {
+          // Every queue is empty. Units never spawn new units, so no work
+          // can reappear: the worker is done.
+          return;
+        }
+        auto& vq = queues[static_cast<size_t>(victim)];
+        {
+          std::lock_guard<std::mutex> lock(vq.mu);
+          if (vq.queue.empty()) continue;  // lost the race; rescan
+          unit = vq.queue.back();
+          vq.queue.pop_back();
+        }
+        stolen[static_cast<size_t>(me)]++;
+      }
+      Timer timer;
+      double cpu_start = ThreadCpuSeconds();
+      body(units[unit], unit, me);
+      double cpu_end = ThreadCpuSeconds();
+      durations[unit] = (cpu_start >= 0.0 && cpu_end >= 0.0)
+                            ? cpu_end - cpu_start
+                            : timer.ElapsedSeconds();
+      executed[static_cast<size_t>(me)]++;
+    }
+  };
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    threads.emplace_back(worker_main, w);
+  }
+  for (std::thread& t : threads) t.join();
+  report.wall_seconds = wall.ElapsedSeconds();
+
+  for (int w = 0; w < num_workers_; ++w) {
+    report.executed_units[static_cast<size_t>(w)] =
+        executed[static_cast<size_t>(w)];
+    report.stolen_units += stolen[static_cast<size_t>(w)];
+  }
+  for (double d : durations) report.serial_seconds += d;
+
+  // The modeled makespan from the same durations, so benches can compare
+  // the simulation against the measured wall-clock.
+  SimulationResult sim = SimulateSchedule(placement, durations, num_workers_);
+  report.makespan_seconds =
+      sim.makespan > 0.0 ? sim.makespan : report.serial_seconds;
   return report;
+}
+
+ScheduleReport WorkerPool::ExecuteSimulated(
+    const std::vector<WorkUnit>& units, const UnitBody& body) {
+  ScheduleReport report;
+  report.num_workers = num_workers_;
+  report.mode = ExecutionMode::kSimulated;
+  report.initial_units.assign(static_cast<size_t>(num_workers_), 0);
+  report.executed_units.assign(static_cast<size_t>(num_workers_), 0);
+
+  std::vector<std::vector<size_t>> placement = PlaceUnits(units);
+  for (int w = 0; w < num_workers_; ++w) {
+    report.initial_units[static_cast<size_t>(w)] =
+        static_cast<int>(placement[static_cast<size_t>(w)].size());
+  }
+  // Owner of each unit, so the body sees a stable worker id even though
+  // everything runs on the caller's thread.
+  std::vector<int> owner(units.size(), 0);
+  for (int w = 0; w < num_workers_; ++w) {
+    for (size_t unit : placement[static_cast<size_t>(w)]) owner[unit] = w;
+  }
+
+  // Run every unit serially in unit order, measuring durations.
+  Timer wall;
+  std::vector<double> durations(units.size(), 0.0);
+  for (size_t i = 0; i < units.size(); ++i) {
+    Timer timer;
+    body(units[i], i, owner[i]);
+    durations[i] = timer.ElapsedSeconds();
+    report.serial_seconds += durations[i];
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
+
+  SimulationResult sim = SimulateSchedule(placement, durations, num_workers_);
+  report.executed_units = sim.executed;
+  report.stolen_units = sim.stolen;
+  report.makespan_seconds =
+      sim.makespan > 0.0 ? sim.makespan : report.serial_seconds;
+  return report;
+}
+
+ScheduleReport WorkerPool::Execute(const std::vector<WorkUnit>& units,
+                                   const UnitBody& body) {
+  if (mode_ == ExecutionMode::kThreads) {
+    return ExecuteThreads(units, body);
+  }
+  return ExecuteSimulated(units, body);
+}
+
+ScheduleReport WorkerPool::Execute(
+    const std::vector<WorkUnit>& units,
+    const std::function<void(const WorkUnit&)>& body) {
+  return Execute(units,
+                 [&body](const WorkUnit& unit, size_t, int) { body(unit); });
 }
 
 }  // namespace rock::par

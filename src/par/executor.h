@@ -1,6 +1,7 @@
 #ifndef ROCK_PAR_EXECUTOR_H_
 #define ROCK_PAR_EXECUTOR_H_
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -51,47 +52,103 @@ std::vector<WorkUnit> BuildHyperCubeUnits(const Database& db, int rule_index,
                                           const std::vector<int>& tuple_vars,
                                           int block_rows);
 
-/// Result of a (simulated-time) parallel execution.
+/// How the pool runs unit bodies.
+///  - kThreads: num_workers OS threads, each draining a mutex-guarded deque
+///    seeded by hash-ring placement and stealing from the most loaded peer
+///    when its own queue drains. This is the production path: detection and
+///    correction get real multi-core speedup.
+///  - kSimulated: every unit runs serially on the caller's thread with
+///    measured durations, and the parallel schedule (placement + stealing)
+///    is replayed event-driven from those durations. Deterministic and
+///    hardware independent — speedup-*shape* benchmarks stay reproducible
+///    on a 1-core CI runner.
+enum class ExecutionMode { kThreads, kSimulated };
+
+const char* ExecutionModeName(ExecutionMode mode);
+
+/// Result of a parallel execution. Both modes fill the simulated makespan
+/// (replayed from per-unit measured durations); kThreads additionally
+/// reports the measured wall-clock of the threaded region so benches can
+/// compare the model against reality.
 struct ScheduleReport {
   int num_workers = 0;
-  /// Sum of measured unit durations — the serial wall time.
+  ExecutionMode mode = ExecutionMode::kSimulated;
+  /// Sum of measured unit durations — an estimate of the serial execution
+  /// time. Under kThreads each duration is per-thread CPU time, so the sum
+  /// stays faithful even when workers outnumber cores; under kSimulated it
+  /// is the measured serial wall time.
   double serial_seconds = 0.0;
   /// Simulated parallel makespan under hash placement + work stealing.
   double makespan_seconds = 0.0;
+  /// Measured wall-clock of the execution. Under kThreads this is the real
+  /// elapsed time of the worker threads; under kSimulated it equals the
+  /// serial execution time (units run on one thread).
+  double wall_seconds = 0.0;
   /// Units initially placed per worker (before stealing).
   std::vector<int> initial_units;
   /// Units actually executed per worker (after stealing).
   std::vector<int> executed_units;
-  /// Units that moved between workers via stealing.
+  /// Units that moved between workers via stealing (real transfers under
+  /// kThreads, simulated transfers under kSimulated).
   int stolen_units = 0;
 
+  /// Simulated speedup (serial time over modeled makespan).
   double speedup() const {
     return makespan_seconds > 0 ? serial_seconds / makespan_seconds : 1.0;
+  }
+  /// Measured speedup (serial time over observed wall-clock).
+  double measured_speedup() const {
+    return wall_seconds > 0 ? serial_seconds / wall_seconds : 1.0;
   }
 };
 
 /// The worker pool (paper §5.2 (3)): a non-centralized set of workers under
 /// consistent hashing; every unit is first placed on the ring by its
 /// partition key, and idle workers steal queued units from the most loaded
-/// peer. Units are executed serially on the caller's thread with measured
-/// durations; the schedule (placement + stealing) is then simulated from
-/// those durations, so speedup curves are reproducible on any host —
-/// including single-core CI — while the placement/stealing logic is the
-/// real algorithm.
+/// peer.
+///
+/// Thread contract for kThreads: the body runs concurrently on
+/// `num_workers` threads. Each unit is executed exactly once; bodies must
+/// not share mutable state except through `unit_index` (write only to your
+/// own unit's slot) or `worker` (write only to your own worker's scratch,
+/// 0 <= worker < num_workers). Call sites merge per-unit results in unit
+/// order after Execute returns, which makes results independent of the
+/// worker count and of steal timing.
 class WorkerPool {
  public:
-  explicit WorkerPool(int num_workers);
+  /// Bodies receive the unit, its index in `units`, and the id of the
+  /// worker executing it.
+  using UnitBody =
+      std::function<void(const WorkUnit&, size_t unit_index, int worker)>;
 
-  /// Executes all units (serially, measuring each) and simulates the
-  /// parallel schedule. `body` runs a unit's real work.
+  explicit WorkerPool(int num_workers,
+                      ExecutionMode mode = ExecutionMode::kThreads);
+
+  /// Executes all units under the selected mode and returns the schedule
+  /// accounting.
+  ScheduleReport Execute(const std::vector<WorkUnit>& units,
+                         const UnitBody& body);
+
+  /// Convenience overload for bodies that do not need the index/worker.
   ScheduleReport Execute(const std::vector<WorkUnit>& units,
                          const std::function<void(const WorkUnit&)>& body);
 
   int num_workers() const { return num_workers_; }
+  ExecutionMode mode() const { return mode_; }
 
  private:
   int num_workers_;
+  ExecutionMode mode_;
   crystal::HashRing ring_;
+
+  /// Hash-ring placement: queue of unit indices per worker.
+  std::vector<std::vector<size_t>> PlaceUnits(
+      const std::vector<WorkUnit>& units) const;
+
+  ScheduleReport ExecuteThreads(const std::vector<WorkUnit>& units,
+                                const UnitBody& body);
+  ScheduleReport ExecuteSimulated(const std::vector<WorkUnit>& units,
+                                  const UnitBody& body);
 };
 
 }  // namespace rock::par

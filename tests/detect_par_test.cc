@@ -137,16 +137,23 @@ TEST_F(DetectTest, ParallelMatchesSerial) {
       Parse("Store(t0) ^ t0.location = 'Beijing' -> t0.area_code = '010'")};
   detect::ErrorDetector detector(Ctx());
   auto serial = detector.Detect(rules);
-  for (int workers : {1, 3, 8}) {
-    par::ScheduleReport schedule;
-    detect::DetectorOptions options;
-    options.block_rows = 2;
-    detect::ErrorDetector parallel(Ctx(), options);
-    auto report = parallel.DetectParallel(rules, workers, &schedule);
-    EXPECT_EQ(report.DirtyCells(), serial.DirtyCells()) << workers;
-    EXPECT_EQ(schedule.num_workers, workers);
-    EXPECT_GT(schedule.makespan_seconds, 0.0);
-    EXPECT_LE(schedule.makespan_seconds, schedule.serial_seconds + 1e-9);
+  for (par::ExecutionMode mode :
+       {par::ExecutionMode::kThreads, par::ExecutionMode::kSimulated}) {
+    for (int workers : {1, 3, 8}) {
+      par::ScheduleReport schedule;
+      detect::DetectorOptions options;
+      options.block_rows = 2;
+      options.execution_mode = mode;
+      detect::ErrorDetector parallel(Ctx(), options);
+      auto report = parallel.DetectParallel(rules, workers, &schedule);
+      EXPECT_EQ(report.DirtyCells(), serial.DirtyCells())
+          << par::ExecutionModeName(mode) << " x" << workers;
+      EXPECT_EQ(schedule.num_workers, workers);
+      EXPECT_EQ(schedule.mode, mode);
+      EXPECT_GT(schedule.makespan_seconds, 0.0);
+      EXPECT_LE(schedule.makespan_seconds, schedule.serial_seconds + 1e-9);
+      EXPECT_GT(schedule.wall_seconds, 0.0);
+    }
   }
 }
 
@@ -190,7 +197,7 @@ TEST(WorkerPoolTest, ExecutesEveryUnitOnce) {
     units.push_back(unit);
   }
   std::vector<int> executed(40, 0);
-  par::WorkerPool pool(6);
+  par::WorkerPool pool(6, par::ExecutionMode::kSimulated);
   auto report = pool.Execute(units, [&](const par::WorkUnit& unit) {
     executed[static_cast<size_t>(unit.rule_index)]++;
   });
@@ -212,11 +219,13 @@ TEST(WorkerPoolTest, MakespanShrinksWithWorkers) {
   }
   auto busy_work = [](const par::WorkUnit&) {
     volatile double x = 0;
-    for (int i = 0; i < 80000; ++i) x += i * 0.5;
+    for (int i = 0; i < 80000; ++i) x = x + i * 0.5;
   };
-  par::WorkerPool two(2);
+  // The simulated schedule model: the makespan must shrink with workers
+  // regardless of host parallelism.
+  par::WorkerPool two(2, par::ExecutionMode::kSimulated);
   double makespan2 = two.Execute(units, busy_work).makespan_seconds;
-  par::WorkerPool eight(8);
+  par::WorkerPool eight(8, par::ExecutionMode::kSimulated);
   double makespan8 = eight.Execute(units, busy_work).makespan_seconds;
   // 4x the workers: comfortably less than the 2-worker makespan even with
   // measurement noise.
@@ -236,9 +245,9 @@ TEST(WorkerPoolTest, StealingKeepsWorkersBusy) {
   }
   auto busy_work = [](const par::WorkUnit&) {
     volatile double x = 0;
-    for (int i = 0; i < 5000; ++i) x += i;
+    for (int i = 0; i < 5000; ++i) x = x + i;
   };
-  par::WorkerPool pool(10);
+  par::WorkerPool pool(10, par::ExecutionMode::kSimulated);
   auto report = pool.Execute(units, busy_work);
   int max_executed = 0;
   for (int c : report.executed_units) max_executed = std::max(max_executed, c);

@@ -1,0 +1,227 @@
+// Tests for the threaded WorkerPool executor: determinism of merged
+// results across worker counts, real work stealing under skewed
+// placement, and stress cases that give TSan genuine interleavings.
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/detect/detector.h"
+#include "src/ml/library.h"
+#include "src/par/executor.h"
+#include "src/rules/parser.h"
+#include "src/workload/ecommerce.h"
+#include "src/workload/generator.h"
+
+namespace rock {
+namespace {
+
+using workload::EcommerceData;
+using workload::MakeEcommerceData;
+
+// Serializes everything a DetectionReport carries, in order, so two
+// reports can be compared bitwise.
+std::string ReportFingerprint(const detect::DetectionReport& report) {
+  std::ostringstream out;
+  out << report.violations << "|" << report.blocked_pairs_checked << "|"
+      << report.exhaustive_pairs_checked << "\n";
+  for (const detect::ErrorRecord& error : report.errors) {
+    out << error.rule_id << ":"
+        << detect::ErrorClassName(error.error_class);
+    for (const auto& cell : error.cells) {
+      out << " (" << cell.rel << "," << cell.tid << "," << cell.attr << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<par::WorkUnit> MakeUnits(int count, int rule_index = 0) {
+  std::vector<par::WorkUnit> units;
+  for (int i = 0; i < count; ++i) {
+    par::WorkUnit unit;
+    unit.rule_index = rule_index;
+    unit.ranges.push_back({0, i, i + 1});
+    units.push_back(unit);
+  }
+  return units;
+}
+
+TEST(ThreadedPoolTest, ExecutesEveryUnitExactlyOnce) {
+  const int kUnits = 200;
+  std::vector<par::WorkUnit> units = MakeUnits(kUnits);
+  std::vector<std::atomic<int>> executed(kUnits);
+  for (auto& e : executed) e.store(0);
+  par::WorkerPool pool(8, par::ExecutionMode::kThreads);
+  auto report = pool.Execute(
+      units, [&](const par::WorkUnit&, size_t unit_index, int worker) {
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, 8);
+        executed[unit_index].fetch_add(1);
+      });
+  for (const auto& e : executed) EXPECT_EQ(e.load(), 1);
+  EXPECT_EQ(report.mode, par::ExecutionMode::kThreads);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  int placed = 0, run = 0;
+  for (int c : report.initial_units) placed += c;
+  for (int c : report.executed_units) run += c;
+  EXPECT_EQ(placed, kUnits);
+  EXPECT_EQ(run, kUnits);
+}
+
+TEST(ThreadedPoolTest, StealsUnderSkewedPlacement) {
+  // Every unit shares one placement key, so hash placement drops the whole
+  // batch on a single worker; the other workers' only source of work is
+  // stealing. Units are slow enough that the owner cannot drain its queue
+  // before the thieves arrive.
+  std::vector<par::WorkUnit> units;
+  for (int i = 0; i < 64; ++i) {
+    par::WorkUnit unit;
+    unit.rule_index = 7;
+    unit.ranges.push_back({0, 0, 0});  // identical block coordinates
+    units.push_back(unit);
+  }
+  par::WorkerPool pool(4, par::ExecutionMode::kThreads);
+  auto report = pool.Execute(units, [](const par::WorkUnit&) {
+    volatile double x = 0;
+    for (int i = 0; i < 200000; ++i) x = x + i * 0.5;
+  });
+  int max_initial = 0;
+  for (int c : report.initial_units) max_initial = std::max(max_initial, c);
+  ASSERT_EQ(max_initial, 64) << "placement should be fully skewed";
+  EXPECT_GT(report.stolen_units, 0);
+  int run = 0;
+  for (int c : report.executed_units) run += c;
+  EXPECT_EQ(run, 64);
+}
+
+TEST(ThreadedPoolTest, RepeatedRunsStress) {
+  // Many small units over many iterations: a TSan target that exercises
+  // pop-vs-steal races on the per-worker deques from fresh threads each
+  // round.
+  for (int round = 0; round < 20; ++round) {
+    const int kUnits = 100;
+    std::vector<par::WorkUnit> units = MakeUnits(kUnits, round);
+    std::vector<std::atomic<int>> executed(kUnits);
+    for (auto& e : executed) e.store(0);
+    par::WorkerPool pool(6, par::ExecutionMode::kThreads);
+    pool.Execute(units,
+                 [&](const par::WorkUnit&, size_t unit_index, int) {
+                   executed[unit_index].fetch_add(1);
+                 });
+    for (const auto& e : executed) ASSERT_EQ(e.load(), 1) << round;
+  }
+}
+
+TEST(ThreadedPoolTest, SimulatedModeIsDeterministic) {
+  std::vector<par::WorkUnit> units = MakeUnits(50);
+  par::WorkerPool pool(5, par::ExecutionMode::kSimulated);
+  auto a = pool.Execute(units, [](const par::WorkUnit&) {});
+  auto b = pool.Execute(units, [](const par::WorkUnit&) {});
+  EXPECT_EQ(a.initial_units, b.initial_units);
+  EXPECT_EQ(a.num_workers, 5);
+  EXPECT_EQ(a.mode, par::ExecutionMode::kSimulated);
+}
+
+class ParDetectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = MakeEcommerceData();
+    models_.RegisterPair("MER",
+                         std::make_shared<ml::SimilarityClassifier>(0.6));
+  }
+
+  rules::EvalContext Ctx() {
+    rules::EvalContext ctx;
+    ctx.db = &data_.db;
+    ctx.graph = &data_.graph;
+    ctx.models = &models_;
+    return ctx;
+  }
+
+  rules::Ree Parse(const std::string& text) {
+    auto rule = rules::ParseRee(text, data_.db.schema());
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    rules::Ree out = rule.ok() ? *rule : rules::Ree{};
+    out.id = "t";
+    return out;
+  }
+
+  EcommerceData data_;
+  ml::MlLibrary models_;
+};
+
+TEST_F(ParDetectTest, ReportIdenticalAcrossWorkerCountsAndModes) {
+  // The acceptance bar for the threaded executor: the full report —
+  // violation counts, error records, cell lists, in order — is bitwise
+  // identical for 1 vs. N workers and for threads vs. simulated modes,
+  // because per-unit reports merge in unit order.
+  std::vector<rules::Ree> rules = {
+      Parse("Trans(t0) ^ Trans(t1) ^ t0.com = t1.com -> t0.mfg = t1.mfg"),
+      Parse("Store(t0) ^ t0.location = 'Beijing' -> t0.area_code = '010'"),
+      Parse("Store(t0) ^ Store(t1) ^ t0.location = t1.location -> "
+            "t0.area_code = t1.area_code")};
+  std::string baseline;
+  for (par::ExecutionMode mode :
+       {par::ExecutionMode::kThreads, par::ExecutionMode::kSimulated}) {
+    for (int workers : {1, 2, 4, 7}) {
+      detect::DetectorOptions options;
+      options.block_rows = 2;
+      options.execution_mode = mode;
+      detect::ErrorDetector detector(Ctx(), options);
+      par::ScheduleReport schedule;
+      auto report = detector.DetectParallel(rules, workers, &schedule);
+      std::string fingerprint = ReportFingerprint(report);
+      if (baseline.empty()) {
+        baseline = fingerprint;
+        EXPECT_GT(report.violations, 0u);
+      } else {
+        EXPECT_EQ(fingerprint, baseline)
+            << par::ExecutionModeName(mode) << " x" << workers;
+      }
+    }
+  }
+}
+
+TEST_F(ParDetectTest, ThreadedStressOverGeneratedWorkload) {
+  // Larger generated workload, small blocks, several worker counts and
+  // repetitions: real contention for TSan on the detector path (shared
+  // pair-frequency cache, per-worker evaluators, per-unit reports).
+  workload::GeneratorOptions options;
+  options.rows = 60;
+  options.error_rate = 0.1;
+  options.seed = 13;
+  workload::GeneratedData data =
+      workload::MakeAppData("Logistics", options);
+  auto rules = rules::ParseRules(data.rule_text, data.db.schema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+
+  rules::EvalContext ctx;
+  ctx.db = &data.db;
+  ctx.graph = &data.graph;
+
+  std::string baseline;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (int workers : {2, 5}) {
+      detect::DetectorOptions options;
+      options.block_rows = 8;
+      options.execution_mode = par::ExecutionMode::kThreads;
+      detect::ErrorDetector detector(ctx, options);
+      par::ScheduleReport schedule;
+      auto report = detector.DetectParallel(*rules, workers, &schedule);
+      std::string fingerprint = ReportFingerprint(report);
+      if (baseline.empty()) {
+        baseline = fingerprint;
+      } else {
+        EXPECT_EQ(fingerprint, baseline) << workers << "@" << repeat;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rock
