@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "bench/bench_telemetry.h"
 
 namespace rock::bench {
 namespace {
@@ -30,6 +31,9 @@ par::ScheduleReport RunOnce(int workers, par::ExecutionMode mode) {
 }
 
 void Run() {
+  BenchTelemetry telemetry("fig4_scale_ec");
+  Timer total;
+  Timer phase;
   std::printf("-- simulated schedule (deterministic curve shape) --\n");
   std::printf("%8s %14s %14s %10s %8s\n", "workers", "makespan(s)",
               "serial(s)", "speedup", "stolen");
@@ -37,14 +41,20 @@ void Run() {
   for (int workers : {4, 8, 12, 16, 20}) {
     par::ScheduleReport schedule =
         RunOnce(workers, par::ExecutionMode::kSimulated);
+    telemetry.AddSchedule("simulated/w" + std::to_string(workers),
+                          schedule);
     std::printf("%8d %14.4f %14.4f %9.2fx %8d\n", workers,
                 schedule.makespan_seconds, schedule.serial_seconds,
                 schedule.speedup(), schedule.stolen_units);
     if (workers == 4) t4 = schedule.makespan_seconds;
     if (workers == 20) t20 = schedule.makespan_seconds;
   }
+  double scaling = t20 > 0 ? t4 / t20 : 0.0;
+  telemetry.AddResult("simulated_speedup_n4_to_n20", scaling);
+  telemetry.AddPhase("simulated", phase.ElapsedSeconds());
+  phase.Reset();
   std::printf("\nSpeedup from n=4 to n=20: %.2fx (paper reports 3.12x)\n",
-              t20 > 0 ? t4 / t20 : 0.0);
+              scaling);
 
   std::printf(
       "\n-- threaded execution (measured wall-clock; host has %u cores) "
@@ -55,11 +65,15 @@ void Run() {
   for (int workers : {1, 2, 4, 8}) {
     par::ScheduleReport schedule =
         RunOnce(workers, par::ExecutionMode::kThreads);
+    telemetry.AddSchedule("threads/w" + std::to_string(workers), schedule);
     std::printf("%8d %14.4f %14.4f %11.2fx %11.2fx %8d\n", workers,
                 schedule.wall_seconds, schedule.serial_seconds,
                 schedule.measured_speedup(), schedule.speedup(),
                 schedule.stolen_units);
   }
+  telemetry.AddPhase("threaded", phase.ElapsedSeconds());
+  telemetry.AddPhase("total", total.ElapsedSeconds());
+  telemetry.Emit();
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "bench/bench_telemetry.h"
 
 namespace rock::bench {
 namespace {
@@ -32,7 +33,8 @@ detect::ErrorDetector MakeDetector(AppContext& app, RockSetup& setup,
   return detect::ErrorDetector(ctx, options);
 }
 
-void RunSimulated(AppContext& app, RockSetup& setup) {
+void RunSimulated(AppContext& app, RockSetup& setup,
+                  BenchTelemetry* telemetry) {
   detect::ErrorDetector detector =
       MakeDetector(app, setup, par::ExecutionMode::kSimulated);
   std::printf("-- simulated schedule (deterministic curve shape) --\n");
@@ -42,17 +44,22 @@ void RunSimulated(AppContext& app, RockSetup& setup) {
   for (int workers : {4, 8, 12, 16, 20}) {
     par::ScheduleReport schedule;
     detector.DetectParallel(setup.rules, workers, &schedule);
+    telemetry->AddSchedule("simulated/w" + std::to_string(workers),
+                           schedule);
     std::printf("%8d %14.4f %14.4f %9.2fx %8d\n", workers,
                 schedule.makespan_seconds, schedule.serial_seconds,
                 schedule.speedup(), schedule.stolen_units);
     if (workers == 4) t4 = schedule.makespan_seconds;
     if (workers == 20) t20 = schedule.makespan_seconds;
   }
+  double scaling = t20 > 0 ? t4 / t20 : 0.0;
+  telemetry->AddResult("simulated_speedup_n4_to_n20", scaling);
   std::printf("\nSpeedup from n=4 to n=20: %.2fx (paper reports 3.36x)\n",
-              t20 > 0 ? t4 / t20 : 0.0);
+              scaling);
 }
 
-void RunThreaded(AppContext& app, RockSetup& setup) {
+void RunThreaded(AppContext& app, RockSetup& setup,
+                 BenchTelemetry* telemetry) {
   unsigned cores = std::thread::hardware_concurrency();
   std::printf(
       "\n-- threaded execution (measured wall-clock; host has %u cores) "
@@ -66,6 +73,7 @@ void RunThreaded(AppContext& app, RockSetup& setup) {
         MakeDetector(app, setup, par::ExecutionMode::kThreads);
     par::ScheduleReport schedule;
     detector.DetectParallel(setup.rules, workers, &schedule);
+    telemetry->AddSchedule("threads/w" + std::to_string(workers), schedule);
     std::printf("%8d %14.4f %14.4f %11.2fx %11.2fx %8d\n", workers,
                 schedule.wall_seconds, schedule.serial_seconds,
                 schedule.measured_speedup(), schedule.speedup(),
@@ -73,17 +81,29 @@ void RunThreaded(AppContext& app, RockSetup& setup) {
     if (workers == 1) wall1 = schedule.wall_seconds;
     if (workers == 4) wall4 = schedule.wall_seconds;
   }
+  double measured = wall4 > 0 ? wall1 / wall4 : 0.0;
+  telemetry->AddResult("threaded_speedup_w1_to_w4", measured);
   std::printf(
       "\nMeasured wall-clock speedup, 4 vs 1 workers: %.2fx "
       "(expect > 1.5x on a 4+ core host; ~1x on a 1-core runner)\n",
-      wall4 > 0 ? wall1 / wall4 : 0.0);
+      measured);
 }
 
 void Run() {
+  BenchTelemetry telemetry("fig4_scale_ed");
+  Timer total;
+  Timer phase;
   AppContext app = MakeApp("Logistics", 500);
   RockSetup setup = PrepareRock(app, core::Variant::kRock);
-  RunSimulated(app, setup);
-  RunThreaded(app, setup);
+  telemetry.AddPhase("prepare", phase.ElapsedSeconds());
+  phase.Reset();
+  RunSimulated(app, setup, &telemetry);
+  telemetry.AddPhase("simulated", phase.ElapsedSeconds());
+  phase.Reset();
+  RunThreaded(app, setup, &telemetry);
+  telemetry.AddPhase("threaded", phase.ElapsedSeconds());
+  telemetry.AddPhase("total", total.ElapsedSeconds());
+  telemetry.Emit();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_telemetry.h"
 #include "src/chase/fix_store.h"
 #include "src/common/hash.h"
 #include "src/common/rng.h"
@@ -164,7 +165,66 @@ void BM_FixStoreSetValue(benchmark::State& state) {
 }
 BENCHMARK(BM_FixStoreSetValue);
 
+/// Console output as usual, plus a capture of every run's per-iteration
+/// real time so main() can emit BENCH_micro_perf.json.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_seconds_per_iter = 0.0;
+    int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      if (run.iterations > 0) {
+        row.real_seconds_per_iter =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+      }
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 }  // namespace rock
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  rock::bench::BenchTelemetry telemetry("micro_perf");
+  rock::Timer total;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  rock::CapturingReporter reporter;
+  {
+    ROCK_OBS_SPAN("bench.run_all");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  // Each microbenchmark becomes a phase (per-iteration real time) and a
+  // result (iteration count); slashes in Google Benchmark names (e.g.
+  // "BM_Crc32/64") are kept verbatim — JSON keys allow them. The kernels
+  // under test sit below the instrumented layers, so the iteration count
+  // doubles as this binary's telemetry counter.
+  rock::obs::Counter* iterations =
+      rock::obs::MetricsRegistry::Global().GetCounter(
+          "rock_bench_iterations_total");
+  for (const rock::CapturingReporter::Row& row : reporter.rows()) {
+    telemetry.AddPhase(row.name, row.real_seconds_per_iter);
+    telemetry.AddResult(row.name + "/iterations",
+                        static_cast<double>(row.iterations));
+    iterations->Add(static_cast<uint64_t>(row.iterations));
+  }
+  telemetry.AddPhase("total", total.ElapsedSeconds());
+  telemetry.Emit();
+  return 0;
+}

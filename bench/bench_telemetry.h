@@ -1,0 +1,132 @@
+#ifndef ROCK_BENCH_BENCH_TELEMETRY_H_
+#define ROCK_BENCH_BENCH_TELEMETRY_H_
+
+// Machine-readable bench output. Every bench binary keeps its human-readable
+// stdout tables and additionally emits BENCH_<name>.json with per-phase
+// timings, schedule reports and the process telemetry (counters, histograms,
+// span aggregates) captured over the run. CI's bench-smoke step validates
+// these files with scripts/check_bench_json.py.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/obs/exporters.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/par/executor.h"
+
+namespace rock::bench {
+
+/// Collects one bench run's results and writes BENCH_<name>.json on Emit().
+/// Construction resets the process-wide metrics registry and tracer so the
+/// exported telemetry covers exactly this run.
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(std::string name) : name_(std::move(name)) {
+    obs::MetricsRegistry::Global().Reset();
+    obs::Tracer::Global().Reset();
+  }
+
+  /// Records a named phase duration (seconds).
+  void AddPhase(const std::string& phase, double seconds) {
+    phases_.emplace_back(phase, seconds);
+  }
+
+  /// Records one worker-pool schedule row (one bench table line).
+  void AddSchedule(const std::string& label,
+                   const par::ScheduleReport& report) {
+    schedules_.emplace_back(label, report);
+  }
+
+  /// Records a scalar result (speedups, F1 scores, row counts, ...).
+  void AddResult(const std::string& key, double value) {
+    results_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<name>.json into $ROCK_BENCH_JSON_DIR (or the working
+  /// directory) and returns the path. Prints a one-line pointer to stdout so
+  /// harness logs show where the JSON went.
+  std::string Emit() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_);
+    w.Key("schema_version").Int(1);
+    w.Key("phases").BeginObject();
+    for (const auto& [phase, seconds] : phases_) {
+      w.Key(phase).Number(seconds);
+    }
+    w.EndObject();
+    w.Key("schedules").BeginArray();
+    for (const auto& [label, report] : schedules_) {
+      AppendSchedule(label, report, &w);
+    }
+    w.EndArray();
+    w.Key("results").BeginObject();
+    for (const auto& [key, value] : results_) {
+      w.Key(key).Number(value);
+    }
+    w.EndObject();
+    obs::TelemetrySnapshot snap = obs::CaptureGlobalTelemetry();
+    w.Key("telemetry").BeginObject();
+    obs::AppendTelemetryFields(snap.metrics, snap.spans, snap.dropped_spans,
+                               &w);
+    w.EndObject();
+    w.EndObject();
+
+    std::string path = OutputPath();
+    Status status = obs::WriteFile(path, w.str() + "\n");
+    if (status.ok()) {
+      std::printf("\n[bench-json] wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench-json] FAILED writing %s: %s\n",
+                   path.c_str(), status.message().c_str());
+    }
+    return path;
+  }
+
+ private:
+  std::string OutputPath() const {
+    const char* dir = std::getenv("ROCK_BENCH_JSON_DIR");
+    std::string prefix = (dir != nullptr && *dir != '\0')
+                             ? std::string(dir) + "/"
+                             : std::string();
+    return prefix + "BENCH_" + name_ + ".json";
+  }
+
+  static void AppendSchedule(const std::string& label,
+                             const par::ScheduleReport& report,
+                             obs::JsonWriter* w) {
+    w->BeginObject();
+    w->Key("label").String(label);
+    w->Key("mode").String(report.mode == par::ExecutionMode::kThreads
+                              ? "threads"
+                              : "simulated");
+    w->Key("workers").Int(report.num_workers);
+    w->Key("serial_seconds").Number(report.serial_seconds);
+    w->Key("makespan_seconds").Number(report.makespan_seconds);
+    w->Key("wall_seconds").Number(report.wall_seconds);
+    w->Key("stolen_units").Int(report.stolen_units);
+    w->Key("speedup").Number(report.speedup());
+    w->Key("measured_speedup").Number(report.measured_speedup());
+    w->Key("initial_units").BeginArray();
+    for (int units : report.initial_units) w->Int(units);
+    w->EndArray();
+    w->Key("executed_units").BeginArray();
+    for (int units : report.executed_units) w->Int(units);
+    w->EndArray();
+    w->EndObject();
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, par::ScheduleReport>> schedules_;
+  std::vector<std::pair<std::string, double>> results_;
+};
+
+}  // namespace rock::bench
+
+#endif  // ROCK_BENCH_BENCH_TELEMETRY_H_

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_*.json files the bench binaries emit.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Fails (exit 1) when a file is missing, is not valid JSON, or lacks the
+required sections: bench name, schema_version, non-empty phases,
+schedules (rows must carry the ScheduleReport fields), results, and
+telemetry with counters/gauges/histograms/spans. CI's bench-smoke step
+runs this over every emitted file.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = ["bench", "schema_version", "phases", "schedules",
+                "results", "telemetry"]
+REQUIRED_SCHEDULE = ["label", "mode", "workers", "serial_seconds",
+                     "makespan_seconds", "wall_seconds", "stolen_units",
+                     "speedup", "measured_speedup", "initial_units",
+                     "executed_units"]
+REQUIRED_TELEMETRY = ["counters", "gauges", "histograms", "spans",
+                      "dropped_spans"]
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}")
+    return False
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        return fail(path, f"unreadable: {err}")
+    except json.JSONDecodeError as err:
+        return fail(path, f"malformed JSON: {err}")
+
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            return fail(path, f"missing top-level key {key!r}")
+    if doc["schema_version"] != 1:
+        return fail(path, f"unexpected schema_version {doc['schema_version']}")
+    if not isinstance(doc["phases"], dict) or not doc["phases"]:
+        return fail(path, "phases must be a non-empty object")
+    for phase, seconds in doc["phases"].items():
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            return fail(path, f"phase {phase!r} has bad duration {seconds!r}")
+    if not isinstance(doc["schedules"], list):
+        return fail(path, "schedules must be an array")
+    for row in doc["schedules"]:
+        for key in REQUIRED_SCHEDULE:
+            if key not in row:
+                return fail(path, f"schedule row missing {key!r}: {row}")
+    telemetry = doc["telemetry"]
+    for key in REQUIRED_TELEMETRY:
+        if key not in telemetry:
+            return fail(path, f"telemetry missing {key!r}")
+    for name, hist in telemetry["histograms"].items():
+        for key in ("buckets", "count", "sum"):
+            if key not in hist:
+                return fail(path, f"histogram {name!r} missing {key!r}")
+    for name, span in telemetry["spans"].items():
+        for key in ("count", "total_seconds", "max_seconds"):
+            if key not in span:
+                return fail(path, f"span {name!r} missing {key!r}")
+
+    n_counters = len(telemetry["counters"])
+    n_spans = len(telemetry["spans"])
+    print(f"OK   {path}: bench={doc['bench']} phases={len(doc['phases'])} "
+          f"schedules={len(doc['schedules'])} counters={n_counters} "
+          f"spans={n_spans}")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 1
+    ok = all([check(path) for path in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,8 @@
 #include "src/common/logging.h"
 #include "src/ml/correlation.h"
 #include "src/ml/ranking.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/par/executor.h"
 
 namespace rock::chase {
@@ -14,6 +16,57 @@ using rules::Predicate;
 using rules::PredicateKind;
 using rules::Ree;
 using rules::Valuation;
+
+namespace {
+
+struct ChaseMetrics {
+  obs::Counter* applications;
+  obs::Counter* conflicts;
+  obs::Counter* rounds;
+  /// Fixes broken down by the applying rule's task — the error classes the
+  /// paper reports (ER = duplicates, CR = conflicts, MI = missing values,
+  /// TD = stale values).
+  obs::Counter* fixes_er;
+  obs::Counter* fixes_cr;
+  obs::Counter* fixes_mi;
+  obs::Counter* fixes_td;
+  obs::Counter* fixes_general;
+
+  static const ChaseMetrics& Get() {
+    static ChaseMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      ChaseMetrics out;
+      out.applications = reg.GetCounter("rock_chase_applications_total");
+      out.conflicts = reg.GetCounter("rock_chase_conflicts_total");
+      out.rounds = reg.GetCounter("rock_chase_rounds_total");
+      out.fixes_er = reg.GetCounter("rock_chase_fixes_er_total");
+      out.fixes_cr = reg.GetCounter("rock_chase_fixes_cr_total");
+      out.fixes_mi = reg.GetCounter("rock_chase_fixes_mi_total");
+      out.fixes_td = reg.GetCounter("rock_chase_fixes_td_total");
+      out.fixes_general = reg.GetCounter("rock_chase_fixes_general_total");
+      return out;
+    }();
+    return m;
+  }
+
+  obs::Counter* FixCounter(rules::RuleTask task) const {
+    switch (task) {
+      case rules::RuleTask::kEr:
+        return fixes_er;
+      case rules::RuleTask::kCr:
+        return fixes_cr;
+      case rules::RuleTask::kMi:
+        return fixes_mi;
+      case rules::RuleTask::kTd:
+        return fixes_td;
+      case rules::RuleTask::kGeneral:
+        return fixes_general;
+    }
+    return fixes_general;
+  }
+};
+
+}  // namespace
 
 ChaseEngine::ChaseEngine(const Database* db, const kg::KnowledgeGraph* graph,
                          const ml::MlLibrary* models)
@@ -35,6 +88,7 @@ rules::EvalContext ChaseEngine::Context() const {
 }
 
 ChaseResult ChaseEngine::Run(const std::vector<Ree>& rules) {
+  ROCK_OBS_SPAN("chase.run");
   return Loop(rules, {}, /*initial_full_scan=*/true);
 }
 
@@ -410,6 +464,8 @@ ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
                               bool initial_full_scan) {
   ChaseResult result;
   rules::Evaluator eval(Context());
+  const ChaseMetrics& metrics = ChaseMetrics::Get();
+  size_t conflicts_before = conflicts_.size();
 
   auto process_valuation = [&](const Ree& rule, const Valuation& v,
                                std::vector<std::pair<int, int64_t>>* next) {
@@ -417,11 +473,16 @@ ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
       return true;
     }
     ++result.applications;
-    result.fixes_applied += ApplyConsequence(rule, v, eval, next);
+    metrics.applications->Add(1);
+    size_t new_fixes = ApplyConsequence(rule, v, eval, next);
+    result.fixes_applied += new_fixes;
+    if (new_fixes > 0) metrics.FixCounter(rule.Task())->Add(new_fixes);
     return true;
   };
 
   for (int round = 0; round < options_.max_rounds; ++round) {
+    ROCK_OBS_SPAN("chase.round");
+    metrics.rounds->Add(1);
     result.rounds = round + 1;
     std::vector<std::pair<int, int64_t>> next_dirty;
     size_t fixes_before = result.fixes_applied;
@@ -467,6 +528,7 @@ ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
       break;
     }
   }
+  metrics.conflicts->Add(conflicts_.size() - conflicts_before);
   result.conflicts = conflicts_;
   return result;
 }
@@ -475,14 +537,20 @@ ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
                                      int num_workers, int block_rows,
                                      par::ScheduleReport* schedule,
                                      par::ExecutionMode mode) {
+  ROCK_OBS_SPAN("chase.run_parallel");
   ChaseResult result;
   rules::Evaluator eval(Context());
+  const ChaseMetrics& metrics = ChaseMetrics::Get();
+  size_t conflicts_before = conflicts_.size();
   std::vector<std::pair<int, int64_t>> next_dirty;
 
   auto process_valuation = [&](const Ree& rule, const Valuation& v) {
     if (options_.certain_fixes_only && !PremisesValidated(rule, v)) return;
     ++result.applications;
-    result.fixes_applied += ApplyConsequence(rule, v, eval, &next_dirty);
+    metrics.applications->Add(1);
+    size_t new_fixes = ApplyConsequence(rule, v, eval, &next_dirty);
+    result.fixes_applied += new_fixes;
+    if (new_fixes > 0) metrics.FixCounter(rule.Task())->Add(new_fixes);
   };
 
   // Round 0 under the worker pool: one unit per rule × block combination,
@@ -514,7 +582,10 @@ ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
     evals.emplace_back(Context());
   }
   std::vector<std::vector<Valuation>> unit_hits(units.size());
-  par::ScheduleReport local = pool.Execute(
+  par::ScheduleReport local;
+  {
+    ROCK_OBS_SPAN("chase.parallel_eval");
+    local = pool.Execute(
       units, [&](const par::WorkUnit& unit, size_t unit_index, int worker) {
         const Ree& rule = rules[static_cast<size_t>(unit.rule_index)];
         const rules::Evaluator& worker_eval =
@@ -537,18 +608,22 @@ ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
         };
         recurse(0);
       });
+  }
   if (schedule != nullptr) *schedule = local;
 
   // Apply phase (after the barrier): consequences are deduced serially in
   // unit order. Preconditions are re-verified against the now-growing
   // overlay so a fix applied earlier in this loop can retract a later
   // candidate, exactly as in the serial chase.
-  for (size_t unit_index = 0; unit_index < units.size(); ++unit_index) {
-    const Ree& rule =
-        rules[static_cast<size_t>(units[unit_index].rule_index)];
-    for (const Valuation& v : unit_hits[unit_index]) {
-      if (!eval.SatisfiesPrecondition(rule, v)) continue;
-      process_valuation(rule, v);
+  {
+    ROCK_OBS_SPAN("chase.parallel_apply");
+    for (size_t unit_index = 0; unit_index < units.size(); ++unit_index) {
+      const Ree& rule =
+          rules[static_cast<size_t>(units[unit_index].rule_index)];
+      for (const Valuation& v : unit_hits[unit_index]) {
+        if (!eval.SatisfiesPrecondition(rule, v)) continue;
+        process_valuation(rule, v);
+      }
     }
   }
   // Vertex-variable rules + propagation rounds run through the ordinary
@@ -561,6 +636,8 @@ ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
     });
   }
   result.rounds = 1;
+  // The tail Loop() accounts for its own conflicts; record round 0's here.
+  metrics.conflicts->Add(conflicts_.size() - conflicts_before);
   ChaseResult tail = Loop(rules, std::move(next_dirty),
                           /*initial_full_scan=*/false);
   result.rounds += tail.rounds;

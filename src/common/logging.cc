@@ -3,11 +3,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <ctime>
 
 namespace rock {
 namespace {
-
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,6 +24,66 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Default level: ROCK_LOG_LEVEL if set and recognised, else kWarning.
+int InitialLevel() {
+  const char* env = std::getenv("ROCK_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarning);
+  auto matches = [env](const char* name) {
+    for (size_t i = 0;; ++i) {
+      char a = env[i];
+      char b = name[i];
+      if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+      if (a != b) return false;
+      if (a == '\0') return true;
+    }
+  };
+  if (matches("debug")) return static_cast<int>(LogLevel::kDebug);
+  if (matches("info")) return static_cast<int>(LogLevel::kInfo);
+  if (matches("warning") || matches("warn")) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (matches("error")) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
+
+/// Builds the complete line — "[<ISO-8601>Z <level> <file>:<line> t<id>]
+/// <body>\n" — and hands it to stderr as one fwrite, so lines from
+/// concurrent threads never interleave mid-line.
+void EmitLine(LogLevel level, const char* file, int line,
+              const std::string& body) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  if (millis < 0) millis += 1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+
+  char prefix[128];
+  std::snprintf(prefix, sizeof(prefix),
+                "[%04d-%02d-%02dT%02d:%02d:%02d.%03dZ %s %s:%d t%u] ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis, LevelName(level), base, line,
+                internal_logging::ThreadLogId());
+
+  std::string full;
+  full.reserve(std::strlen(prefix) + body.size() + 1);
+  full += prefix;
+  full += body;
+  full += '\n';
+  std::fwrite(full.data(), 1, full.size(), stderr);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -35,21 +96,31 @@ LogLevel GetLogLevel() {
 
 namespace internal_logging {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  const char* base = file;
-  for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
-  }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+unsigned ThreadLogId() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) <
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  EmitLine(level_, file_, line_, stream_.str());
+}
+
+CheckFailed::CheckFailed(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "CHECK failed: " << condition << " ";
+}
+
+CheckFailed::~CheckFailed() {
+  EmitLine(LogLevel::kError, file_, line_, stream_.str());
+  std::abort();
 }
 
 }  // namespace internal_logging

@@ -8,14 +8,23 @@ namespace rock {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted to stderr. Defaults to kWarning so
-/// tests and benchmarks stay quiet; examples raise it to kInfo.
+/// Sets the minimum level that is emitted to stderr. The default is
+/// kWarning (tests and benchmarks stay quiet) unless the ROCK_LOG_LEVEL
+/// environment variable (debug|info|warning|error) overrides it, so
+/// benches and examples can raise verbosity without recompiling.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal_logging {
 
-/// Stream-style log sink; emits on destruction.
+/// Small per-process id of the calling thread (t0, t1, ...), stable for
+/// the thread's lifetime; part of every log line's prefix.
+unsigned ThreadLogId();
+
+/// Stream-style log sink. The full line — ISO-8601 UTC timestamp, level,
+/// source location, thread id, message, newline — is built in the buffer
+/// and emitted with a single fwrite, so concurrent workers never
+/// interleave partial lines on stderr.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -32,7 +41,37 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
+};
+
+/// Fatal sink behind ROCK_CHECK: emits regardless of the log level, then
+/// aborts — after any streamed context has been appended.
+class CheckFailed {
+ public:
+  CheckFailed(const char* file, int line, const char* condition);
+  ~CheckFailed();
+
+  CheckFailed(const CheckFailed&) = delete;
+  CheckFailed& operator=(const CheckFailed&) = delete;
+
+  template <typename T>
+  CheckFailed& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Lowers a CheckFailed chain to void so it can sit in the else-branch of
+/// ROCK_CHECK's conditional expression.
+struct Voidify {
+  void operator&(const CheckFailed&) {}
 };
 
 }  // namespace internal_logging
@@ -43,12 +82,11 @@ class LogMessage {
                                        __FILE__, __LINE__)
 
 /// Fatal invariant check; aborts with a message when `cond` is false.
-#define ROCK_CHECK(cond)                                                   \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      ROCK_LOG(kError) << "CHECK failed: " #cond;                          \
-      ::abort();                                                           \
-    }                                                                      \
-  } while (false)
+/// Accepts streamed context: ROCK_CHECK(ok) << "rule=" << id;
+#define ROCK_CHECK(cond)                                    \
+  (cond) ? (void)0                                          \
+         : ::rock::internal_logging::Voidify() &            \
+               ::rock::internal_logging::CheckFailed(       \
+                   __FILE__, __LINE__, #cond)
 
 #endif  // ROCK_COMMON_LOGGING_H_

@@ -7,6 +7,7 @@
 #include "src/ml/correlation.h"
 #include "src/ml/her.h"
 #include "src/ml/ranking.h"
+#include "src/obs/trace.h"
 
 namespace rock::core {
 
@@ -50,6 +51,7 @@ rules::EvalContext Rock::Context() const {
 }
 
 void Rock::TrainModels(const ModelTrainingSpec& spec) {
+  ROCK_OBS_SPAN("rock.train_models");
   if (options_.variant == Variant::kNoMl) return;
 
   models_.RegisterPair(
@@ -137,6 +139,7 @@ Result<std::vector<Ree>> Rock::LoadRules(const std::string& text) const {
 
 std::vector<discovery::MinedRule> Rock::DiscoverRules(
     const discovery::PredicateSpaceOptions& space_options, size_t top_k) {
+  ROCK_OBS_SPAN("rock.discover_rules");
   discovery::PredicateSpaceOptions effective = space_options;
   if (options_.variant == Variant::kNoMl) effective.ml_bindings.clear();
 
@@ -169,6 +172,7 @@ std::vector<discovery::MinedRule> Rock::DiscoverRules(
 }
 
 std::vector<PolyRule> Rock::DiscoverPolynomials() {
+  ROCK_OBS_SPAN("rock.discover_polynomials");
   poly_rules_.clear();
   if (!options_.enable_polynomials) return poly_rules_;
   discovery::PolyOptions poly_options;
@@ -222,6 +226,7 @@ void Rock::DetectPolyViolations(detect::DetectionReport* report) const {
 
 detect::DetectionReport Rock::DetectErrors(
     const std::vector<Ree>& rules) const {
+  ROCK_OBS_SPAN("rock.detect");
   detect::ErrorDetector detector(Context(), options_.detector);
   detect::DetectionReport report = detector.Detect(rules);
   DetectPolyViolations(&report);
@@ -288,6 +293,7 @@ std::unique_ptr<chase::ChaseEngine> Rock::CorrectErrors(
     const std::vector<Ree>& rules,
     const std::vector<std::pair<int, int64_t>>& ground_truth,
     CorrectionResult* result) {
+  ROCK_OBS_SPAN("rock.correct");
   auto engine = std::make_unique<chase::ChaseEngine>(db_, graph_, &models_,
                                                      options_.chase);
   for (const auto& [rel, tid] : ground_truth) {
@@ -358,6 +364,14 @@ std::unique_ptr<chase::ChaseEngine> Rock::CorrectErrors(
   }
   if (result != nullptr) *result = local;
   return engine;
+}
+
+obs::TelemetrySnapshot Rock::Telemetry() const {
+  return obs::CaptureGlobalTelemetry();
+}
+
+Status Rock::DumpJson(const std::string& path) const {
+  return obs::WriteFile(path, Telemetry().ToJson());
 }
 
 }  // namespace rock::core

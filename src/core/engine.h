@@ -12,6 +12,7 @@
 #include "src/discovery/topk.h"
 #include "src/kg/graph.h"
 #include "src/ml/library.h"
+#include "src/obs/exporters.h"
 #include "src/rules/parser.h"
 #include "src/storage/relation.h"
 
@@ -147,6 +148,15 @@ class Rock {
 
   /// The polynomial rules currently enforced.
   const std::vector<PolyRule>& poly_rules() const { return poly_rules_; }
+
+  /// Point-in-time telemetry: every registered metric plus per-span timing
+  /// aggregates for the instrumented phases (discovery, detection, chase,
+  /// worker pool). Metrics are process-wide — concurrent Rock instances
+  /// share one registry.
+  obs::TelemetrySnapshot Telemetry() const;
+
+  /// Writes Telemetry() as a JSON document to `path`.
+  Status DumpJson(const std::string& path) const;
 
  private:
   Database* db_;

@@ -4,9 +4,44 @@
 #include <iterator>
 
 #include "src/common/hash.h"
+#include "src/common/timer.h"
 #include "src/ml/lsh.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace rock::detect {
+namespace {
+
+struct DetectMetrics {
+  obs::Counter* violations;
+  obs::Counter* pairfreq_hits;
+  obs::Counter* pairfreq_misses;
+  obs::Counter* blocked_pairs;
+  obs::Counter* exhaustive_pairs;
+  obs::Histogram* rule_seconds;
+
+  static const DetectMetrics& Get() {
+    static DetectMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      DetectMetrics out;
+      out.violations = reg.GetCounter("rock_detect_violations_total");
+      out.pairfreq_hits =
+          reg.GetCounter("rock_detect_pairfreq_cache_hits_total");
+      out.pairfreq_misses =
+          reg.GetCounter("rock_detect_pairfreq_cache_misses_total");
+      out.blocked_pairs =
+          reg.GetCounter("rock_detect_blocked_pairs_checked_total");
+      out.exhaustive_pairs =
+          reg.GetCounter("rock_detect_exhaustive_pairs_checked_total");
+      out.rule_seconds = reg.GetHistogram("rock_detect_rule_seconds",
+                                          obs::LatencyBucketsSeconds());
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 using rules::Predicate;
 using rules::PredicateKind;
@@ -57,7 +92,10 @@ int ErrorDetector::PairFrequency(int rel, int guard_attr, int cons_attr,
   std::lock_guard<std::mutex> lock(pair_freq_mu_);
   auto key = std::make_tuple(rel, guard_attr, cons_attr);
   auto it = pair_freq_.find(key);
-  if (it == pair_freq_.end()) {
+  if (it != pair_freq_.end()) {
+    DetectMetrics::Get().pairfreq_hits->Add(1);
+  } else {
+    DetectMetrics::Get().pairfreq_misses->Add(1);
     std::unordered_map<uint64_t, int> table;
     const Relation& relation = ctx_.db->relation(rel);
     for (size_t row = 0; row < relation.size(); ++row) {
@@ -76,6 +114,7 @@ void ErrorDetector::RecordViolation(const Ree& rule, const Valuation& v,
                                     const rules::Evaluator& eval,
                                     DetectionReport* report) const {
   ++report->violations;
+  DetectMetrics::Get().violations->Add(1);
   ErrorRecord record;
   record.rule_id = rule.id;
   const Predicate& p = rule.consequence;
@@ -262,19 +301,26 @@ void ErrorDetector::DetectRule(const Ree& rule, const rules::Evaluator& eval,
 
 DetectionReport ErrorDetector::Detect(
     const std::vector<Ree>& rules) const {
+  ROCK_OBS_SPAN("detect.batch");
+  const DetectMetrics& metrics = DetectMetrics::Get();
   DetectionReport report;
   rules::Evaluator eval(ctx_);
   for (const Ree& rule : rules) {
+    Timer timer;
     if (!DetectWithBlocking(rule, eval, &report)) {
       DetectRule(rule, eval, &report);
     }
+    metrics.rule_seconds->Observe(timer.ElapsedSeconds());
   }
+  metrics.blocked_pairs->Add(report.blocked_pairs_checked);
+  metrics.exhaustive_pairs->Add(report.exhaustive_pairs_checked);
   return report;
 }
 
 DetectionReport ErrorDetector::DetectIncremental(
     const std::vector<Ree>& rules,
     const std::vector<std::pair<int, int64_t>>& dirty) const {
+  ROCK_OBS_SPAN("detect.incremental");
   DetectionReport report;
   rules::Evaluator eval(ctx_);
   std::set<std::vector<int>> seen;
@@ -331,6 +377,7 @@ void ErrorDetector::DetectRuleInRanges(
 DetectionReport ErrorDetector::DetectParallel(
     const std::vector<Ree>& rules, int num_workers,
     par::ScheduleReport* schedule) const {
+  ROCK_OBS_SPAN("detect.parallel");
   std::vector<par::WorkUnit> units;
   for (size_t r = 0; r < rules.size(); ++r) {
     std::vector<par::WorkUnit> rule_units = par::BuildHyperCubeUnits(
@@ -363,6 +410,9 @@ DetectionReport ErrorDetector::DetectParallel(
     std::move(unit_report.errors.begin(), unit_report.errors.end(),
               std::back_inserter(report.errors));
   }
+  const DetectMetrics& metrics = DetectMetrics::Get();
+  metrics.blocked_pairs->Add(report.blocked_pairs_checked);
+  metrics.exhaustive_pairs->Add(report.exhaustive_pairs_checked);
   return report;
 }
 

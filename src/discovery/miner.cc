@@ -4,8 +4,33 @@
 #include <cmath>
 #include <set>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace rock::discovery {
 namespace {
+
+struct MinerMetrics {
+  obs::Counter* candidates_explored;
+  obs::Counter* candidates_pruned;
+  obs::Counter* rules_mined;
+  obs::Gauge* evidence_rows;
+
+  static const MinerMetrics& Get() {
+    static MinerMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      MinerMetrics out;
+      out.candidates_explored =
+          reg.GetCounter("rock_discovery_candidates_explored_total");
+      out.candidates_pruned =
+          reg.GetCounter("rock_discovery_candidates_pruned_total");
+      out.rules_mined = reg.GetCounter("rock_discovery_rules_mined_total");
+      out.evidence_rows = reg.GetGauge("rock_discovery_evidence_rows");
+      return out;
+    }();
+    return m;
+  }
+};
 
 /// Evidence-level correlation of predicate `p` with consequence `c`:
 /// |P(c|p) - P(c)| — the FDX-style structure signal used for pruning.
@@ -49,6 +74,7 @@ size_t HoeffdingSampleSize(double epsilon, double delta) {
 
 std::vector<MinedRule> RuleMiner::Mine(const rules::Evaluator& eval,
                                        const PredicateSpace& space) {
+  ROCK_OBS_SPAN("discovery.mine");
   candidates_explored_ = 0;
   candidates_pruned_ = 0;
 
@@ -56,6 +82,7 @@ std::vector<MinedRule> RuleMiner::Mine(const rules::Evaluator& eval,
   size_t cap = options_.disable_pruning ? 0 : options_.max_evidence_rows;
   EvidenceTable table = EvidenceTable::Build(eval, space, cap, &rng);
   const size_t n = table.num_rows();
+  MinerMetrics::Get().evidence_rows->Set(static_cast<int64_t>(n));
   std::vector<MinedRule> out;
   if (n == 0) return out;
 
@@ -148,6 +175,10 @@ std::vector<MinedRule> RuleMiner::Mine(const rules::Evaluator& eval,
   for (size_t i = 0; i < out.size(); ++i) {
     out[i].rule.id = "mined_" + std::to_string(i);
   }
+  const MinerMetrics& metrics = MinerMetrics::Get();
+  metrics.candidates_explored->Add(candidates_explored_);
+  metrics.candidates_pruned->Add(candidates_pruned_);
+  metrics.rules_mined->Add(out.size());
   return out;
 }
 

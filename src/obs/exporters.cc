@@ -1,0 +1,249 @@
+#include "src/obs/exporters.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace rock::obs {
+namespace {
+
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return value > 0 ? "1e999" : "-1e999";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  need_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  need_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  Separate();
+  // JSON has no Inf/NaN; clamp to null.
+  out_ += std::isfinite(value) ? FormatDouble(value) : "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  Separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  char buf[256];
+  for (const auto& counter : snapshot.counters) {
+    out += "# TYPE " + counter.name + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", counter.name.c_str(),
+                  counter.value);
+    out += buf;
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    out += "# TYPE " + gauge.name + " gauge\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", gauge.name.c_str(),
+                  gauge.value);
+    out += buf;
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    out += "# TYPE " + histogram.name + " histogram\n";
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                    histogram.name.c_str(),
+                    FormatDouble(histogram.bounds[i]).c_str(),
+                    histogram.cumulative_counts[i]);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  histogram.name.c_str(), histogram.count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %s\n", histogram.name.c_str(),
+                  FormatDouble(histogram.sum).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n",
+                  histogram.name.c_str(), histogram.count);
+    out += buf;
+  }
+  return out;
+}
+
+void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
+                           const std::map<std::string, SpanStats>& spans,
+                           uint64_t dropped_spans, JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.Key("counters").BeginObject();
+  for (const auto& counter : snapshot.counters) {
+    w.Key(counter.name).Uint(counter.value);
+  }
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const auto& gauge : snapshot.gauges) {
+    w.Key(gauge.name).Int(gauge.value);
+  }
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  for (const auto& histogram : snapshot.histograms) {
+    w.Key(histogram.name).BeginObject();
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      w.BeginObject();
+      w.Key("le").Number(histogram.bounds[i]);
+      w.Key("count").Uint(histogram.cumulative_counts[i]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("count").Uint(histogram.count);
+    w.Key("sum").Number(histogram.sum);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("spans").BeginObject();
+  for (const auto& [name, stats] : spans) {
+    w.Key(name).BeginObject();
+    w.Key("count").Uint(stats.count);
+    w.Key("total_seconds").Number(stats.total_seconds);
+    w.Key("max_seconds").Number(stats.max_seconds);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("dropped_spans").Uint(dropped_spans);
+}
+
+std::string ExportJson(const MetricsRegistry::Snapshot& snapshot,
+                       const std::map<std::string, SpanStats>& spans,
+                       uint64_t dropped_spans) {
+  JsonWriter w;
+  w.BeginObject();
+  AppendTelemetryFields(snapshot, spans, dropped_spans, &w);
+  w.EndObject();
+  return w.str();
+}
+
+TelemetrySnapshot CaptureGlobalTelemetry() {
+  TelemetrySnapshot snap;
+  snap.metrics = MetricsRegistry::Global().Snap();
+  snap.spans = Tracer::Global().AggregateByName();
+  snap.dropped_spans = Tracer::Global().dropped();
+  return snap;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rock::obs

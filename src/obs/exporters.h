@@ -1,0 +1,81 @@
+#ifndef ROCK_OBS_EXPORTERS_H_
+#define ROCK_OBS_EXPORTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace rock::obs {
+
+/// Minimal streaming JSON writer (objects, arrays, scalars, comma
+/// placement, string escaping). Shared by the telemetry exporter and the
+/// bench harness's BENCH_*.json emitter.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Key inside an object; follow with a value or Begin*.
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+  std::string out_;
+  /// true = a value has been emitted at this nesting level (comma needed).
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+std::string JsonEscape(const std::string& raw);
+
+/// Prometheus text exposition format (counters, gauges, histograms with
+/// cumulative `le` buckets, `_sum` and `_count` series).
+std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot);
+
+/// Everything the process knows about itself, as one JSON object:
+/// {"counters": {...}, "gauges": {...}, "histograms": {...},
+///  "spans": {name: {count, total_seconds, max_seconds}},
+///  "dropped_spans": n}.
+std::string ExportJson(const MetricsRegistry::Snapshot& snapshot,
+                       const std::map<std::string, SpanStats>& spans,
+                       uint64_t dropped_spans);
+
+/// Emits the telemetry object's fields into an already-open JSON object —
+/// the bench emitter nests telemetry next to its own sections.
+void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
+                           const std::map<std::string, SpanStats>& spans,
+                           uint64_t dropped_spans, JsonWriter* writer);
+
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// Point-in-time view of the process-wide registry + tracer, with the
+/// exporters pre-wired. This is what `core::Rock::Telemetry()` returns.
+struct TelemetrySnapshot {
+  MetricsRegistry::Snapshot metrics;
+  std::map<std::string, SpanStats> spans;
+  uint64_t dropped_spans = 0;
+
+  std::string ToJson() const {
+    return ExportJson(metrics, spans, dropped_spans);
+  }
+  std::string ToPrometheus() const { return ExportPrometheus(metrics); }
+};
+
+TelemetrySnapshot CaptureGlobalTelemetry();
+
+}  // namespace rock::obs
+
+#endif  // ROCK_OBS_EXPORTERS_H_

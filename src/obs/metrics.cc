@@ -1,0 +1,164 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rock::obs {
+
+size_t ThisThreadShard() {
+  // A per-thread id handed out on first use distributes threads over the
+  // shards round-robin; hashing std::this_thread::get_id() clusters badly
+  // on some libstdc++ builds where ids are consecutive pointers.
+  static std::atomic<size_t> next{0};
+  thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % kMetricShards;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (Shard& s : shards_) {
+    s.counts = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) s.counts[i] = 0;
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& s = shards_[ThisThreadShard()];
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(value) && value > 0) {
+    s.sum_nano.fetch_add(static_cast<uint64_t>(value * 1e9),
+                         std::memory_order_relaxed);
+  }
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      out[i] += s.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  for (size_t i = 1; i < out.size(); ++i) out[i] += out[i - 1];
+  return out;
+}
+
+uint64_t Histogram::Count() const {
+  std::vector<uint64_t> cumulative = CumulativeCounts();
+  return cumulative.empty() ? 0 : cumulative.back();
+}
+
+double Histogram::Sum() const {
+  uint64_t nano = 0;
+  for (const Shard& s : shards_) {
+    nano += s.sum_nano.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(nano) * 1e-9;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      s.counts[i].store(0, std::memory_order_relaxed);
+    }
+    s.sum_nano.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> LatencyBucketsSeconds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 30.0};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+template <typename Vec, typename Make>
+auto* FindOrCreate(Vec& vec, const std::string& name, const Make& make) {
+  for (auto& [existing, metric] : vec) {
+    if (existing == name) return metric.get();
+  }
+  vec.emplace_back(name, make());
+  return vec.back().second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(counters_, name,
+                      [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(histograms_, name, [&bounds] {
+    return std::make_unique<Histogram>(std::move(bounds));
+  });
+}
+
+uint64_t MetricsRegistry::Snapshot::CounterValue(
+    const std::string& name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.bounds = histogram->bounds();
+    sample.cumulative_counts = histogram->CumulativeCounts();
+    sample.count = sample.cumulative_counts.empty()
+                       ? 0
+                       : sample.cumulative_counts.back();
+    sample.sum = histogram->Sum();
+    snap.histograms.push_back(std::move(sample));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pointers held by call sites stay valid: metrics are zeroed in place.
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    (void)name;
+    gauge->Set(0);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    (void)name;
+    histogram->Reset();
+  }
+}
+
+}  // namespace rock::obs

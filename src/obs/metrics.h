@@ -1,0 +1,148 @@
+#ifndef ROCK_OBS_METRICS_H_
+#define ROCK_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rock::obs {
+
+/// Number of independent shards per counter/histogram. Hot-path updates
+/// hash the calling thread onto a shard so concurrent workers touch
+/// different cache lines; reads sum across shards. 16 covers the worker
+/// counts the benches sweep (4..20) without making reads expensive.
+inline constexpr size_t kMetricShards = 16;
+
+/// Shard index of the calling thread (stable for the thread's lifetime).
+size_t ThisThreadShard();
+
+/// Monotonically increasing counter, sharded per thread.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-write-wins instantaneous value (queue depths, sizes). A single
+/// atomic: gauges are set at phase boundaries, not in inner loops.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram, sharded per thread like Counter. Bucket i counts
+/// observations <= bounds[i]; one implicit +Inf bucket catches the rest.
+/// The observed sum is kept in integer nanounits (1e-9) so fetch_add stays
+/// a plain integer RMW on every platform.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Cumulative counts per bucket (Prometheus convention), last entry is
+  /// the total observation count (+Inf bucket).
+  std::vector<uint64_t> CumulativeCounts() const;
+  uint64_t Count() const;
+  double Sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    // counts[i] is the *non*-cumulative count of bucket i; size
+    // bounds_.size() + 1 (last = +Inf).
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<uint64_t> sum_nano{0};
+  };
+  std::vector<double> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+/// Default bucket bounds for operation latencies in seconds (1µs .. 30s).
+std::vector<double> LatencyBucketsSeconds();
+
+/// Process-wide metric registry. Registration (name -> metric) is guarded
+/// by a mutex and returns a stable pointer; call sites cache that pointer
+/// (typically in a function-local static) so the hot path never locks or
+/// hashes a name. Re-registering an existing name returns the same metric.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies on first registration only.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Point-in-time copy of every metric, sorted by name — the exporters'
+  /// input.
+  struct CounterSample {
+    std::string name;
+    uint64_t value;
+  };
+  struct GaugeSample {
+    std::string name;
+    int64_t value;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> cumulative_counts;  // size bounds.size() + 1
+    uint64_t count;
+    double sum;
+  };
+  struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+
+    /// Counter value by name; 0 when absent.
+    uint64_t CounterValue(const std::string& name) const;
+  };
+  Snapshot Snap() const;
+
+  /// Resets every registered metric to zero (tests and per-bench runs).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  // Linear lookup is fine: call sites cache the returned pointer, so each
+  // name is looked up O(1) times. unique_ptr keeps those pointers stable
+  // across later insertions.
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace rock::obs
+
+#endif  // ROCK_OBS_METRICS_H_

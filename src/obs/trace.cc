@@ -1,0 +1,135 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+
+namespace rock::obs {
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t ThisThreadTraceId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+thread_local uint64_t t_current_span = 0;
+
+}  // namespace
+
+/// One ring slot: a single-byte latch publishing `record`. The latch is
+/// held only for the duration of a 48-byte copy, so contention (ring lap
+/// or concurrent snapshot) resolves in nanoseconds.
+struct Tracer::Slot {
+  std::atomic<bool> busy{false};
+  std::atomic<bool> filled{false};
+  SpanRecord record;
+
+  void Lock() {
+    while (busy.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() { busy.store(false, std::memory_order_release); }
+};
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(RoundUpPow2(capacity == 0 ? 1 : capacity)),
+      slots_(new Slot[RoundUpPow2(capacity == 0 ? 1 : capacity)]),
+      epoch_seconds_(SteadySeconds()) {}
+
+Tracer::~Tracer() { delete[] slots_; }
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+double Tracer::Now() const { return SteadySeconds() - epoch_seconds_; }
+
+void Tracer::Record(const SpanRecord& record) {
+  uint64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[index & (capacity_ - 1)];
+  slot.Lock();
+  slot.record = record;
+  slot.filled.store(true, std::memory_order_relaxed);
+  slot.Unlock();
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  // Oldest retained slot first. `next_` may advance while we scan; the
+  // per-slot latch keeps every copied record internally consistent.
+  uint64_t written = next_.load(std::memory_order_acquire);
+  uint64_t begin = written > capacity_ ? written - capacity_ : 0;
+  out.reserve(static_cast<size_t>(written - begin));
+  for (uint64_t index = begin; index < written; ++index) {
+    Slot& slot = slots_[index & (capacity_ - 1)];
+    slot.Lock();
+    bool filled = slot.filled.load(std::memory_order_relaxed);
+    SpanRecord record = slot.record;
+    slot.Unlock();
+    if (filled) out.push_back(record);
+  }
+  return out;
+}
+
+std::map<std::string, SpanStats> Tracer::AggregateByName() const {
+  std::map<std::string, SpanStats> out;
+  for (const SpanRecord& record : Snapshot()) {
+    SpanStats& stats = out[record.name];
+    ++stats.count;
+    stats.total_seconds += record.duration_seconds;
+    if (record.duration_seconds > stats.max_seconds) {
+      stats.max_seconds = record.duration_seconds;
+    }
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  uint64_t written = next_.load(std::memory_order_relaxed);
+  return written > capacity_ ? written - capacity_ : 0;
+}
+
+void Tracer::Reset() {
+  // Walk every slot under its latch rather than resetting next_: concurrent
+  // writers may hold reserved indices, and monotonic next_ keeps their
+  // slots valid.
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].Lock();
+    slots_[i].filled.store(false, std::memory_order_relaxed);
+    slots_[i].Unlock();
+  }
+  next_.store(0, std::memory_order_release);
+  next_id_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t CurrentSpanId() { return t_current_span; }
+
+ScopedSpan::ScopedSpan(const char* name, Tracer& tracer)
+    : tracer_(tracer), saved_current_(t_current_span) {
+  record_.id = tracer_.NextSpanId();
+  record_.parent_id = saved_current_;
+  record_.name = name;
+  record_.thread = ThisThreadTraceId();
+  record_.start_seconds = tracer_.Now();
+  t_current_span = record_.id;
+}
+
+ScopedSpan::~ScopedSpan() {
+  record_.duration_seconds = tracer_.Now() - record_.start_seconds;
+  t_current_span = saved_current_;
+  tracer_.Record(record_);
+}
+
+}  // namespace rock::obs

@@ -1,0 +1,117 @@
+#ifndef ROCK_OBS_TRACE_H_
+#define ROCK_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rock::obs {
+
+/// One finished span. `name` must be a string literal (or otherwise outlive
+/// the tracer): the ring stores the pointer, never a copy, so recording a
+/// span does no allocation.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  const char* name = "";
+  /// Start offset from the tracer's epoch (steady clock), and duration.
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  uint32_t thread = 0;
+};
+
+/// Aggregate of all finished spans sharing one name.
+struct SpanStats {
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Bounded MPMC span sink. Writers reserve a slot with one atomic
+/// fetch_add, then publish the record under that slot's one-byte latch
+/// (acquire/release exchange — uncontended unless the ring laps itself or
+/// a snapshot reads the same slot, so the hot path is two uncontended
+/// atomic RMWs plus a 48-byte copy). When the ring wraps, the oldest spans
+/// are overwritten; `dropped()` counts them.
+class Tracer {
+ public:
+  /// Capacity is rounded up to a power of two.
+  explicit Tracer(size_t capacity = 1 << 14);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  void Record(const SpanRecord& record);
+
+  /// Seconds since this tracer's construction (span timestamps' epoch).
+  double Now() const;
+
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Copies the retained spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Count/total/max per span name over the retained spans — the benches'
+  /// per-phase timing table.
+  std::map<std::string, SpanStats> AggregateByName() const;
+
+  /// Spans overwritten because the ring lapped.
+  uint64_t dropped() const;
+
+  /// Forgets every retained span (tests and per-bench runs).
+  void Reset();
+
+ private:
+  struct Slot;
+  size_t capacity_;
+  Slot* slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> next_id_{0};
+  double epoch_seconds_;
+};
+
+/// The innermost open span on this thread (0 = none); maintained by
+/// ScopedSpan so nested spans link to their parent automatically.
+uint64_t CurrentSpanId();
+
+/// RAII span: records [construction, destruction) into a tracer under the
+/// current thread's span stack.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, Tracer::Global()) {}
+  ScopedSpan(const char* name, Tracer& tracer);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  uint64_t id() const { return record_.id; }
+
+ private:
+  Tracer& tracer_;
+  SpanRecord record_;
+  uint64_t saved_current_;
+};
+
+}  // namespace rock::obs
+
+/// Span macro used by instrumented code paths. Compiled to nothing when
+/// ROCK_OBS_DISABLE_SPANS is defined (the -DROCK_OBS_SPANS=OFF build used
+/// to measure instrumentation overhead).
+#ifdef ROCK_OBS_DISABLE_SPANS
+#define ROCK_OBS_SPAN(name)
+#else
+#define ROCK_OBS_CONCAT_INNER(a, b) a##b
+#define ROCK_OBS_CONCAT(a, b) ROCK_OBS_CONCAT_INNER(a, b)
+#define ROCK_OBS_SPAN(name) \
+  ::rock::obs::ScopedSpan ROCK_OBS_CONCAT(rock_obs_span_, __LINE__)(name)
+#endif
+
+#endif  // ROCK_OBS_TRACE_H_

@@ -10,8 +10,43 @@
 
 #include "src/common/logging.h"
 #include "src/common/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace rock::par {
+namespace {
+
+/// Pool metrics, registered once and cached (see obs::MetricsRegistry).
+struct PoolMetrics {
+  obs::Counter* units_executed;
+  obs::Counter* units_stolen;
+  obs::Counter* busy_micros;
+  obs::Counter* idle_micros;
+  obs::Gauge* queue_depth;
+  obs::Histogram* unit_seconds;
+
+  static const PoolMetrics& Get() {
+    static PoolMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      PoolMetrics out;
+      out.units_executed = reg.GetCounter("rock_par_units_executed_total");
+      out.units_stolen = reg.GetCounter("rock_par_units_stolen_total");
+      out.busy_micros = reg.GetCounter("rock_par_worker_busy_micros_total");
+      out.idle_micros = reg.GetCounter("rock_par_worker_idle_micros_total");
+      out.queue_depth = reg.GetGauge("rock_par_queue_depth");
+      out.unit_seconds = reg.GetHistogram("rock_par_unit_seconds",
+                                          obs::LatencyBucketsSeconds());
+      return out;
+    }();
+    return m;
+  }
+};
+
+uint64_t Micros(double seconds) {
+  return seconds > 0 ? static_cast<uint64_t>(seconds * 1e6) : 0;
+}
+
+}  // namespace
 
 std::string WorkUnit::PlacementKey() const {
   std::string key = "u" + std::to_string(rule_index);
@@ -219,6 +254,10 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
   std::vector<double> durations(units.size(), 0.0);
   std::vector<int> executed(static_cast<size_t>(num_workers_), 0);
   std::vector<int> stolen(static_cast<size_t>(num_workers_), 0);
+  std::vector<double> busy(static_cast<size_t>(num_workers_), 0.0);
+
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.queue_depth->Add(static_cast<int64_t>(units.size()));
 
   auto worker_main = [&](int me) {
     auto& own = queues[static_cast<size_t>(me)];
@@ -262,6 +301,7 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
           vq.queue.pop_back();
         }
         stolen[static_cast<size_t>(me)]++;
+        metrics.units_stolen->Add(1);
       }
       Timer timer;
       double cpu_start = ThreadCpuSeconds();
@@ -271,6 +311,10 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
                             ? cpu_end - cpu_start
                             : timer.ElapsedSeconds();
       executed[static_cast<size_t>(me)]++;
+      busy[static_cast<size_t>(me)] += durations[unit];
+      metrics.units_executed->Add(1);
+      metrics.unit_seconds->Observe(durations[unit]);
+      metrics.queue_depth->Add(-1);
     }
   };
 
@@ -287,6 +331,9 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
     report.executed_units[static_cast<size_t>(w)] =
         executed[static_cast<size_t>(w)];
     report.stolen_units += stolen[static_cast<size_t>(w)];
+    metrics.busy_micros->Add(Micros(busy[static_cast<size_t>(w)]));
+    metrics.idle_micros->Add(
+        Micros(report.wall_seconds - busy[static_cast<size_t>(w)]));
   }
   for (double d : durations) report.serial_seconds += d;
 
@@ -319,6 +366,8 @@ ScheduleReport WorkerPool::ExecuteSimulated(
   }
 
   // Run every unit serially in unit order, measuring durations.
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.queue_depth->Add(static_cast<int64_t>(units.size()));
   Timer wall;
   std::vector<double> durations(units.size(), 0.0);
   for (size_t i = 0; i < units.size(); ++i) {
@@ -326,12 +375,17 @@ ScheduleReport WorkerPool::ExecuteSimulated(
     body(units[i], i, owner[i]);
     durations[i] = timer.ElapsedSeconds();
     report.serial_seconds += durations[i];
+    metrics.units_executed->Add(1);
+    metrics.unit_seconds->Observe(durations[i]);
+    metrics.queue_depth->Add(-1);
   }
   report.wall_seconds = wall.ElapsedSeconds();
+  metrics.busy_micros->Add(Micros(report.serial_seconds));
 
   SimulationResult sim = SimulateSchedule(placement, durations, num_workers_);
   report.executed_units = sim.executed;
   report.stolen_units = sim.stolen;
+  metrics.units_stolen->Add(static_cast<uint64_t>(sim.stolen));
   report.makespan_seconds =
       sim.makespan > 0.0 ? sim.makespan : report.serial_seconds;
   return report;
@@ -339,6 +393,7 @@ ScheduleReport WorkerPool::ExecuteSimulated(
 
 ScheduleReport WorkerPool::Execute(const std::vector<WorkUnit>& units,
                                    const UnitBody& body) {
+  ROCK_OBS_SPAN("par.execute");
   if (mode_ == ExecutionMode::kThreads) {
     return ExecuteThreads(units, body);
   }
