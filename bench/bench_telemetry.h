@@ -16,6 +16,7 @@
 #include "src/common/timer.h"
 #include "src/obs/exporters.h"
 #include "src/obs/metrics.h"
+#include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/par/executor.h"
 
@@ -75,6 +76,10 @@ class BenchTelemetry {
     obs::AppendTelemetryFields(snap.metrics, snap.spans, snap.dropped_spans,
                                &w);
     w.EndObject();
+    // Whole-run provenance aggregate (fix counts by rule, proof-depth
+    // histogram, premise-source mix) distilled from the rock_prov_* metrics
+    // exported by the chase. check_bench_json.py validates this block.
+    obs::AppendProvenanceBlock(snap.metrics, &w);
     w.EndObject();
 
     std::string path = OutputPath();

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Validates the BENCH_*.json files the bench binaries emit.
 
-Usage: check_bench_json.py FILE [FILE...]
+Usage: check_bench_json.py [--require-zero-dropped-spans] FILE [FILE...]
 
 Fails (exit 1) when a file is missing, is not valid JSON, or lacks the
 required sections: bench name, schema_version, non-empty phases,
-schedules (rows must carry the ScheduleReport fields), results, and
-telemetry with counters/gauges/histograms/spans. CI's bench-smoke step
+schedules (rows must carry the ScheduleReport fields), results,
+telemetry with counters/gauges/histograms/spans, and the provenance
+block (enabled flag, node/premise counts, fixes_by_rule, proof_depth).
+With --require-zero-dropped-spans, a non-zero tracer drop count is an
+error (the bench ring must be sized for the run). CI's bench-smoke step
 runs this over every emitted file.
 """
 
@@ -14,13 +17,17 @@ import json
 import sys
 
 REQUIRED_TOP = ["bench", "schema_version", "phases", "schedules",
-                "results", "telemetry"]
+                "results", "telemetry", "provenance"]
 REQUIRED_SCHEDULE = ["label", "mode", "workers", "serial_seconds",
                      "makespan_seconds", "wall_seconds", "stolen_units",
                      "speedup", "measured_speedup", "initial_units",
                      "executed_units"]
 REQUIRED_TELEMETRY = ["counters", "gauges", "histograms", "spans",
                       "dropped_spans"]
+REQUIRED_PROVENANCE = ["enabled", "nodes", "conflict_candidates",
+                       "max_depth", "ml_calls", "premises",
+                       "fixes_by_rule", "proof_depth"]
+REQUIRED_PREMISES = ["ground_truth", "prior_fix", "raw", "oracle"]
 
 
 def fail(path, message):
@@ -28,7 +35,37 @@ def fail(path, message):
     return False
 
 
-def check(path):
+def check_provenance(path, prov):
+    for key in REQUIRED_PROVENANCE:
+        if key not in prov:
+            return fail(path, f"provenance missing {key!r}")
+    if not isinstance(prov["enabled"], bool):
+        return fail(path, f"provenance enabled must be bool, "
+                          f"got {prov['enabled']!r}")
+    for key in REQUIRED_PREMISES:
+        if key not in prov["premises"]:
+            return fail(path, f"provenance premises missing {key!r}")
+    if not isinstance(prov["fixes_by_rule"], dict):
+        return fail(path, "provenance fixes_by_rule must be an object")
+    depth = prov["proof_depth"]
+    # Empty {} is legal when the bench never chased (histogram never
+    # registered); otherwise count + cumulative buckets are required.
+    if depth:
+        for key in ("count", "buckets"):
+            if key not in depth:
+                return fail(path, f"provenance proof_depth missing {key!r}")
+        for bucket in depth["buckets"]:
+            if "le" not in bucket or "count" not in bucket:
+                return fail(path, f"bad proof_depth bucket {bucket!r}")
+    if prov["enabled"]:
+        rule_total = sum(prov["fixes_by_rule"].values())
+        if prov["nodes"] < rule_total:
+            return fail(path, f"provenance nodes={prov['nodes']} < "
+                              f"sum(fixes_by_rule)={rule_total}")
+    return True
+
+
+def check(path, require_zero_dropped_spans=False):
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -65,20 +102,31 @@ def check(path):
         for key in ("count", "total_seconds", "max_seconds"):
             if key not in span:
                 return fail(path, f"span {name!r} missing {key!r}")
+    if require_zero_dropped_spans and telemetry["dropped_spans"] != 0:
+        return fail(path, f"tracer dropped {telemetry['dropped_spans']} "
+                          f"spans (ring too small for this run)")
+    if not check_provenance(path, doc["provenance"]):
+        return False
 
     n_counters = len(telemetry["counters"])
     n_spans = len(telemetry["spans"])
+    prov = doc["provenance"]
     print(f"OK   {path}: bench={doc['bench']} phases={len(doc['phases'])} "
           f"schedules={len(doc['schedules'])} counters={n_counters} "
-          f"spans={n_spans}")
+          f"spans={n_spans} prov_nodes={prov['nodes']}")
     return True
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    require_zero_dropped_spans = False
+    if args and args[0] == "--require-zero-dropped-spans":
+        require_zero_dropped_spans = True
+        args = args[1:]
+    if not args:
         print(__doc__.strip())
         return 1
-    ok = all([check(path) for path in argv[1:]])
+    ok = all([check(path, require_zero_dropped_spans) for path in args])
     return 0 if ok else 1
 
 

@@ -162,7 +162,8 @@ bool ChaseEngine::PremisesValidated(const Ree& rule,
 Value ChaseEngine::ResolveMiConflict(int rel, int64_t tid, int attr,
                                      const Value& existing,
                                      const Value& candidate,
-                                     const std::string& rule_id) {
+                                     const std::string& rule_id,
+                                     const obs::ProvenanceRef& prov) {
   const ml::CorrelationModel* mc =
       models_ == nullptr ? nullptr
                          : models_->FindCorrelation(options_.mc_model);
@@ -202,6 +203,12 @@ Value ChaseEngine::ResolveMiConflict(int rel, int64_t tid, int attr,
   record.description = "MI candidates " + existing.ToString() + " vs " +
                        candidate.ToString();
   record.resolution = resolution;
+  record.prov_existing = fixes_.ProvOfCell(rel, tid, attr);
+  record.prov_candidate = fixes_.AddConflictCandidate(
+      rule_id, "MI candidate " + candidate.ToString() + " for rel " +
+                   std::to_string(rel) + " tid " + std::to_string(tid) +
+                   " attr " + std::to_string(attr),
+      prov);
   conflicts_.push_back(std::move(record));
   return keep;
 }
@@ -216,6 +223,17 @@ size_t ChaseEngine::ApplyConsequence(
   };
   auto tid_of = [&](int var) { return eval.GetTuple(rule, v, var).tid; };
 
+  // Witness capture: record the satisfying valuation's bindings, premise
+  // cells and ML scores BEFORE mutating the store (the premises must
+  // reflect the state the deduction actually read). Compiled out with
+  // ROCK_OBS_PROVENANCE=OFF.
+  obs::Witness witness;
+  obs::ProvenanceRef prov;
+  if constexpr (obs::kProvenanceEnabled) {
+    witness = eval.CaptureWitness(rule, v);
+    prov.witness = &witness;
+  }
+
   switch (p.kind) {
     case PredicateKind::kAttrCompare: {
       if (p.attr == rules::kEidAttr) {
@@ -224,9 +242,9 @@ size_t ChaseEngine::ApplyConsequence(
         bool changed = false;
         Status s;
         if (p.op == rules::CmpOp::kEq) {
-          s = fixes_.MergeEids(e1, e2, rule.id, &changed);
+          s = fixes_.MergeEids(e1, e2, rule.id, &changed, prov);
         } else if (p.op == rules::CmpOp::kNe) {
-          s = fixes_.AddEidDistinct(e1, e2, rule.id, &changed);
+          s = fixes_.AddEidDistinct(e1, e2, rule.id, &changed, prov);
         } else {
           return 0;
         }
@@ -236,6 +254,14 @@ size_t ChaseEngine::ApplyConsequence(
           record.rule_id = rule.id;
           record.description = s.message();
           record.resolution = "user_queue";
+          // The existing derivation: a merge is blocked by a distinctness
+          // deduction; a distinctness claim by the merge chain that already
+          // identified the pair.
+          record.prov_existing = p.op == rules::CmpOp::kEq
+                                     ? fixes_.ProvOfDistinct(e1, e2)
+                                     : fixes_.ProvOfMerge(e1, e2);
+          record.prov_candidate =
+              fixes_.AddConflictCandidate(rule.id, s.message(), prov);
           conflicts_.push_back(std::move(record));
           return 0;
         }
@@ -258,13 +284,17 @@ size_t ChaseEngine::ApplyConsequence(
       auto assign = [&](int var, int attr, const Value& value) {
         bool changed = false;
         Status s = fixes_.SetValue(rel_of(var), tid_of(var), attr, value,
-                                   rule.id, &changed);
+                                   rule.id, &changed, prov);
         if (!s.ok()) {
           ConflictRecord record;
           record.kind = ConflictRecord::Kind::kValue;
           record.rule_id = rule.id;
           record.description = s.message();
           record.resolution = "user_queue";
+          record.prov_existing =
+              fixes_.ProvOfCell(rel_of(var), tid_of(var), attr);
+          record.prov_candidate =
+              fixes_.AddConflictCandidate(rule.id, s.message(), prov);
           conflicts_.push_back(std::move(record));
           return;
         }
@@ -296,6 +326,11 @@ size_t ChaseEngine::ApplyConsequence(
           record.description = "CR conflict: " + va.ToString() + " vs " +
                                vb.ToString();
           record.resolution = "user_queue";
+          // Both sides are raw reads of the same valuation; one candidate
+          // node carries the shared witness (there is no validated
+          // "existing" derivation to link).
+          record.prov_candidate = fixes_.AddConflictCandidate(
+              rule.id, record.description, prov);
           if (options_.user_resolver) {
             std::optional<Value> keep =
                 options_.user_resolver(record, va, vb);
@@ -314,6 +349,11 @@ size_t ChaseEngine::ApplyConsequence(
         record.description = "validated values disagree: " + va.ToString() +
                              " vs " + vb.ToString();
         record.resolution = "user_queue";
+        // Two competing VALIDATED derivations: link both fix nodes.
+        record.prov_existing =
+            fixes_.ProvOfCell(rel_of(p.var), tid_of(p.var), p.attr);
+        record.prov_candidate =
+            fixes_.ProvOfCell(rel_of(p.var2), tid_of(p.var2), p.attr2);
         conflicts_.push_back(std::move(record));
       }
       return new_fixes;
@@ -325,9 +365,10 @@ size_t ChaseEngine::ApplyConsequence(
       auto existing = fixes_.ValidatedValue(rel, tid, p.attr);
       if (existing.has_value() && !(*existing == p.constant)) {
         Value keep = ResolveMiConflict(rel, tid, p.attr, *existing,
-                                       p.constant, rule.id);
+                                       p.constant, rule.id, prov);
         if (!(keep == *existing)) {
-          Status s = fixes_.ReplaceValue(rel, tid, p.attr, keep, rule.id);
+          Status s =
+              fixes_.ReplaceValue(rel, tid, p.attr, keep, rule.id, prov);
           if (s.ok()) {
             ++new_fixes;
             MarkEntityDirty(rel, tid, newly_dirty);
@@ -337,7 +378,7 @@ size_t ChaseEngine::ApplyConsequence(
       }
       bool changed = false;
       Status s = fixes_.SetValue(rel, tid, p.attr, p.constant, rule.id,
-                                 &changed);
+                                 &changed, prov);
       if (s.ok() && changed) {
         ++new_fixes;
         MarkEntityDirty(rel, tid, newly_dirty);
@@ -349,8 +390,8 @@ size_t ChaseEngine::ApplyConsequence(
       int64_t t1 = tid_of(p.var);
       int64_t t2 = tid_of(p.var2);
       bool changed = false;
-      Status s =
-          fixes_.AddTemporal(rel, p.attr, t1, t2, p.strict, rule.id, &changed);
+      Status s = fixes_.AddTemporal(rel, p.attr, t1, t2, p.strict, rule.id,
+                                    &changed, prov);
       if (!s.ok()) {
         // TD conflict: keep the direction with the higher M_rank confidence
         // (paper §4.2 (2)). The stored direction came first; replacing it
@@ -377,6 +418,9 @@ size_t ChaseEngine::ApplyConsequence(
         record.rule_id = rule.id;
         record.description = s.message();
         record.resolution = resolution;
+        record.prov_existing = fixes_.ProvOfTemporal(rel, p.attr, t1, t2);
+        record.prov_candidate =
+            fixes_.AddConflictCandidate(rule.id, s.message(), prov);
         conflicts_.push_back(std::move(record));
         return 0;
       }
@@ -397,9 +441,10 @@ size_t ChaseEngine::ApplyConsequence(
       auto existing = fixes_.ValidatedValue(rel, tid, p.attr);
       if (existing.has_value() && !(*existing == *extracted)) {
         Value keep = ResolveMiConflict(rel, tid, p.attr, *existing,
-                                       *extracted, rule.id);
+                                       *extracted, rule.id, prov);
         if (!(keep == *existing)) {
-          Status s = fixes_.ReplaceValue(rel, tid, p.attr, keep, rule.id);
+          Status s =
+              fixes_.ReplaceValue(rel, tid, p.attr, keep, rule.id, prov);
           if (s.ok()) {
             ++new_fixes;
             MarkEntityDirty(rel, tid, newly_dirty);
@@ -409,7 +454,7 @@ size_t ChaseEngine::ApplyConsequence(
       }
       bool changed = false;
       Status s = fixes_.SetValue(rel, tid, p.attr, *extracted, rule.id,
-                                 &changed);
+                                 &changed, prov);
       if (s.ok() && changed) {
         ++new_fixes;
         MarkEntityDirty(rel, tid, newly_dirty);
@@ -429,9 +474,10 @@ size_t ChaseEngine::ApplyConsequence(
       auto existing = fixes_.ValidatedValue(rel, tid, p.attr2);
       if (existing.has_value() && !(*existing == *predicted)) {
         Value keep = ResolveMiConflict(rel, tid, p.attr2, *existing,
-                                       *predicted, rule.id);
+                                       *predicted, rule.id, prov);
         if (!(keep == *existing)) {
-          Status s = fixes_.ReplaceValue(rel, tid, p.attr2, keep, rule.id);
+          Status s =
+              fixes_.ReplaceValue(rel, tid, p.attr2, keep, rule.id, prov);
           if (s.ok()) {
             ++new_fixes;
             MarkEntityDirty(rel, tid, newly_dirty);
@@ -441,7 +487,7 @@ size_t ChaseEngine::ApplyConsequence(
       }
       bool changed = false;
       Status s = fixes_.SetValue(rel, tid, p.attr2, *predicted, rule.id,
-                                 &changed);
+                                 &changed, prov);
       if (s.ok() && changed) {
         ++new_fixes;
         MarkEntityDirty(rel, tid, newly_dirty);
@@ -530,6 +576,9 @@ ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
   }
   metrics.conflicts->Add(conflicts_.size() - conflicts_before);
   result.conflicts = conflicts_;
+  // Publish provenance added since the previous export (watermark-based,
+  // so repeated Run/RunIncremental calls on one engine never double-count).
+  fixes_.mutable_provenance().ExportDeltaToMetrics();
   return result;
 }
 

@@ -123,6 +123,23 @@ class ChaseEngine {
   /// size > 1), as (rel, tid) lists per entity.
   std::vector<std::vector<std::pair<int, int64_t>>> EntityGroups() const;
 
+  /// Why-provenance of a repaired cell / an identified entity pair: the
+  /// depth-bounded proof tree over the witnesses captured during the chase
+  /// (empty when the cell was never validated or capture is compiled out).
+  obs::ProofTree Explain(int rel, int64_t tid, int attr,
+                         int max_depth = 32) const {
+    return fixes_.ExplainCell(rel, tid, attr, max_depth);
+  }
+  obs::ProofTree ExplainMerge(int64_t eid_a, int64_t eid_b,
+                              int max_depth = 32) const {
+    return fixes_.ExplainMerge(eid_a, eid_b, max_depth);
+  }
+
+  /// Whole-run provenance aggregate over the fix store's DAG.
+  obs::ProvenanceSummary ProvenanceSummary() const {
+    return fixes_.provenance().Summarize();
+  }
+
  private:
   const Database* db_;
   const kg::KnowledgeGraph* graph_;
@@ -152,9 +169,12 @@ class ChaseEngine {
                        std::vector<std::pair<int, int64_t>>* out) const;
 
   /// Resolves an MI value conflict by M_c argmax; returns the value to keep.
+  /// `prov` is the losing/candidate derivation's witness, recorded on the
+  /// ConflictRecord alongside the existing derivation's node.
   Value ResolveMiConflict(int rel, int64_t tid, int attr,
                           const Value& existing, const Value& candidate,
-                          const std::string& rule_id);
+                          const std::string& rule_id,
+                          const obs::ProvenanceRef& prov);
 };
 
 }  // namespace rock::chase

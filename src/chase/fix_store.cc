@@ -144,6 +144,191 @@ std::optional<bool> TemporalOrderStore::Holds(int64_t tid1, int64_t tid2,
   return std::nullopt;
 }
 
+namespace {
+
+const char* FixKindName(FixRecord::Kind kind) {
+  switch (kind) {
+    case FixRecord::Kind::kMergeEid:
+      return "merge_eid";
+    case FixRecord::Kind::kSetValue:
+      return "set_value";
+    case FixRecord::Kind::kTemporalOrder:
+      return "temporal_order";
+  }
+  return "?";
+}
+
+Result<FixRecord::Kind> FixKindFromName(const std::string& name) {
+  if (name == "merge_eid") return FixRecord::Kind::kMergeEid;
+  if (name == "set_value") return FixRecord::Kind::kSetValue;
+  if (name == "temporal_order") return FixRecord::Kind::kTemporalOrder;
+  return Status::InvalidArgument("unknown fix kind: " + name);
+}
+
+const char* ConflictKindName(ConflictRecord::Kind kind) {
+  switch (kind) {
+    case ConflictRecord::Kind::kValue:
+      return "value";
+    case ConflictRecord::Kind::kEid:
+      return "eid";
+    case ConflictRecord::Kind::kTemporal:
+      return "temporal";
+  }
+  return "?";
+}
+
+Result<ConflictRecord::Kind> ConflictKindFromName(const std::string& name) {
+  if (name == "value") return ConflictRecord::Kind::kValue;
+  if (name == "eid") return ConflictRecord::Kind::kEid;
+  if (name == "temporal") return ConflictRecord::Kind::kTemporal;
+  return Status::InvalidArgument("unknown conflict kind: " + name);
+}
+
+/// Serializes `v` as {type, text} such that Value::Parse(text, type)
+/// reconstructs it (ToString() alone does not round-trip: time values
+/// render with an "@" prefix Parse does not accept).
+void AppendValueJson(const Value& v, obs::JsonWriter* w) {
+  w->BeginObject();
+  w->Key("type").String(ValueTypeName(v.type()));
+  std::string text;
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      text = std::to_string(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      text = v.ToString();
+      break;
+    case ValueType::kString:
+      text = v.AsString();
+      break;
+    case ValueType::kTime:
+      text = std::to_string(v.AsTime());
+      break;
+  }
+  w->Key("text").String(text);
+  w->EndObject();
+}
+
+Result<Value> ValueFromJson(const json::Value& v) {
+  std::string type_name = v.GetString("type", "null");
+  ValueType type;
+  if (type_name == "null") {
+    type = ValueType::kNull;
+  } else if (type_name == "int") {
+    type = ValueType::kInt;
+  } else if (type_name == "double") {
+    type = ValueType::kDouble;
+  } else if (type_name == "string") {
+    type = ValueType::kString;
+  } else if (type_name == "time") {
+    type = ValueType::kTime;
+  } else {
+    return Status::InvalidArgument("unknown value type: " + type_name);
+  }
+  // Strings bypass Value::Parse: it trims whitespace (its CSV contract),
+  // but serialized strings must round-trip byte-exact.
+  if (type == ValueType::kString) return Value::String(v.GetString("text"));
+  return Value::Parse(v.GetString("text"), type);
+}
+
+}  // namespace
+
+std::string FixRecord::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("kind").String(FixKindName(kind));
+  w.Key("rule_id").String(rule_id);
+  w.Key("prov_id").Int(prov_id);
+  switch (kind) {
+    case Kind::kMergeEid:
+      w.Key("eid_a").Int(eid_a);
+      w.Key("eid_b").Int(eid_b);
+      break;
+    case Kind::kSetValue:
+      w.Key("rel").Int(rel);
+      w.Key("attr").Int(attr);
+      w.Key("eid").Int(eid);
+      w.Key("tid").Int(tid1);
+      w.Key("value");
+      AppendValueJson(value, &w);
+      break;
+    case Kind::kTemporalOrder:
+      w.Key("rel").Int(rel);
+      w.Key("attr").Int(attr);
+      w.Key("tid1").Int(tid1);
+      w.Key("tid2").Int(tid2);
+      w.Key("strict").Bool(strict);
+      break;
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Result<FixRecord> FixRecord::FromJson(const json::Value& v) {
+  FixRecord out;
+  auto kind = FixKindFromName(v.GetString("kind"));
+  ROCK_RETURN_IF_ERROR(kind.status());
+  out.kind = *kind;
+  out.rule_id = v.GetString("rule_id");
+  out.prov_id = v.GetInt("prov_id", -1);
+  switch (out.kind) {
+    case Kind::kMergeEid:
+      out.eid_a = v.GetInt("eid_a", -1);
+      out.eid_b = v.GetInt("eid_b", -1);
+      break;
+    case Kind::kSetValue: {
+      out.rel = static_cast<int>(v.GetInt("rel", -1));
+      out.attr = static_cast<int>(v.GetInt("attr", -1));
+      out.eid = v.GetInt("eid", -1);
+      out.tid1 = v.GetInt("tid", -1);
+      const json::Value* value = v.Find("value");
+      if (value == nullptr) {
+        return Status::InvalidArgument("set_value record without value");
+      }
+      auto parsed = ValueFromJson(*value);
+      ROCK_RETURN_IF_ERROR(parsed.status());
+      out.value = *parsed;
+      break;
+    }
+    case Kind::kTemporalOrder:
+      out.rel = static_cast<int>(v.GetInt("rel", -1));
+      out.attr = static_cast<int>(v.GetInt("attr", -1));
+      out.tid1 = v.GetInt("tid1", -1);
+      out.tid2 = v.GetInt("tid2", -1);
+      out.strict = v.GetBool("strict", false);
+      break;
+  }
+  return out;
+}
+
+std::string ConflictRecord::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("kind").String(ConflictKindName(kind));
+  w.Key("rule_id").String(rule_id);
+  w.Key("description").String(description);
+  w.Key("resolution").String(resolution);
+  w.Key("prov_existing").Int(prov_existing);
+  w.Key("prov_candidate").Int(prov_candidate);
+  w.EndObject();
+  return w.str();
+}
+
+Result<ConflictRecord> ConflictRecord::FromJson(const json::Value& v) {
+  ConflictRecord out;
+  auto kind = ConflictKindFromName(v.GetString("kind"));
+  ROCK_RETURN_IF_ERROR(kind.status());
+  out.kind = *kind;
+  out.rule_id = v.GetString("rule_id");
+  out.description = v.GetString("description");
+  out.resolution = v.GetString("resolution");
+  out.prov_existing = v.GetInt("prov_existing", -1);
+  out.prov_candidate = v.GetInt("prov_candidate", -1);
+  return out;
+}
+
 std::string FixRecord::ToString() const {
   switch (kind) {
     case Kind::kMergeEid:
@@ -244,7 +429,7 @@ Status FixStore::AddGroundTruthOrder(int rel, int attr, int64_t tid1,
 }
 
 Status FixStore::MergeEids(int64_t a, int64_t b, const std::string& rule_id,
-                           bool* changed) {
+                           bool* changed, const obs::ProvenanceRef& prov) {
   *changed = false;
   int64_t ra = eids_.Find(a);
   int64_t rb = eids_.Find(b);
@@ -259,27 +444,43 @@ Status FixStore::MergeEids(int64_t a, int64_t b, const std::string& rule_id,
   (void)merged;
   // Re-canonicalize distinctness constraints touching the merged classes.
   std::set<std::pair<int64_t, int64_t>> rebuilt;
+  std::map<std::pair<int64_t, int64_t>, int64_t> rebuilt_prov;
   for (const auto& [x, y] : distinct_) {
     int64_t cx = eids_.Find(x);
     int64_t cy = eids_.Find(y);
     if (cx == cy) {
       return Status::Conflict("merge collapses a distinctness constraint");
     }
-    rebuilt.emplace(std::min(cx, cy), std::max(cx, cy));
+    auto new_key = std::make_pair(std::min(cx, cy), std::max(cx, cy));
+    rebuilt.insert(new_key);
+    if constexpr (obs::kProvenanceEnabled) {
+      auto it = prov_by_distinct_.find({x, y});
+      if (it != prov_by_distinct_.end()) rebuilt_prov[new_key] = it->second;
+    }
   }
   distinct_ = std::move(rebuilt);
+  if constexpr (obs::kProvenanceEnabled) {
+    prov_by_distinct_ = std::move(rebuilt_prov);
+  }
   FixRecord record;
   record.kind = FixRecord::Kind::kMergeEid;
   record.rule_id = rule_id;
   record.eid_a = a;
   record.eid_b = b;
+  if constexpr (obs::kProvenanceEnabled) {
+    record.prov_id = AddProvNode(
+        rule_id == "Γ" ? obs::ProvKind::kGroundTruth : obs::ProvKind::kFix,
+        rule_id, record.ToString(), prov);
+    prov_.LinkMerge(a, b, record.prov_id);
+  }
   fixes_.push_back(std::move(record));
   *changed = true;
   return Status::Ok();
 }
 
 Status FixStore::AddEidDistinct(int64_t a, int64_t b,
-                                const std::string& rule_id, bool* changed) {
+                                const std::string& rule_id, bool* changed,
+                                const obs::ProvenanceRef& prov) {
   *changed = false;
   int64_t ra = eids_.Find(a);
   int64_t rb = eids_.Find(b);
@@ -294,6 +495,15 @@ Status FixStore::AddEidDistinct(int64_t a, int64_t b,
     record.rule_id = rule_id;
     record.eid_a = a;
     record.eid_b = b;
+    if constexpr (obs::kProvenanceEnabled) {
+      record.prov_id = AddProvNode(
+          rule_id == "Γ" ? obs::ProvKind::kGroundTruth : obs::ProvKind::kFix,
+          rule_id,
+          StrFormat("[%s] eid %lld != %lld", rule_id.c_str(),
+                    static_cast<long long>(a), static_cast<long long>(b)),
+          prov);
+      prov_by_distinct_[key] = record.prov_id;
+    }
     fixes_.push_back(std::move(record));
     *changed = true;
   }
@@ -301,7 +511,8 @@ Status FixStore::AddEidDistinct(int64_t a, int64_t b,
 }
 
 Status FixStore::SetValue(int rel, int64_t tid, int attr, Value v,
-                          const std::string& rule_id, bool* changed) {
+                          const std::string& rule_id, bool* changed,
+                          const obs::ProvenanceRef& prov) {
   *changed = false;
   const Tuple* t = FindTuple(rel, tid);
   if (t == nullptr) {
@@ -325,19 +536,40 @@ Status FixStore::SetValue(int rel, int64_t tid, int attr, Value v,
   record.eid = t->eid;
   record.tid1 = tid;
   record.value = std::move(v);
+  if constexpr (obs::kProvenanceEnabled) {
+    record.prov_id = AddProvNode(
+        rule_id == "Γ" ? obs::ProvKind::kGroundTruth : obs::ProvKind::kFix,
+        rule_id, record.ToString(), prov);
+    prov_by_cell_[key] = record.prov_id;
+  }
   fixes_.push_back(std::move(record));
   *changed = true;
   return Status::Ok();
 }
 
 Status FixStore::ReplaceValue(int rel, int64_t tid, int attr, Value v,
-                              const std::string& rule_id) {
+                              const std::string& rule_id,
+                              const obs::ProvenanceRef& prov) {
   const Tuple* t = FindTuple(rel, tid);
   if (t == nullptr) {
     return Status::NotFound("no tuple with tid " + std::to_string(tid));
   }
+  auto key = std::make_tuple(rel, attr, tid);
+  auto old = values_.find(key);
+  if (old != values_.end() && !(old->second == v)) {
+    // Drop the superseded hash-bucket entry so PatchedTidsEq never serves
+    // this tid under the old value's hash (a stale entry would surface the
+    // tid as an equality candidate for a value it no longer holds).
+    auto bucket =
+        values_by_hash_.find(std::make_tuple(rel, attr, old->second.Hash()));
+    if (bucket != values_by_hash_.end()) {
+      auto& tids = bucket->second;
+      tids.erase(std::remove(tids.begin(), tids.end(), tid), tids.end());
+      if (tids.empty()) values_by_hash_.erase(bucket);
+    }
+  }
   values_by_hash_[std::make_tuple(rel, attr, v.Hash())].push_back(tid);
-  values_[std::make_tuple(rel, attr, tid)] = v;
+  values_[key] = v;
   FixRecord record;
   record.kind = FixRecord::Kind::kSetValue;
   record.rule_id = rule_id;
@@ -346,6 +578,12 @@ Status FixStore::ReplaceValue(int rel, int64_t tid, int attr, Value v,
   record.eid = t->eid;
   record.tid1 = tid;
   record.value = std::move(v);
+  if constexpr (obs::kProvenanceEnabled) {
+    record.prov_id = AddProvNode(
+        rule_id == "Γ" ? obs::ProvKind::kGroundTruth : obs::ProvKind::kFix,
+        rule_id, record.ToString(), prov);
+    prov_by_cell_[key] = record.prov_id;
+  }
   fixes_.push_back(std::move(record));
   return Status::Ok();
 }
@@ -363,7 +601,7 @@ bool FixStore::IsValidated(int rel, int64_t tid, int attr) const {
 
 Status FixStore::AddTemporal(int rel, int attr, int64_t tid1, int64_t tid2,
                              bool strict, const std::string& rule_id,
-                             bool* changed) {
+                             bool* changed, const obs::ProvenanceRef& prov) {
   *changed = false;
   bool added = false;
   Status s = temporal_[{rel, attr}].Add(tid1, tid2, strict, &added);
@@ -377,10 +615,95 @@ Status FixStore::AddTemporal(int rel, int attr, int64_t tid1, int64_t tid2,
     record.tid1 = tid1;
     record.tid2 = tid2;
     record.strict = strict;
+    if constexpr (obs::kProvenanceEnabled) {
+      record.prov_id = AddProvNode(
+          rule_id == "Γ" ? obs::ProvKind::kGroundTruth : obs::ProvKind::kFix,
+          rule_id, record.ToString(), prov);
+      prov_by_temporal_[std::make_tuple(rel, attr, std::min(tid1, tid2),
+                                        std::max(tid1, tid2))] =
+          record.prov_id;
+    }
     fixes_.push_back(std::move(record));
     *changed = true;
   }
   return Status::Ok();
+}
+
+int64_t FixStore::AddProvNode(obs::ProvKind kind, const std::string& rule_id,
+                              std::string target,
+                              const obs::ProvenanceRef& prov) {
+  if constexpr (!obs::kProvenanceEnabled) {
+    (void)kind;
+    (void)rule_id;
+    (void)target;
+    (void)prov;
+    return -1;
+  }
+  obs::ProvenanceNode node;
+  node.kind = kind;
+  node.rule_id = rule_id;
+  node.target = std::move(target);
+  if (prov.witness != nullptr) {
+    node.witness = *prov.witness;
+    // Upgrade premise sources against the validated state: a cell another
+    // deduction (or Γ) validated is a prior-fix / ground-truth premise
+    // with an upstream edge to its node; everything else stays raw/oracle.
+    for (obs::PremiseCell& cell : node.witness.premises) {
+      if (cell.attr < 0) continue;  // eid / oracle pseudo-cells
+      int64_t up = ProvOfCell(cell.rel, cell.tid, cell.attr);
+      if (up < 0) continue;
+      const obs::ProvenanceNode* up_node = prov_.Get(up);
+      cell.source = up_node != nullptr &&
+                            up_node->kind == obs::ProvKind::kGroundTruth
+                        ? obs::PremiseSource::kGroundTruth
+                        : obs::PremiseSource::kPriorFix;
+      cell.upstream = up;
+      node.upstream.push_back(up);
+    }
+  }
+  return prov_.Add(std::move(node));
+}
+
+int64_t FixStore::ProvOfCell(int rel, int64_t tid, int attr) const {
+  auto it = prov_by_cell_.find(std::make_tuple(rel, attr, tid));
+  return it == prov_by_cell_.end() ? -1 : it->second;
+}
+
+int64_t FixStore::ProvOfTemporal(int rel, int attr, int64_t tid1,
+                                 int64_t tid2) const {
+  auto it = prov_by_temporal_.find(std::make_tuple(
+      rel, attr, std::min(tid1, tid2), std::max(tid1, tid2)));
+  return it == prov_by_temporal_.end() ? -1 : it->second;
+}
+
+int64_t FixStore::ProvOfDistinct(int64_t a, int64_t b) const {
+  int64_t ra = eids_.Find(a);
+  int64_t rb = eids_.Find(b);
+  auto it =
+      prov_by_distinct_.find({std::min(ra, rb), std::max(ra, rb)});
+  return it == prov_by_distinct_.end() ? -1 : it->second;
+}
+
+int64_t FixStore::ProvOfMerge(int64_t a, int64_t b) const {
+  std::vector<int64_t> path = prov_.MergePath(a, b);
+  return path.empty() ? -1 : path.back();
+}
+
+int64_t FixStore::AddConflictCandidate(const std::string& rule_id,
+                                       std::string target,
+                                       const obs::ProvenanceRef& prov) {
+  return AddProvNode(obs::ProvKind::kConflictCandidate, rule_id,
+                     std::move(target), prov);
+}
+
+obs::ProofTree FixStore::ExplainCell(int rel, int64_t tid, int attr,
+                                     int max_depth) const {
+  return prov_.Expand(ProvOfCell(rel, tid, attr), max_depth);
+}
+
+obs::ProofTree FixStore::ExplainMerge(int64_t eid_a, int64_t eid_b,
+                                      int max_depth) const {
+  return prov_.ExplainMerge(eid_a, eid_b, max_depth);
 }
 
 std::vector<int64_t> FixStore::PatchedTidsEq(int rel, int attr,

@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/common/status.h"
+#include "src/obs/provenance.h"
 #include "src/rules/eval.h"
 #include "src/storage/relation.h"
 
@@ -87,8 +89,16 @@ struct FixRecord {
   // kTemporalOrder
   int64_t tid1 = -1, tid2 = -1;
   bool strict = false;
+  /// Provenance node recording this fix's witness (-1 when capture is off
+  /// or the fix was installed without a rule application behind it).
+  int64_t prov_id = -1;
 
   std::string ToString() const;
+
+  /// Round-trippable JSON object (see FromJson); reused by the provenance
+  /// exporter's proof-tree rendering.
+  std::string ToJson() const;
+  static Result<FixRecord> FromJson(const json::Value& v);
 };
 
 /// A conflict surfaced during chasing, together with how it was resolved
@@ -100,6 +110,14 @@ struct ConflictRecord {
   std::string description;
   /// "kept_existing", "kept_new", "confidence", "mc_argmax", "user_queue".
   std::string resolution;
+  /// Provenance of the two competing derivations: the fix that installed
+  /// the existing state, and the conflict-candidate node capturing the
+  /// losing rule application's witness (-1 when unknown / capture off).
+  int64_t prov_existing = -1;
+  int64_t prov_candidate = -1;
+
+  std::string ToJson() const;
+  static Result<ConflictRecord> FromJson(const json::Value& v);
 };
 
 /// The fix collection U = (E_=, E_⪯) plus ground truth Γ (paper §4.1):
@@ -143,22 +161,26 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
 
   /// t.EID = s.EID. Returns kConflict when a distinctness constraint
   /// forbids the merge. `*changed` reports whether the store grew.
+  /// `prov` carries the witness of the deducing rule application; the
+  /// default (no witness) records a leaf provenance node.
   Status MergeEids(int64_t a, int64_t b, const std::string& rule_id,
-                   bool* changed);
+                   bool* changed, const obs::ProvenanceRef& prov = {});
 
   /// t.EID != s.EID.
   Status AddEidDistinct(int64_t a, int64_t b, const std::string& rule_id,
-                        bool* changed);
+                        bool* changed, const obs::ProvenanceRef& prov = {});
 
   /// Validates value `v` for attribute `attr` of tuple `tid`.
   /// kConflict when a different value is already validated.
   Status SetValue(int rel, int64_t tid, int attr, Value v,
-                  const std::string& rule_id, bool* changed);
+                  const std::string& rule_id, bool* changed,
+                  const obs::ProvenanceRef& prov = {});
 
   /// Overwrites a validated value — used only by deterministic conflict
   /// resolution (M_c argmax for MI, §4.2), never by plain chase steps.
   Status ReplaceValue(int rel, int64_t tid, int attr, Value v,
-                      const std::string& rule_id);
+                      const std::string& rule_id,
+                      const obs::ProvenanceRef& prov = {});
 
   /// Validated value of the cell, if any.
   std::optional<Value> ValidatedValue(int rel, int64_t tid, int attr) const;
@@ -168,7 +190,8 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
 
   /// Adds a temporal pair; kConflict on contradiction.
   Status AddTemporal(int rel, int attr, int64_t tid1, int64_t tid2,
-                     bool strict, const std::string& rule_id, bool* changed);
+                     bool strict, const std::string& rule_id, bool* changed,
+                     const obs::ProvenanceRef& prov = {});
 
   // ---- CellOverlay / TemporalOracle (the repaired view) ----
   std::optional<Value> GetCell(int rel, int64_t tid,
@@ -190,13 +213,39 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
   /// Canonical eid of a tuple (through the union-find).
   int64_t CanonicalEid(int rel, int64_t tid) const;
 
+  // ---- Provenance ----
+  const obs::ProvenanceGraph& provenance() const { return prov_; }
+  obs::ProvenanceGraph& mutable_provenance() { return prov_; }
+
+  /// Provenance node that validated the cell / installed the temporal pair
+  /// (unordered) / the distinctness constraint; -1 when unknown.
+  int64_t ProvOfCell(int rel, int64_t tid, int attr) const;
+  int64_t ProvOfTemporal(int rel, int attr, int64_t tid1, int64_t tid2) const;
+  int64_t ProvOfDistinct(int64_t a, int64_t b) const;
+  /// Most recent merge deduction on the proof-forest path between `a` and
+  /// `b`; -1 when their classes were never connected by recorded merges.
+  int64_t ProvOfMerge(int64_t a, int64_t b) const;
+
+  /// Records a derivation that LOST a conflict resolution (its witness is
+  /// kept so ConflictRecord links both sides). Returns the node id, -1
+  /// when capture is compiled out.
+  int64_t AddConflictCandidate(const std::string& rule_id, std::string target,
+                               const obs::ProvenanceRef& prov);
+
+  /// Depth-bounded proof tree for a validated cell / an eid merge.
+  obs::ProofTree ExplainCell(int rel, int64_t tid, int attr,
+                             int max_depth = 32) const;
+  obs::ProofTree ExplainMerge(int64_t eid_a, int64_t eid_b,
+                              int max_depth = 32) const;
+
  private:
   const Database* db_;
   UnionFind eids_;
   // (rel, attr, tid) -> validated value.
   std::map<std::tuple<int, int, int64_t>, Value> values_;
-  // (rel, attr, value hash) -> tids validated to that value (stale entries
-  // after ReplaceValue are tolerated: lookups re-verify).
+  // (rel, attr, value hash) -> tids validated to that value. ReplaceValue
+  // erases the superseded bucket entry so the index never serves a tid
+  // whose current validated value hashes differently.
   std::map<std::tuple<int, int, uint64_t>, std::vector<int64_t>>
       values_by_hash_;
   // Distinctness constraints between canonical eids (stored unordered).
@@ -209,7 +258,23 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
   // PatchedTids).
   std::map<int64_t, std::vector<std::pair<int, int64_t>>> eid_index_;
 
+  // ---- Provenance capture (all empty when compiled out) ----
+  obs::ProvenanceGraph prov_;
+  // (rel, attr, tid) -> node that validated the cell.
+  std::map<std::tuple<int, int, int64_t>, int64_t> prov_by_cell_;
+  // (rel, attr, min tid, max tid) -> node that installed the pair.
+  std::map<std::tuple<int, int, int64_t, int64_t>, int64_t> prov_by_temporal_;
+  // Canonical (lo, hi) eid pair -> node of the distinctness deduction
+  // (re-canonicalized alongside distinct_ on merges).
+  std::map<std::pair<int64_t, int64_t>, int64_t> prov_by_distinct_;
+
   const Tuple* FindTuple(int rel, int64_t tid) const;
+
+  /// Copies the witness, upgrades premise sources against the validated
+  /// state (raw -> ground-truth / prior-fix with upstream edges), and
+  /// appends the node. Returns -1 when capture is compiled out.
+  int64_t AddProvNode(obs::ProvKind kind, const std::string& rule_id,
+                      std::string target, const obs::ProvenanceRef& prov);
 };
 
 }  // namespace rock::chase

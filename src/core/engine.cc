@@ -289,12 +289,12 @@ size_t Rock::ApplyPolyFixes(chase::ChaseEngine* engine) const {
   return applied;
 }
 
-std::unique_ptr<chase::ChaseEngine> Rock::CorrectErrors(
+std::shared_ptr<chase::ChaseEngine> Rock::CorrectErrors(
     const std::vector<Ree>& rules,
     const std::vector<std::pair<int, int64_t>>& ground_truth,
     CorrectionResult* result) {
   ROCK_OBS_SPAN("rock.correct");
-  auto engine = std::make_unique<chase::ChaseEngine>(db_, graph_, &models_,
+  auto engine = std::make_shared<chase::ChaseEngine>(db_, graph_, &models_,
                                                      options_.chase);
   for (const auto& [rel, tid] : ground_truth) {
     Status s = engine->fix_store().AddGroundTruthTuple(rel, tid);
@@ -363,7 +363,25 @@ std::unique_ptr<chase::ChaseEngine> Rock::CorrectErrors(
     }
   }
   if (result != nullptr) *result = local;
+  last_engine_ = engine;
   return engine;
+}
+
+obs::ProofTree Rock::Explain(int rel, int64_t tid, int attr,
+                             int max_depth) const {
+  if (last_engine_ == nullptr) return obs::ProofTree();
+  return last_engine_->Explain(rel, tid, attr, max_depth);
+}
+
+obs::ProofTree Rock::ExplainMerge(int64_t eid_a, int64_t eid_b,
+                                  int max_depth) const {
+  if (last_engine_ == nullptr) return obs::ProofTree();
+  return last_engine_->ExplainMerge(eid_a, eid_b, max_depth);
+}
+
+obs::ProvenanceSummary Rock::ProvenanceSummary() const {
+  if (last_engine_ == nullptr) return obs::ProvenanceSummary();
+  return last_engine_->ProvenanceSummary();
 }
 
 obs::TelemetrySnapshot Rock::Telemetry() const {

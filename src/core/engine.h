@@ -140,11 +140,34 @@ class Rock {
 
   /// Error correction: chases the data with (rules, Γ) under the variant's
   /// execution policy. `ground_truth` tuples seed Γ.
-  /// The returned engine owns the fix store (inspect or materialize).
-  std::unique_ptr<chase::ChaseEngine> CorrectErrors(
+  /// The returned engine owns the fix store (inspect or materialize); Rock
+  /// keeps a reference to the most recent engine so Explain() can answer
+  /// "why was this cell changed?" after the call returns.
+  std::shared_ptr<chase::ChaseEngine> CorrectErrors(
       const std::vector<rules::Ree>& rules,
       const std::vector<std::pair<int, int64_t>>& ground_truth,
       CorrectionResult* result);
+
+  /// Why-provenance of a fix from the last CorrectErrors run: the proof
+  /// tree of the validated cell (rule + witness tuples + premise cells,
+  /// recursively to ground truth or raw reads). Empty when no correction
+  /// ran, the cell was never validated, or capture is compiled out.
+  obs::ProofTree Explain(int rel, int64_t tid, int attr,
+                         int max_depth = 32) const;
+
+  /// Why two eids denote the same entity: proof trees for every merge
+  /// deduction on the union-find proof-forest path between them.
+  obs::ProofTree ExplainMerge(int64_t eid_a, int64_t eid_b,
+                              int max_depth = 32) const;
+
+  /// Whole-run provenance aggregate of the last CorrectErrors run.
+  obs::ProvenanceSummary ProvenanceSummary() const;
+
+  /// The engine of the most recent CorrectErrors call (nullptr before the
+  /// first call).
+  std::shared_ptr<chase::ChaseEngine> last_engine() const {
+    return last_engine_;
+  }
 
   /// The polynomial rules currently enforced.
   const std::vector<PolyRule>& poly_rules() const { return poly_rules_; }
@@ -164,6 +187,7 @@ class Rock {
   RockOptions options_;
   ml::MlLibrary models_;
   std::vector<PolyRule> poly_rules_;
+  std::shared_ptr<chase::ChaseEngine> last_engine_;
 
   rules::EvalContext Context() const;
   /// Appends polynomial violations to `report`.

@@ -227,9 +227,14 @@ std::string ExportJson(const MetricsRegistry::Snapshot& snapshot,
 
 TelemetrySnapshot CaptureGlobalTelemetry() {
   TelemetrySnapshot snap;
+  snap.dropped_spans = Tracer::Global().dropped();
+  // Mirror the ring's drop count as a gauge so it reaches the Prometheus
+  // export (and the JSON "gauges" block) — the CI smoke asserts it is 0.
+  MetricsRegistry::Global()
+      .GetGauge("rock_obs_dropped_spans")
+      ->Set(static_cast<int64_t>(snap.dropped_spans));
   snap.metrics = MetricsRegistry::Global().Snap();
   snap.spans = Tracer::Global().AggregateByName();
-  snap.dropped_spans = Tracer::Global().dropped();
   return snap;
 }
 

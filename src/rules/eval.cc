@@ -182,6 +182,140 @@ bool Evaluator::SatisfiesPrecondition(const Ree& rule,
   return true;
 }
 
+obs::Witness Evaluator::CaptureWitness(const Ree& rule,
+                                       const Valuation& v) const {
+  obs::Witness w;
+  const DatabaseSchema& schema = ctx_.db->schema();
+  w.rule_text = rule.ToString(schema);
+  w.tuples.reserve(rule.tuple_vars.size());
+  for (size_t var = 0; var < rule.tuple_vars.size(); ++var) {
+    obs::WitnessTuple t;
+    t.var = static_cast<int>(var);
+    t.rel = rule.tuple_vars[var];
+    t.tid = GetTuple(rule, v, static_cast<int>(var)).tid;
+    w.tuples.push_back(t);
+  }
+
+  auto add_cell = [&](int var, int attr,
+                      obs::PremiseSource source = obs::PremiseSource::kRaw) {
+    obs::PremiseCell cell;
+    cell.rel = rule.tuple_vars[static_cast<size_t>(var)];
+    cell.tid = GetTuple(rule, v, var).tid;
+    cell.attr = attr;
+    if (attr == kEidAttr) {
+      cell.value = std::to_string(GetEid(rule, v, var));
+      cell.source = obs::PremiseSource::kOracle;  // answered by E_=
+    } else {
+      cell.value = GetCell(rule, v, var, attr).ToString();
+      cell.source = source;
+    }
+    w.premises.push_back(std::move(cell));
+  };
+  auto add_ml = [&](const Predicate& p, const std::string& model,
+                    double score, double threshold, bool passed) {
+    obs::MlInvocation call;
+    call.model = model;
+    call.detail = PredicateToString(p, rule, schema);
+    call.score = score;
+    call.threshold = threshold;
+    call.passed = passed;
+    w.ml_calls.push_back(std::move(call));
+  };
+
+  for (const Predicate& p : rule.precondition) {
+    switch (p.kind) {
+      case PredicateKind::kConstant:
+      case PredicateKind::kIsNull:
+        add_cell(p.var, p.attr);
+        break;
+      case PredicateKind::kAttrCompare:
+        add_cell(p.var, p.attr);
+        add_cell(p.var2, p.attr2 == kEidAttr || p.attr == kEidAttr
+                             ? kEidAttr
+                             : p.attr2);
+        break;
+      case PredicateKind::kMlPair: {
+        for (int a : p.attrs_a) add_cell(p.var, a);
+        for (int b : p.attrs_b) add_cell(p.var2, b);
+        const ml::PairClassifier* model =
+            ctx_.models == nullptr ? nullptr : ctx_.models->FindPair(p.model);
+        if (model != nullptr) {
+          std::vector<Value> a, b;
+          for (int attr : p.attrs_a) a.push_back(GetCell(rule, v, p.var, attr));
+          for (int attr : p.attrs_b) {
+            b.push_back(GetCell(rule, v, p.var2, attr));
+          }
+          double score = model->Score(a, b);
+          add_ml(p, p.model, score, model->threshold(),
+                 score >= model->threshold());
+        }
+        break;
+      }
+      case PredicateKind::kTemporal: {
+        add_cell(p.var, p.attr, obs::PremiseSource::kOracle);
+        add_cell(p.var2, p.attr, obs::PremiseSource::kOracle);
+        if (!p.model.empty() && ctx_.models != nullptr) {
+          const ml::TemporalRanker* ranker = ctx_.models->FindRanker(p.model);
+          if (ranker != nullptr) {
+            const Tuple& t1 = GetTuple(rule, v, p.var);
+            const Tuple& t2 = GetTuple(rule, v, p.var2);
+            double conf = ranker->Confidence(t1, t2, p.attr, p.strict);
+            add_ml(p, p.model, conf, 0.5, conf >= 0.5);
+          }
+        }
+        break;
+      }
+      case PredicateKind::kHer: {
+        if (ctx_.models != nullptr && ctx_.models->her() != nullptr &&
+            ctx_.graph != nullptr) {
+          int rel = rule.tuple_vars[static_cast<size_t>(p.var)];
+          bool matched = ctx_.models->her()->Match(
+              GetValues(rule, v, p.var), schema.relation(rel), *ctx_.graph,
+              v.vertices[static_cast<size_t>(p.vertex_var)]);
+          add_ml(p, "HER", matched ? 1.0 : 0.0, 0.5, matched);
+        }
+        break;
+      }
+      case PredicateKind::kPathMatch:
+        add_cell(p.var, p.attr, obs::PremiseSource::kOracle);
+        break;
+      case PredicateKind::kValExtract:
+        add_cell(p.var, p.attr, obs::PremiseSource::kOracle);
+        break;
+      case PredicateKind::kCorrelation: {
+        for (int a : p.attrs_a) add_cell(p.var, a);
+        const ml::CorrelationModel* model =
+            ctx_.models == nullptr ? nullptr
+                                   : ctx_.models->FindCorrelation(p.model);
+        if (model != nullptr) {
+          std::vector<Value> values = GetValues(rule, v, p.var);
+          Value candidate = p.has_constant
+                                ? p.constant
+                                : GetCell(rule, v, p.var, p.attr2);
+          if (!candidate.is_null()) {
+            double strength =
+                model->Strength(values, p.attrs_a, p.attr2, candidate);
+            add_ml(p, p.model, strength, p.threshold,
+                   strength >= p.threshold);
+          }
+        }
+        break;
+      }
+      case PredicateKind::kPredictValue: {
+        for (int a : p.attrs_a) add_cell(p.var, a);
+        const ml::ValuePredictor* model =
+            ctx_.models == nullptr ? nullptr
+                                   : ctx_.models->FindPredictor(p.model);
+        if (model != nullptr) {
+          add_ml(p, p.model, 1.0, 0.0, true);
+        }
+        break;
+      }
+    }
+  }
+  return w;
+}
+
 bool Evaluator::LookupCandidates(int rel, int attr, const Value& value,
                                  std::vector<int>* out) const {
   out->clear();

@@ -9,6 +9,7 @@
 
 #include "src/kg/graph.h"
 #include "src/ml/library.h"
+#include "src/obs/provenance.h"
 #include "src/rules/ree.h"
 #include "src/storage/relation.h"
 
@@ -110,6 +111,15 @@ class Evaluator {
 
   /// h |= X (every precondition predicate).
   bool SatisfiesPrecondition(const Ree& rule, const Valuation& v) const;
+
+  /// The full witness of `v` satisfying `rule`'s precondition: the rule
+  /// text, the tuple bindings, every cell the precondition read (with its
+  /// overlay-aware value; sources default to kRaw / kOracle — the fix
+  /// store upgrades them to ground-truth / prior-fix when it knows the
+  /// cell is validated), and every ML-predicate invocation re-scored so
+  /// the proof records the actual score against its threshold. Call only
+  /// for valuations that satisfy the precondition.
+  obs::Witness CaptureWitness(const Ree& rule, const Valuation& v) const;
 
   /// Enumerates valuations with h |= X. The callback returns false to stop
   /// early. Equality predicates against already-bound variables and

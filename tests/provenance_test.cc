@@ -1,0 +1,857 @@
+// Why-provenance: witness capture in the chase, proof-tree expansion, the
+// Explain API, conflict-record derivation links, and the JSON round-trip of
+// the audit trail.
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/chase/chase.h"
+#include "src/chase/fix_store.h"
+#include "src/common/json.h"
+#include "src/core/engine.h"
+#include "src/ml/correlation.h"
+#include "src/ml/library.h"
+#include "src/ml/ranking.h"
+#include "src/obs/provenance.h"
+#include "src/rules/parser.h"
+#include "src/workload/ecommerce.h"
+
+namespace rock {
+namespace {
+
+using chase::ChaseEngine;
+using chase::ChaseOptions;
+using chase::ConflictRecord;
+using chase::FixRecord;
+using chase::FixStore;
+using rules::Ree;
+
+// The OFF build still runs this binary; capture-dependent assertions skip.
+#define SKIP_WITHOUT_PROVENANCE()                         \
+  if constexpr (!obs::kProvenanceEnabled) {               \
+    GTEST_SKIP() << "provenance capture compiled out";    \
+  }
+
+Ree MustParse(const std::string& text, const DatabaseSchema& schema,
+              const std::string& id) {
+  auto rule = rules::ParseRee(text, schema);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString() << " for " << text;
+  Ree out = *rule;
+  out.id = id;
+  return out;
+}
+
+// ---------- ProvenanceGraph unit tests ----------
+
+obs::ProvenanceNode MakeNode(obs::ProvKind kind, const std::string& rule_id,
+                             std::vector<int64_t> upstream) {
+  obs::ProvenanceNode node;
+  node.kind = kind;
+  node.rule_id = rule_id;
+  node.target = rule_id + " target";
+  node.upstream = std::move(upstream);
+  return node;
+}
+
+TEST(ProvenanceGraphTest, DepthAndBoundedExpansion) {
+  obs::ProvenanceGraph graph;
+  int64_t leaf = graph.Add(MakeNode(obs::ProvKind::kGroundTruth, "Γ", {}));
+  int64_t mid = graph.Add(MakeNode(obs::ProvKind::kFix, "r1", {leaf}));
+  int64_t top = graph.Add(MakeNode(obs::ProvKind::kFix, "r2", {mid}));
+
+  EXPECT_EQ(graph.ProofDepth(leaf), 1u);
+  EXPECT_EQ(graph.ProofDepth(top), 3u);
+
+  obs::ProofTree full = graph.Expand(top);
+  ASSERT_FALSE(full.empty());
+  ASSERT_EQ(full.root.children.size(), 1u);
+  ASSERT_EQ(full.root.children[0].children.size(), 1u);
+  EXPECT_EQ(full.root.children[0].children[0].node->kind,
+            obs::ProvKind::kGroundTruth);
+  EXPECT_FALSE(full.root.truncated);
+
+  obs::ProofTree bounded = graph.Expand(top, /*max_depth=*/2);
+  ASSERT_EQ(bounded.root.children.size(), 1u);
+  EXPECT_TRUE(bounded.root.children[0].truncated);
+  EXPECT_TRUE(bounded.root.children[0].children.empty());
+  EXPECT_NE(bounded.ToText().find("depth bound"), std::string::npos);
+}
+
+TEST(ProvenanceGraphTest, AddSanitizesUpstream) {
+  obs::ProvenanceGraph graph;
+  int64_t leaf = graph.Add(MakeNode(obs::ProvKind::kGroundTruth, "Γ", {}));
+  // Forward references, negatives and duplicates cannot enter the DAG —
+  // ProofDepth's recursion relies on upstream ids being strictly smaller.
+  int64_t id = graph.Add(
+      MakeNode(obs::ProvKind::kFix, "r", {leaf, leaf, -4, 99}));
+  ASSERT_NE(graph.Get(id), nullptr);
+  EXPECT_EQ(graph.Get(id)->upstream, std::vector<int64_t>{leaf});
+}
+
+TEST(ProvenanceGraphTest, MergeForestExplainsTransitivePath) {
+  obs::ProvenanceGraph graph;
+  int64_t m12 = graph.Add(MakeNode(obs::ProvKind::kFix, "m12", {}));
+  int64_t m23 = graph.Add(MakeNode(obs::ProvKind::kFix, "m23", {}));
+  graph.LinkMerge(1, 2, m12);
+  graph.LinkMerge(2, 3, m23);
+
+  std::vector<int64_t> path = graph.MergePath(1, 3);
+  std::sort(path.begin(), path.end());
+  EXPECT_EQ(path, (std::vector<int64_t>{m12, m23}));
+  EXPECT_TRUE(graph.MergePath(1, 7).empty());
+
+  obs::ProofTree tree = graph.ExplainMerge(1, 3);
+  ASSERT_FALSE(tree.empty());
+  EXPECT_EQ(tree.root.node, nullptr);  // synthetic root
+  EXPECT_EQ(tree.root.children.size(), 2u);
+  EXPECT_TRUE(graph.ExplainMerge(1, 7).empty());
+}
+
+// ---------- Witness capture through the chase ----------
+
+class KvDb {
+ public:
+  // S(k: string, v: string, w: string, o: int)
+  KvDb() {
+    DatabaseSchema schema;
+    Status s = schema.AddRelation(Schema("S",
+                                         {{"k", ValueType::kString},
+                                          {"v", ValueType::kString},
+                                          {"w", ValueType::kString},
+                                          {"o", ValueType::kInt}}));
+    EXPECT_TRUE(s.ok());
+    db = Database(std::move(schema));
+  }
+
+  int64_t Insert(const char* k, const char* v, const char* w, int64_t o) {
+    Tuple t;
+    t.values = {k == nullptr ? Value::Null() : Value::String(k),
+                v == nullptr ? Value::Null() : Value::String(v),
+                w == nullptr ? Value::Null() : Value::String(w),
+                Value::Int(o)};
+    auto tid = db.Insert(0, std::move(t));
+    EXPECT_TRUE(tid.ok());
+    return *tid;
+  }
+
+  Database db;
+};
+
+TEST(ChaseProvenanceTest, CertainFixProofReachesGroundTruth) {
+  SKIP_WITHOUT_PROVENANCE();
+  KvDb data;
+  int64_t dirty = data.Insert("x", nullptr, "-", 0);
+  int64_t trusted = data.Insert("x", "good", "-", 0);
+
+  ChaseOptions options;
+  options.certain_fixes_only = true;
+  ml::MlLibrary models;
+  ChaseEngine engine(&data.db, nullptr, &models, options);
+  ASSERT_TRUE(engine.fix_store().AddGroundTruthTuple(0, trusted).ok());
+  ASSERT_TRUE(
+      engine.fix_store()
+          .AddGroundTruthValue(0, dirty, 0, Value::String("x"))
+          .ok());
+
+  Ree rule = MustParse("S(t0) ^ S(t1) ^ t0.k = t1.k -> t0.v = t1.v",
+                       data.db.schema(), "cr1");
+  chase::ChaseResult result = engine.Run({rule});
+  EXPECT_GT(result.fixes_applied, 0u);
+
+  obs::ProofTree tree = engine.Explain(0, dirty, 1);
+  ASSERT_FALSE(tree.empty());
+  ASSERT_NE(tree.root.node, nullptr);
+  EXPECT_EQ(tree.root.node->kind, obs::ProvKind::kFix);
+  EXPECT_EQ(tree.root.node->rule_id, "cr1");
+  EXPECT_FALSE(tree.root.node->witness.tuples.empty());
+  // Every premise the precondition read is ground truth, and the proof
+  // recurses to Γ leaves.
+  ASSERT_FALSE(tree.root.node->witness.premises.empty());
+  for (const obs::PremiseCell& premise : tree.root.node->witness.premises) {
+    EXPECT_EQ(premise.source, obs::PremiseSource::kGroundTruth)
+        << "attr " << premise.attr;
+    EXPECT_GE(premise.upstream, 0);
+  }
+  ASSERT_FALSE(tree.root.children.empty());
+  for (const auto& child : tree.root.children) {
+    EXPECT_EQ(child.node->kind, obs::ProvKind::kGroundTruth);
+    EXPECT_EQ(child.node->rule_id, "Γ");
+  }
+
+  obs::ProvenanceSummary summary = engine.ProvenanceSummary();
+  EXPECT_GE(summary.max_depth, 2u);
+  EXPECT_GT(summary.premises_ground_truth, 0u);
+  EXPECT_EQ(summary.fixes_by_rule.count("cr1"), 1u);
+}
+
+TEST(ChaseProvenanceTest, PriorFixChainLinksUpstream) {
+  SKIP_WITHOUT_PROVENANCE();
+  KvDb data;
+  int64_t tid = data.Insert("x", nullptr, nullptr, 0);
+
+  ml::MlLibrary models;
+  ChaseEngine engine(&data.db, nullptr, &models);
+  std::vector<Ree> rules = {
+      MustParse("S(t0) ^ t0.k = 'x' -> t0.v = 'a'", data.db.schema(), "r1"),
+      MustParse("S(t0) ^ t0.v = 'a' -> t0.w = 'b'", data.db.schema(), "r2"),
+  };
+  chase::ChaseResult result = engine.Run(rules);
+  EXPECT_GE(result.fixes_applied, 2u);
+
+  obs::ProofTree tree = engine.Explain(0, tid, 2);
+  ASSERT_FALSE(tree.empty());
+  EXPECT_EQ(tree.root.node->rule_id, "r2");
+  ASSERT_EQ(tree.root.children.size(), 1u);
+  EXPECT_EQ(tree.root.children[0].node->rule_id, "r1");
+  bool found_prior_fix = false;
+  for (const obs::PremiseCell& premise : tree.root.node->witness.premises) {
+    if (premise.source == obs::PremiseSource::kPriorFix) {
+      found_prior_fix = true;
+      EXPECT_EQ(premise.upstream, tree.root.children[0].node->id);
+    }
+  }
+  EXPECT_TRUE(found_prior_fix);
+  EXPECT_NE(tree.ToText().find("prior_fix"), std::string::npos);
+
+  // The JSON rendering parses back and carries the same shape.
+  auto parsed = json::Parse(tree.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("rule_id"), "r2");
+  const json::Value* children = parsed->Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->AsArray().size(), 1u);
+  EXPECT_EQ(children->AsArray()[0].GetString("rule_id"), "r1");
+}
+
+TEST(ChaseProvenanceTest, ExplainMergeCoversTransitiveMerges) {
+  SKIP_WITHOUT_PROVENANCE();
+  KvDb data;
+  int64_t a = data.Insert("x", "1", "-", 0);
+  int64_t b = data.Insert("x", "2", "-", 0);
+  int64_t c = data.Insert("x", "3", "-", 0);
+  (void)b;
+
+  ml::MlLibrary models;
+  ChaseEngine engine(&data.db, nullptr, &models);
+  Ree rule = MustParse("S(t0) ^ S(t1) ^ t0.k = t1.k -> t0.eid = t1.eid",
+                       data.db.schema(), "er1");
+  engine.Run({rule});
+  EXPECT_EQ(engine.fix_store().CanonicalEid(0, c),
+            engine.fix_store().CanonicalEid(0, a));
+
+  // Tuples inherit eid = tid here, so the merge proof is queried on eids.
+  obs::ProofTree tree = engine.ExplainMerge(a, c);
+  ASSERT_FALSE(tree.empty());
+  ASSERT_FALSE(tree.root.children.empty());
+  for (const auto& step : tree.root.children) {
+    EXPECT_EQ(step.node->kind, obs::ProvKind::kFix);
+    EXPECT_EQ(step.node->rule_id, "er1");
+    EXPECT_FALSE(step.node->witness.tuples.empty());
+  }
+  EXPECT_GE(engine.fix_store().ProvOfMerge(a, c), 0);
+  // Unrelated eids have no merge proof.
+  EXPECT_TRUE(engine.ExplainMerge(a, 424242).empty());
+}
+
+std::vector<std::string> AllProofTexts(core::Rock& rock,
+                                       chase::ChaseEngine& engine) {
+  std::vector<std::string> texts;
+  for (const chase::CellFix& fix : engine.CellFixes()) {
+    texts.push_back(engine.Explain(fix.rel, fix.tid, fix.attr).ToText());
+  }
+  std::sort(texts.begin(), texts.end());
+  (void)rock;
+  return texts;
+}
+
+TEST(ChaseProvenanceTest, ProofsIdenticalAcrossWorkerCountsAndSerial) {
+  SKIP_WITHOUT_PROVENANCE();
+  auto rules_for = [](const Database& db) {
+    return std::vector<Ree>{
+        MustParse("Trans(t0) ^ Trans(t1) ^ t0.com = t1.com -> t0.mfg = t1.mfg",
+                  db.schema(), "p1"),
+        MustParse("Store(t0) ^ t0.location = 'Beijing' -> "
+                  "t0.area_code = '010'",
+                  db.schema(), "p2"),
+        MustParse("Person(t0) ^ Person(t1) ^ t0.spouse = t1.pid ^ "
+                  "null(t1.home) -> t1.home = t0.home",
+                  db.schema(), "p3"),
+    };
+  };
+
+  workload::EcommerceData serial_data = workload::MakeEcommerceData();
+  ml::MlLibrary models;
+  ChaseEngine serial(&serial_data.db, nullptr, &models);
+  serial.Run(rules_for(serial_data.db));
+  std::vector<std::string> serial_texts;
+  for (const chase::CellFix& fix : serial.CellFixes()) {
+    serial_texts.push_back(serial.Explain(fix.rel, fix.tid, fix.attr).ToText());
+  }
+  std::sort(serial_texts.begin(), serial_texts.end());
+  ASSERT_FALSE(serial_texts.empty());
+
+  for (int workers : {1, 3, 6}) {
+    workload::EcommerceData data = workload::MakeEcommerceData();
+    ChaseEngine engine(&data.db, nullptr, &models);
+    par::ScheduleReport schedule;
+    engine.RunParallel(rules_for(data.db), workers, /*block_rows=*/4,
+                       &schedule);
+    std::vector<std::string> texts;
+    for (const chase::CellFix& fix : engine.CellFixes()) {
+      texts.push_back(engine.Explain(fix.rel, fix.tid, fix.attr).ToText());
+    }
+    std::sort(texts.begin(), texts.end());
+    EXPECT_EQ(texts, serial_texts) << "workers=" << workers;
+  }
+}
+
+// ---------- The Rock facade ----------
+
+TEST(RockExplainTest, EndToEndExplainAfterCorrectErrors) {
+  workload::EcommerceData data = workload::MakeEcommerceData();
+  core::Rock rock(&data.db, &data.graph);
+
+  // Before any correction there is nothing to explain.
+  EXPECT_TRUE(rock.Explain(0, 0, 0).empty());
+  EXPECT_TRUE(rock.ExplainMerge(101, 102).empty());
+  EXPECT_EQ(rock.ProvenanceSummary().nodes, 0u);
+
+  core::ModelTrainingSpec spec;
+  spec.mer_threshold = 0.6;
+  spec.path_synonyms = {{"location", {"LocationAt"}}, {"type", {"TypeOf"}}};
+  rock.TrainModels(spec);
+  auto rules = rock.LoadRules(
+      "Store(t0) ^ t0.location = 'Beijing' -> t0.area_code = '010'\n"
+      "Person(t0) ^ Person(t1) ^ t0.spouse = t1.pid ^ null(t1.home) -> "
+      "t1.home = t0.home\n");
+  ASSERT_TRUE(rules.ok());
+  core::CorrectionResult result;
+  auto engine = rock.CorrectErrors(*rules, {}, &result);
+  ASSERT_NE(engine, nullptr);
+  ASSERT_NE(rock.last_engine(), nullptr);
+  ASSERT_GT(result.chase.fixes_applied, 0u);
+
+  if constexpr (!obs::kProvenanceEnabled) return;
+
+  // Every repaired cell in the audit trail explains itself with a
+  // non-empty proof tree carrying rule text and witness tuples.
+  std::vector<chase::CellFix> fixes = engine->CellFixes();
+  ASSERT_FALSE(fixes.empty());
+  for (const chase::CellFix& fix : fixes) {
+    obs::ProofTree tree = rock.Explain(fix.rel, fix.tid, fix.attr);
+    ASSERT_FALSE(tree.empty())
+        << "rel " << fix.rel << " tid " << fix.tid << " attr " << fix.attr;
+    EXPECT_FALSE(tree.root.node->witness.rule_text.empty());
+    EXPECT_FALSE(tree.root.node->witness.tuples.empty());
+    EXPECT_NE(tree.ToText().find("rule:"), std::string::npos);
+  }
+  EXPECT_GT(rock.ProvenanceSummary().nodes, 0u);
+}
+
+// ---------- Satellite: ReplaceValue hash-index regression ----------
+
+TEST(FixStoreHashIndexTest, ReplaceValueErasesStaleHashEntry) {
+  KvDb data;
+  int64_t tid = data.Insert("x", nullptr, nullptr, 0);
+  FixStore store(&data.db);
+  bool changed = false;
+  ASSERT_TRUE(
+      store.SetValue(0, tid, 1, Value::String("old"), "r1", &changed).ok());
+  ASSERT_TRUE(store.ReplaceValue(0, tid, 1, Value::String("new"), "mc").ok());
+
+  // The superseded value's hash bucket must no longer serve the tid.
+  std::vector<int64_t> stale =
+      store.PatchedTidsEq(0, 1, Value::String("old").Hash());
+  EXPECT_TRUE(std::find(stale.begin(), stale.end(), tid) == stale.end());
+  std::vector<int64_t> fresh =
+      store.PatchedTidsEq(0, 1, Value::String("new").Hash());
+  EXPECT_TRUE(std::find(fresh.begin(), fresh.end(), tid) != fresh.end());
+  EXPECT_EQ(store.ValidatedValue(0, tid, 1)->AsString(), "new");
+}
+
+TEST(FixStoreHashIndexTest, PatchedTidsEqNeverServesMismatchedValues) {
+  // Regression sweep: after a chain of SetValue/ReplaceValue, every tid an
+  // equality probe returns must re-verify against its validated value.
+  KvDb data;
+  std::vector<int64_t> tids;
+  for (int i = 0; i < 6; ++i) {
+    tids.push_back(data.Insert("x", nullptr, nullptr, i));
+  }
+  FixStore store(&data.db);
+  bool changed = false;
+  std::vector<Value> candidates = {Value::String("a"), Value::String("b"),
+                                   Value::String("c")};
+  for (size_t i = 0; i < tids.size(); ++i) {
+    ASSERT_TRUE(store
+                    .SetValue(0, tids[i], 1, candidates[i % 3],
+                              "r", &changed)
+                    .ok());
+  }
+  for (size_t i = 0; i < tids.size(); i += 2) {
+    ASSERT_TRUE(
+        store.ReplaceValue(0, tids[i], 1, candidates[(i + 1) % 3], "mc").ok());
+  }
+  for (const Value& probe : candidates) {
+    for (int64_t tid : store.PatchedTidsEq(0, 1, probe.Hash())) {
+      auto validated = store.ValidatedValue(0, tid, 1);
+      ASSERT_TRUE(validated.has_value());
+      EXPECT_EQ(validated->Hash(), probe.Hash())
+          << "tid " << tid << " served for " << probe.ToString()
+          << " but holds " << validated->ToString();
+    }
+  }
+}
+
+// ---------- Satellite: JSON round-trip + golden file ----------
+
+std::vector<FixRecord> GoldenFixRecords() {
+  std::vector<FixRecord> records;
+  FixRecord merge;
+  merge.kind = FixRecord::Kind::kMergeEid;
+  merge.rule_id = "φ1";
+  merge.prov_id = 7;
+  merge.eid_a = 101;
+  merge.eid_b = 102;
+  records.push_back(merge);
+
+  FixRecord set;
+  set.kind = FixRecord::Kind::kSetValue;
+  set.rule_id = "φ12";
+  set.rel = 1;
+  set.attr = 5;
+  set.eid = 211;
+  set.tid1 = 5;
+  set.value = Value::String("010");
+  records.push_back(set);
+
+  FixRecord time_fix;
+  time_fix.kind = FixRecord::Kind::kSetValue;
+  time_fix.rule_id = "Γ";
+  time_fix.prov_id = 0;
+  time_fix.rel = 0;
+  time_fix.attr = 2;
+  time_fix.eid = 9;
+  time_fix.tid1 = 9;
+  time_fix.value = Value::Time(1700000000);
+  records.push_back(time_fix);
+
+  FixRecord temporal;
+  temporal.kind = FixRecord::Kind::kTemporalOrder;
+  temporal.rule_id = "φ4";
+  temporal.prov_id = 3;
+  temporal.rel = 0;
+  temporal.attr = 5;
+  temporal.tid1 = 2;
+  temporal.tid2 = 3;
+  temporal.strict = false;
+  records.push_back(temporal);
+  return records;
+}
+
+ConflictRecord GoldenConflictRecord() {
+  ConflictRecord conflict;
+  conflict.kind = ConflictRecord::Kind::kValue;
+  conflict.rule_id = "φ8";
+  conflict.description = "MI candidates 4200 vs 9000";
+  conflict.resolution = "mc_argmax:existing";
+  conflict.prov_existing = 4;
+  conflict.prov_candidate = 11;
+  return conflict;
+}
+
+TEST(AuditJsonTest, MatchesGoldenFile) {
+  std::ifstream golden(std::string(ROCK_TEST_SRCDIR) +
+                       "/golden/fix_records.json");
+  ASSERT_TRUE(golden.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(golden, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::vector<std::string> produced;
+  for (const FixRecord& record : GoldenFixRecords()) {
+    produced.push_back(record.ToJson());
+  }
+  produced.push_back(GoldenConflictRecord().ToJson());
+  EXPECT_EQ(lines, produced);
+}
+
+TEST(AuditJsonTest, FixRecordRoundTrips) {
+  for (const FixRecord& record : GoldenFixRecords()) {
+    auto doc = json::Parse(record.ToJson());
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    auto back = FixRecord::FromJson(*doc);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->kind, record.kind);
+    EXPECT_EQ(back->rule_id, record.rule_id);
+    EXPECT_EQ(back->prov_id, record.prov_id);
+    EXPECT_EQ(back->eid_a, record.eid_a);
+    EXPECT_EQ(back->eid_b, record.eid_b);
+    EXPECT_EQ(back->rel, record.rel);
+    EXPECT_EQ(back->attr, record.attr);
+    EXPECT_EQ(back->eid, record.eid);
+    EXPECT_EQ(back->tid1, record.tid1);
+    EXPECT_EQ(back->tid2, record.tid2);
+    EXPECT_EQ(back->strict, record.strict);
+    EXPECT_EQ(back->value.type(), record.value.type());
+    EXPECT_TRUE(back->value == record.value)
+        << back->value.ToString() << " vs " << record.value.ToString();
+  }
+}
+
+TEST(AuditJsonTest, ValueVariantsRoundTrip) {
+  std::vector<Value> values = {Value::Null(), Value::Int(-42),
+                               Value::Double(12.5),
+                               Value::String("with \"quotes\" and \n"),
+                               Value::Time(1700000123)};
+  for (const Value& value : values) {
+    FixRecord record;
+    record.kind = FixRecord::Kind::kSetValue;
+    record.rule_id = "r";
+    record.value = value;
+    auto doc = json::Parse(record.ToJson());
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    auto back = FixRecord::FromJson(*doc);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->value.type(), value.type());
+    EXPECT_TRUE(back->value == value)
+        << back->value.ToString() << " vs " << value.ToString();
+  }
+}
+
+TEST(AuditJsonTest, ConflictRecordRoundTrips) {
+  ConflictRecord record = GoldenConflictRecord();
+  auto doc = json::Parse(record.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  auto back = ConflictRecord::FromJson(*doc);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->kind, record.kind);
+  EXPECT_EQ(back->rule_id, record.rule_id);
+  EXPECT_EQ(back->description, record.description);
+  EXPECT_EQ(back->resolution, record.resolution);
+  EXPECT_EQ(back->prov_existing, record.prov_existing);
+  EXPECT_EQ(back->prov_candidate, record.prov_candidate);
+}
+
+TEST(AuditJsonTest, FromJsonRejectsMalformedRecords) {
+  auto bad_kind = json::Parse(R"({"kind":"no_such_kind","rule_id":"r"})");
+  ASSERT_TRUE(bad_kind.ok());
+  EXPECT_FALSE(FixRecord::FromJson(*bad_kind).ok());
+  auto no_value = json::Parse(R"({"kind":"set_value","rule_id":"r"})");
+  ASSERT_TRUE(no_value.ok());
+  EXPECT_FALSE(FixRecord::FromJson(*no_value).ok());
+}
+
+// ---------- Satellite: conflict resolutions link both derivations ----------
+
+class MiConflictTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tid_ = data_.Insert("x", nullptr, nullptr, 0);
+    rules_ = {
+        MustParse("S(t0) ^ t0.k = 'x' -> t0.v = 'A'", data_.db.schema(),
+                  "first"),
+        MustParse("S(t0) ^ t0.k = 'x' -> t0.v = 'B'", data_.db.schema(),
+                  "second"),
+    };
+  }
+
+  KvDb data_;
+  int64_t tid_ = -1;
+  std::vector<Ree> rules_;
+};
+
+TEST_F(MiConflictTest, KeptExistingLinksBothDerivations) {
+  ml::MlLibrary models;  // no Mc: resolution falls back to kept_existing
+  ChaseEngine engine(&data_.db, nullptr, &models);
+  chase::ChaseResult result = engine.Run(rules_);
+  ASSERT_FALSE(result.conflicts.empty());
+  const ConflictRecord& conflict = result.conflicts[0];
+  EXPECT_EQ(conflict.resolution, "kept_existing");
+  EXPECT_EQ(engine.fix_store().ValidatedValue(0, tid_, 1)->AsString(), "A");
+  if constexpr (!obs::kProvenanceEnabled) return;
+  // The existing derivation is the first rule's fix node; the losing
+  // application is preserved as a conflict-candidate node with a witness.
+  ASSERT_GE(conflict.prov_existing, 0);
+  ASSERT_GE(conflict.prov_candidate, 0);
+  const obs::ProvenanceGraph& graph = engine.fix_store().provenance();
+  EXPECT_EQ(graph.Get(conflict.prov_existing)->rule_id, "first");
+  EXPECT_EQ(graph.Get(conflict.prov_candidate)->kind,
+            obs::ProvKind::kConflictCandidate);
+  EXPECT_EQ(graph.Get(conflict.prov_candidate)->rule_id, "second");
+  EXPECT_FALSE(
+      graph.Get(conflict.prov_candidate)->witness.premises.empty());
+}
+
+// Forces the M_c argmax to a fixed preference.
+class StubCorrelation : public ml::CorrelationModel {
+ public:
+  explicit StubCorrelation(std::string preferred)
+      : preferred_(std::move(preferred)) {}
+  double Strength(const std::vector<Value>&, const std::vector<int>&, int,
+                  const Value& candidate) const override {
+    return candidate.ToString() == preferred_ ? 0.9 : 0.1;
+  }
+
+ private:
+  std::string preferred_;
+};
+
+TEST_F(MiConflictTest, McArgmaxCandidateReplacesAndRelinksProvenance) {
+  ml::MlLibrary models;
+  models.RegisterCorrelation("Mc", std::make_shared<StubCorrelation>("B"));
+  ChaseEngine engine(&data_.db, nullptr, &models);
+  // M_c needs at least one validated attribute to condition on.
+  ASSERT_TRUE(
+      engine.fix_store()
+          .AddGroundTruthValue(0, tid_, 0, Value::String("x"))
+          .ok());
+  chase::ChaseResult result = engine.Run(rules_);
+  ASSERT_FALSE(result.conflicts.empty());
+  const ConflictRecord& conflict = result.conflicts[0];
+  EXPECT_EQ(conflict.resolution, "mc_argmax:candidate");
+  EXPECT_EQ(engine.fix_store().ValidatedValue(0, tid_, 1)->AsString(), "B");
+  if constexpr (!obs::kProvenanceEnabled) return;
+  ASSERT_GE(conflict.prov_existing, 0);
+  ASSERT_GE(conflict.prov_candidate, 0);
+  // After the replacement, the cell's provenance points at the winning
+  // (replacing) derivation, not the overwritten one.
+  int64_t current = engine.fix_store().ProvOfCell(0, tid_, 1);
+  ASSERT_GE(current, 0);
+  EXPECT_EQ(engine.fix_store().provenance().Get(current)->rule_id, "second");
+  EXPECT_NE(current, conflict.prov_existing);
+}
+
+TEST_F(MiConflictTest, McArgmaxExistingKeepsCellAndProvenance) {
+  ml::MlLibrary models;
+  models.RegisterCorrelation("Mc", std::make_shared<StubCorrelation>("A"));
+  ChaseEngine engine(&data_.db, nullptr, &models);
+  ASSERT_TRUE(
+      engine.fix_store()
+          .AddGroundTruthValue(0, tid_, 0, Value::String("x"))
+          .ok());
+  chase::ChaseResult result = engine.Run(rules_);
+  ASSERT_FALSE(result.conflicts.empty());
+  EXPECT_EQ(result.conflicts[0].resolution, "mc_argmax:existing");
+  EXPECT_EQ(engine.fix_store().ValidatedValue(0, tid_, 1)->AsString(), "A");
+  if constexpr (!obs::kProvenanceEnabled) return;
+  EXPECT_EQ(engine.fix_store().ProvOfCell(0, tid_, 1),
+            result.conflicts[0].prov_existing);
+}
+
+TEST(UserQueueProvenanceTest, QueuedConflictCarriesCandidateWitness) {
+  KvDb data;
+  data.Insert("x", "Acme Ltd", "-", 0);
+  data.Insert("x", "Acme Ltd.", "-", 0);
+  ml::MlLibrary models;
+  ChaseEngine engine(&data.db, nullptr, &models);
+  Ree rule = MustParse("S(t0) ^ S(t1) ^ t0.k = t1.k -> t0.v = t1.v",
+                       data.db.schema(), "cr");
+  chase::ChaseResult result = engine.Run({rule});
+  ASSERT_FALSE(result.conflicts.empty());
+  const ConflictRecord& conflict = result.conflicts[0];
+  EXPECT_EQ(conflict.resolution, "user_queue");
+  if constexpr (!obs::kProvenanceEnabled) return;
+  // Both sides are raw reads of one valuation: no validated existing
+  // derivation exists, but the candidate witness is preserved for review.
+  EXPECT_EQ(conflict.prov_existing, -1);
+  ASSERT_GE(conflict.prov_candidate, 0);
+  const obs::ProvenanceNode* node =
+      engine.fix_store().provenance().Get(conflict.prov_candidate);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->kind, obs::ProvKind::kConflictCandidate);
+  EXPECT_FALSE(node->witness.premises.empty());
+}
+
+TEST(UserQueueProvenanceTest, UserResolvedConflictKeepsCandidateNode) {
+  KvDb data;
+  data.Insert("x", "Acme Ltd", "-", 0);
+  data.Insert("x", "Acme Ltd.", "-", 0);
+  ChaseOptions options;
+  options.user_resolver = [](const ConflictRecord&, const Value& a,
+                             const Value& b) -> std::optional<Value> {
+    return a.ToString().size() > b.ToString().size() ? a : b;
+  };
+  ml::MlLibrary models;
+  ChaseEngine engine(&data.db, nullptr, &models, options);
+  Ree rule = MustParse("S(t0) ^ S(t1) ^ t0.k = t1.k -> t0.v = t1.v",
+                       data.db.schema(), "cr");
+  chase::ChaseResult result = engine.Run({rule});
+  bool resolved = false;
+  for (const ConflictRecord& conflict : result.conflicts) {
+    if (conflict.resolution.rfind("user_resolved:", 0) == 0) {
+      resolved = true;
+      if constexpr (obs::kProvenanceEnabled) {
+        EXPECT_GE(conflict.prov_candidate, 0);
+      }
+    }
+  }
+  EXPECT_TRUE(resolved);
+}
+
+// Forces the TD ranker confidence.
+class StubRanker : public ml::TemporalRanker {
+ public:
+  explicit StubRanker(double confidence) : confidence_(confidence) {}
+  double Confidence(const Tuple&, const Tuple&, int, bool) const override {
+    return confidence_;
+  }
+
+ private:
+  double confidence_;
+};
+
+class TdConflictTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_.Insert("a", "-", "-", 1);
+    data_.Insert("b", "-", "-", 2);
+    rules_ = {
+        MustParse("S(t0) ^ S(t1) ^ t0.k = 'a' ^ t1.k = 'b' -> t0 <[o] t1",
+                  data_.db.schema(), "td1"),
+        MustParse("S(t0) ^ S(t1) ^ t0.k = 'a' ^ t1.k = 'b' -> t1 <[o] t0",
+                  data_.db.schema(), "td2"),
+    };
+  }
+
+  const ConflictRecord& RunAndGetConflict(ChaseEngine& engine) {
+    result_ = engine.Run(rules_);
+    EXPECT_FALSE(result_.conflicts.empty());
+    return result_.conflicts.front();
+  }
+
+  KvDb data_;
+  std::vector<Ree> rules_;
+  chase::ChaseResult result_;
+};
+
+TEST_F(TdConflictTest, KeptExistingWithoutRanker) {
+  ml::MlLibrary models;
+  ChaseEngine engine(&data_.db, nullptr, &models);
+  const ConflictRecord& conflict = RunAndGetConflict(engine);
+  EXPECT_EQ(conflict.kind, ConflictRecord::Kind::kTemporal);
+  EXPECT_EQ(conflict.resolution, "kept_existing");
+  if constexpr (!obs::kProvenanceEnabled) return;
+  // The stored direction's deduction and the losing one are both linked.
+  ASSERT_GE(conflict.prov_existing, 0);
+  ASSERT_GE(conflict.prov_candidate, 0);
+  const obs::ProvenanceGraph& graph = engine.fix_store().provenance();
+  EXPECT_EQ(graph.Get(conflict.prov_existing)->rule_id, "td1");
+  EXPECT_EQ(graph.Get(conflict.prov_candidate)->rule_id, "td2");
+}
+
+TEST_F(TdConflictTest, ConfidencePrefersNewRecordsDecision) {
+  ml::MlLibrary models;
+  models.RegisterRanker("Mrank", std::make_shared<StubRanker>(0.9));
+  ChaseEngine engine(&data_.db, nullptr, &models);
+  const ConflictRecord& conflict = RunAndGetConflict(engine);
+  EXPECT_EQ(conflict.resolution, "confidence_prefers_new(kept_existing)");
+  if constexpr (!obs::kProvenanceEnabled) return;
+  EXPECT_GE(conflict.prov_existing, 0);
+  EXPECT_GE(conflict.prov_candidate, 0);
+}
+
+TEST_F(TdConflictTest, ConfidenceConfirmsExisting) {
+  ml::MlLibrary models;
+  models.RegisterRanker("Mrank", std::make_shared<StubRanker>(0.1));
+  ChaseEngine engine(&data_.db, nullptr, &models);
+  const ConflictRecord& conflict = RunAndGetConflict(engine);
+  EXPECT_EQ(conflict.resolution, "confidence_confirms_existing");
+}
+
+TEST(EidConflictTest, BlockedMergeLinksDistinctnessDerivation) {
+  KvDb data;
+  data.Insert("a", "-", "-", 0);
+  data.Insert("b", "-", "-", 0);
+  ml::MlLibrary models;
+  ChaseEngine engine(&data.db, nullptr, &models);
+  std::vector<Ree> rules = {
+      MustParse("S(t0) ^ S(t1) ^ t0.k = 'a' ^ t1.k = 'b' -> "
+                "t0.eid != t1.eid",
+                data.db.schema(), "neq"),
+      MustParse("S(t0) ^ S(t1) ^ t0.k = 'a' ^ t1.k = 'b' -> "
+                "t0.eid = t1.eid",
+                data.db.schema(), "eq"),
+  };
+  chase::ChaseResult result = engine.Run(rules);
+  ASSERT_FALSE(result.conflicts.empty());
+  const ConflictRecord& conflict = result.conflicts.front();
+  EXPECT_EQ(conflict.kind, ConflictRecord::Kind::kEid);
+  if constexpr (!obs::kProvenanceEnabled) return;
+  ASSERT_GE(conflict.prov_existing, 0);
+  ASSERT_GE(conflict.prov_candidate, 0);
+  const obs::ProvenanceGraph& graph = engine.fix_store().provenance();
+  EXPECT_EQ(graph.Get(conflict.prov_existing)->rule_id, "neq");
+  EXPECT_EQ(graph.Get(conflict.prov_candidate)->rule_id, "eq");
+}
+
+// ---------- Metrics export and the bench provenance block ----------
+
+TEST(ProvenanceMetricsTest, ChaseExportsDeltaAndBlockRendersJson) {
+  SKIP_WITHOUT_PROVENANCE();
+  obs::MetricsRegistry::Global().Reset();
+  KvDb data;
+  data.Insert("x", nullptr, nullptr, 0);
+  ml::MlLibrary models;
+  ChaseEngine engine(&data.db, nullptr, &models);
+  std::vector<Ree> rules = {
+      MustParse("S(t0) ^ t0.k = 'x' -> t0.v = 'a'", data.db.schema(), "m1"),
+      MustParse("S(t0) ^ t0.v = 'a' -> t0.w = 'b'", data.db.schema(), "m2"),
+  };
+  engine.Run(rules);
+
+  obs::MetricsRegistry::Snapshot snap = obs::MetricsRegistry::Global().Snap();
+  EXPECT_EQ(snap.CounterValue("rock_prov_nodes_total"),
+            engine.fix_store().provenance().size());
+  EXPECT_GE(snap.CounterValue(obs::ProvRuleCounterName("m1")), 1u);
+  EXPECT_GE(snap.CounterValue(obs::ProvRuleCounterName("m2")), 1u);
+  EXPECT_GT(snap.CounterValue("rock_prov_premises_raw_total"), 0u);
+  EXPECT_GT(snap.CounterValue("rock_prov_premises_prior_fix_total"), 0u);
+
+  // Running again must not double-count (watermark delta export).
+  uint64_t before = snap.CounterValue("rock_prov_nodes_total");
+  engine.Run(rules);
+  obs::MetricsRegistry::Snapshot again = obs::MetricsRegistry::Global().Snap();
+  EXPECT_EQ(again.CounterValue("rock_prov_nodes_total"),
+            before + (engine.fix_store().provenance().size() - before));
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  obs::AppendProvenanceBlock(again, &w);
+  w.EndObject();
+  auto doc = json::Parse(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* block = doc->Find("provenance");
+  ASSERT_NE(block, nullptr);
+  EXPECT_TRUE(block->GetBool("enabled"));
+  EXPECT_GT(block->GetInt("nodes"), 0);
+  EXPECT_GE(block->GetInt("max_depth"), 2);
+  const json::Value* by_rule = block->Find("fixes_by_rule");
+  ASSERT_NE(by_rule, nullptr);
+  EXPECT_NE(by_rule->Find("m1"), nullptr);
+  const json::Value* premises = block->Find("premises");
+  ASSERT_NE(premises, nullptr);
+  EXPECT_GT(premises->GetInt("raw"), 0);
+}
+
+TEST(ProvenanceMetricsTest, DroppedSpanGaugeIsExported) {
+  obs::TelemetrySnapshot snap = obs::CaptureGlobalTelemetry();
+  bool found = false;
+  for (const auto& gauge : snap.metrics.gauges) {
+    if (gauge.name == "rock_obs_dropped_spans") {
+      found = true;
+      EXPECT_EQ(gauge.value, static_cast<int64_t>(snap.dropped_spans));
+    }
+  }
+  EXPECT_TRUE(found);
+  // A quiescent test process must not be dropping spans.
+  EXPECT_EQ(snap.dropped_spans, 0u);
+}
+
+}  // namespace
+}  // namespace rock
