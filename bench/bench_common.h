@@ -1,5 +1,4 @@
-#ifndef ROCK_BENCH_BENCH_COMMON_H_
-#define ROCK_BENCH_BENCH_COMMON_H_
+#pragma once
 
 // Shared setup for the figure-reproduction benchmarks. Each bench binary
 // regenerates one figure of the paper's evaluation (§6, Figure 4); see
@@ -171,4 +170,3 @@ inline workload::Prf ScoreBaselineCorrections(
 
 }  // namespace rock::bench
 
-#endif  // ROCK_BENCH_BENCH_COMMON_H_

@@ -8,6 +8,7 @@
 #include "bench/bench_telemetry.h"
 #include "src/chase/fix_store.h"
 #include "src/common/hash.h"
+#include "src/common/mutex.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
 #include "src/ml/lsh.h"
@@ -153,6 +154,7 @@ void BM_FixStoreSetValue(benchmark::State& state) {
     state.PauseTiming();
     chase::FixStore store(&data.db);
     state.ResumeTiming();
+    common::RoleGuard apply(store.apply_role());
     bool changed = false;
     for (size_t row = 0; row < shipment.size(); ++row) {
       benchmark::DoNotOptimize(

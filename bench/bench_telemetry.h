@@ -1,5 +1,4 @@
-#ifndef ROCK_BENCH_BENCH_TELEMETRY_H_
-#define ROCK_BENCH_BENCH_TELEMETRY_H_
+#pragma once
 
 // Machine-readable bench output. Every bench binary keeps its human-readable
 // stdout tables and additionally emits BENCH_<name>.json with per-phase
@@ -95,7 +94,8 @@ class BenchTelemetry {
 
  private:
   std::string OutputPath() const {
-    const char* dir = std::getenv("ROCK_BENCH_JSON_DIR");
+    // Benches are single-threaded at report time; nothing calls setenv.
+    const char* dir = std::getenv("ROCK_BENCH_JSON_DIR");  // NOLINT(concurrency-mt-unsafe)
     std::string prefix = (dir != nullptr && *dir != '\0')
                              ? std::string(dir) + "/"
                              : std::string();
@@ -134,4 +134,3 @@ class BenchTelemetry {
 
 }  // namespace rock::bench
 
-#endif  // ROCK_BENCH_BENCH_TELEMETRY_H_

@@ -143,7 +143,8 @@ int main() {
 
   // CI uploads the rendered proof trees as an artifact: set
   // ROCK_EXPLAIN_OUT=<path> to write them to a file.
-  if (const char* out = std::getenv("ROCK_EXPLAIN_OUT");
+  // Single-threaded example binary; getenv cannot race anything here.
+  if (const char* out = std::getenv("ROCK_EXPLAIN_OUT");  // NOLINT(concurrency-mt-unsafe)
       out != nullptr && *out != '\0') {
     Status s = obs::WriteFile(out, explained);
     std::printf("[explain] %s %s\n", s.ok() ? "wrote" : "FAILED writing",

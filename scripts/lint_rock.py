@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Rock-specific lint pass.
+
+Enforces repo conventions that neither the compiler nor clang-tidy check:
+
+  raw-mutex          no std::mutex / std::shared_mutex / std lock RAII types
+                     outside src/common/ — concurrency goes through the
+                     annotated rock::common wrappers so Clang Thread Safety
+                     Analysis sees every lock.
+  using-namespace    no `using namespace` at any scope in headers.
+  pragma-once        every header starts its include protection with
+                     `#pragma once`.
+  raw-stdio          no std::cout / std::cerr / printf-family output outside
+                     bench/ and examples/ — library code logs via ROCK_LOG.
+  nondeterminism     no rand() / std::random_device under src/ — the chase
+                     and discovery must be bit-reproducible, so randomness
+                     goes through the seeded rock::common::Rng.
+  unregistered-test  every tests/*.cc is picked up by tests/CMakeLists.txt
+                     (the glob takes *_test.cc; anything else must be named
+                     there explicitly or it silently never runs).
+
+A line may opt out with a justification marker:
+    ... // rock-lint: allow(<rule>)
+
+Usage:
+    scripts/lint_rock.py [--root DIR]    # lint the repo, exit 1 on findings
+    scripts/lint_rock.py --self-test     # run the built-in fixture suite
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+# Directories whose sources are linted (relative to the repo root).
+LINT_PREFIXES = ("src/", "tests/", "bench/", "examples/")
+
+ALLOW_RE = re.compile(r"rock-lint:\s*allow\(([a-z-]+)\)")
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+# Lookbehind keeps attribute spellings like format(printf, 1, 2) and the
+# wider printf family (snprintf, fprintf) from tripping the output rule;
+# std::printf still matches because ':' is not in the class.
+RAW_STDIO_RE = re.compile(
+    r"std::cout\b|std::cerr\b|(?<![A-Za-z_])printf\s*\(|std::puts\b")
+NONDETERMINISM_RE = re.compile(
+    r"(?<![A-Za-z_:])rand\s*\(\s*\)|std::random_device\b")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so token rules don't fire on prose or log messages."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (min(j, n - 1) - i - 1) + quote)
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(line):
+    return set(ALLOW_RE.findall(line))
+
+
+def lint_file(path, text):
+    """Lints one file; `path` is repo-relative with forward slashes.
+    Returns a list of (path, line_number, rule, message)."""
+    findings = []
+    raw_lines = text.split("\n")
+    code_lines = strip_comments_and_strings(text).split("\n")
+    is_header = path.endswith(".h")
+
+    def check(rule, regex, message, *, headers_only=False, skip=False):
+        if skip or (headers_only and not is_header):
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            if regex.search(code) and rule not in allowed_rules(
+                    raw_lines[lineno - 1]):
+                findings.append((path, lineno, rule, message))
+
+    check("raw-mutex", RAW_MUTEX_RE,
+          "use rock::common::Mutex / MutexLock (src/common/mutex.h) so the "
+          "thread-safety analysis sees the lock",
+          skip=path.startswith("src/common/"))
+    check("using-namespace", USING_NAMESPACE_RE,
+          "`using namespace` in a header leaks into every includer",
+          headers_only=True)
+    check("raw-stdio", RAW_STDIO_RE,
+          "library code logs via ROCK_LOG, not stdout/stderr",
+          skip=path.startswith(("bench/", "examples/")))
+    check("nondeterminism", NONDETERMINISM_RE,
+          "use the seeded rock::common::Rng; rand()/random_device break "
+          "reproducibility",
+          skip=not path.startswith("src/"))
+
+    if is_header and "#pragma once" not in text:
+        findings.append((path, 1, "pragma-once",
+                         "headers use `#pragma once`"))
+    return findings
+
+
+def lint_test_registration(files, cmake_text):
+    """Every top-level tests/*.cc must be globbed (*_test.cc) or named in
+    tests/CMakeLists.txt."""
+    findings = []
+    for path in files:
+        directory, name = os.path.split(path)
+        if directory != "tests" or not name.endswith(".cc"):
+            continue
+        if name.endswith("_test.cc") or name in cmake_text:
+            continue
+        findings.append((path, 1, "unregistered-test",
+                         "not matched by the *_test.cc glob and not named "
+                         "in tests/CMakeLists.txt — it will never run"))
+    return findings
+
+
+def lint_tree(root):
+    files = subprocess.run(
+        ["git", "ls-files", "*.h", "*.cc"],
+        capture_output=True, text=True, check=True, cwd=root,
+    ).stdout.split()
+    files = [f for f in files if f.startswith(LINT_PREFIXES)]
+    findings = []
+    for path in files:
+        with open(os.path.join(root, path), encoding="utf-8") as fp:
+            findings.extend(lint_file(path, fp.read()))
+    cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
+    cmake_text = ""
+    if os.path.exists(cmake_path):
+        with open(cmake_path, encoding="utf-8") as fp:
+            cmake_text = fp.read()
+    findings.extend(lint_test_registration(files, cmake_text))
+    return findings
+
+
+# --------------------------- self test -----------------------------------
+
+SELF_TEST_CASES = [
+    # (path, content, expected rule or None)
+    ("src/par/widget.cc", "std::mutex mu_;\n", "raw-mutex"),
+    ("src/par/widget.cc", "common::Mutex mu_;\n", None),
+    ("src/common/mutex.h",
+     "#pragma once\nstd::mutex raw_;\n", None),  # wrappers live here
+    ("src/par/widget.cc",
+     "// a std::mutex in prose is fine\n", None),
+    ("src/par/widget.cc",
+     'Log("std::mutex in a string is fine");\n', None),
+    ("src/par/widget.cc",
+     "std::unique_lock<X> l;  // rock-lint: allow(raw-mutex)\n", None),
+    ("src/rules/eval.h",
+     "#pragma once\nusing namespace std;\n", "using-namespace"),
+    ("src/rules/eval.cc", "using namespace std;\n", None),  # .cc is fine
+    ("src/rules/eval.h", "#ifndef X\n#define X\n#endif\n", "pragma-once"),
+    ("src/rules/eval.h", "#pragma once\n", None),
+    ("src/core/engine.cc", 'std::cout << "hi";\n', "raw-stdio"),
+    ("src/core/engine.cc", "std::printf(\"x\");\n", "raw-stdio"),
+    ("src/common/strings.h",
+     "#pragma once\n__attribute__((format(printf, 1, 2)))\n", None),
+    ("src/common/strings.cc", "vsnprintf(buf, n, fmt, ap);\n", None),
+    ("bench/bench_x.cc", 'std::cout << "bench output";\n', None),
+    ("src/chase/chase.cc", "int r = rand();\n", "nondeterminism"),
+    ("src/discovery/sample.cc", "std::random_device rd;\n",
+     "nondeterminism"),
+    ("src/common/rng.cc", "uint64_t s = seed;\n", None),
+    ("tests/helper_test.cc", "ok\n", None),
+]
+
+
+def self_test():
+    failures = []
+    for path, content, expected in SELF_TEST_CASES:
+        findings = lint_file(path, content)
+        rules = {f[2] for f in findings}
+        if expected is None and rules:
+            failures.append(f"{path!r}: expected clean, got {sorted(rules)}")
+        elif expected is not None and expected not in rules:
+            failures.append(
+                f"{path!r}: expected {expected!r}, got {sorted(rules)}")
+
+    # Registration rule: helper.cc unregistered, helper2.cc named in cmake,
+    # real_test.cc globbed.
+    reg = lint_test_registration(
+        ["tests/helper.cc", "tests/helper2.cc", "tests/real_test.cc",
+         "tests/thread_safety_compile/bad.cc"],
+        "add_executable(helper2 helper2.cc)\n")
+    reg_paths = {f[0] for f in reg}
+    if reg_paths != {"tests/helper.cc"}:
+        failures.append(f"registration rule found {sorted(reg_paths)}, "
+                        "expected only tests/helper.cc")
+
+    if failures:
+        print("lint_rock.py self-test FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(f"lint_rock.py self-test passed "
+          f"({len(SELF_TEST_CASES)} fixtures + registration rule)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixture suite and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = lint_tree(root)
+    for path, lineno, rule, message in sorted(findings):
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"\n{len(findings)} lint finding(s).", file=sys.stderr)
+        return 1
+    print("lint_rock.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

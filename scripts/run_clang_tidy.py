@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a ratchet baseline.
+
+Runs clang-tidy (checks from the checked-in .clang-tidy) over every
+translation unit in the compilation database and diffs the aggregated
+findings against scripts/clang_tidy_baseline.txt. Only NEW findings — a
+(file, check) pair that is absent from the baseline, or whose count grew —
+fail the run, so pre-existing debt doesn't block unrelated changes while
+the total can only ratchet down.
+
+Usage:
+    scripts/run_clang_tidy.py --build-dir build            # diff mode
+    scripts/run_clang_tidy.py --build-dir build \
+        --update-baseline                                  # rewrite baseline
+    scripts/run_clang_tidy.py --self-test                  # no clang-tidy
+
+--cache FILE memoizes findings keyed on a hash of compile_commands.json +
+.clang-tidy, so CI can restore the cache and skip the (slow) tidy run when
+neither the build nor the check configuration changed.
+
+Baseline format, one finding class per line, sorted:
+    <repo-relative file>\t<check-name>\t<count>
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+
+# clang-tidy diagnostic: /abs/path/file.cc:12:5: warning: text [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): .* \[(?P<checks>[^\]\s]+)\]$")
+
+# Only first-party translation units are tidied.
+SOURCE_PREFIXES = ("src/", "tests/", "bench/", "examples/")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_compile_db(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    with open(path, encoding="utf-8") as fp:
+        return path, json.load(fp)
+
+
+def select_sources(db, root):
+    files = set()
+    for entry in db:
+        absolute = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(absolute, root)
+        if rel.startswith(SOURCE_PREFIXES) and rel.endswith(".cc"):
+            files.add(absolute)
+    return sorted(files)
+
+
+def parse_diagnostics(output, root):
+    """Aggregates clang-tidy output to {(relpath, check): count}. A
+    diagnostic tagged with several checks [a,b] counts once per check."""
+    findings = {}
+    seen = set()  # (file, line, col, checks) — tidy repeats headers' diags
+    for line in output.splitlines():
+        match = DIAG_RE.match(line.strip())
+        if not match:
+            continue
+        location = (match["file"], match["line"], match["col"],
+                    match["checks"])
+        if location in seen:
+            continue
+        seen.add(location)
+        rel = os.path.relpath(match["file"], root)
+        if rel.startswith(".."):
+            continue  # system or third-party header
+        for check in match["checks"].split(","):
+            key = (rel, check)
+            findings[key] = findings.get(key, 0) + 1
+    return findings
+
+
+def run_tidy(files, build_dir, binary, jobs):
+    def one(path):
+        proc = subprocess.run(
+            [binary, "-p", build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        return proc.stdout + "\n" + proc.stderr
+
+    outputs = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for chunk in pool.map(one, files):
+            outputs.append(chunk)
+    return "\n".join(outputs)
+
+
+def read_baseline(path):
+    baseline = {}
+    if not os.path.exists(path):
+        return baseline
+    with open(path, encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            rel, check, count = line.split("\t")
+            baseline[(rel, check)] = int(count)
+    return baseline
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write("# clang-tidy ratchet baseline: file<TAB>check<TAB>count.\n"
+                 "# Regenerate with scripts/run_clang_tidy.py "
+                 "--update-baseline.\n")
+        for (rel, check), count in sorted(findings.items()):
+            fp.write(f"{rel}\t{check}\t{count}\n")
+
+
+def diff_against_baseline(findings, baseline):
+    """Findings that are new or grew relative to the baseline."""
+    regressions = []
+    for key, count in sorted(findings.items()):
+        allowed = baseline.get(key, 0)
+        if count > allowed:
+            regressions.append((key[0], key[1], count, allowed))
+    return regressions
+
+
+def config_hash(compile_db_path, tidy_config_path):
+    digest = hashlib.sha256()
+    for path in (compile_db_path, tidy_config_path):
+        with open(path, "rb") as fp:
+            digest.update(fp.read())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline",
+                        default=os.path.join(os.path.dirname(
+                            os.path.abspath(__file__)),
+                            "clang_tidy_baseline.txt"))
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to invoke")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    parser.add_argument("--cache", default=None,
+                        help="JSON memo file keyed on compile_commands + "
+                             ".clang-tidy hashes")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = repo_root()
+    compile_db_path, db = load_compile_db(args.build_dir)
+    key = config_hash(compile_db_path, os.path.join(root, ".clang-tidy"))
+
+    findings = None
+    if args.cache and os.path.exists(args.cache):
+        with open(args.cache, encoding="utf-8") as fp:
+            cached = json.load(fp)
+        if cached.get("key") == key:
+            findings = {(f, c): n for f, c, n in cached["findings"]}
+            print(f"run_clang_tidy.py: cache hit ({args.cache})")
+
+    if findings is None:
+        files = select_sources(db, root)
+        if not files:
+            print("run_clang_tidy.py: no first-party sources in "
+                  "compilation database", file=sys.stderr)
+            return 2
+        print(f"run_clang_tidy.py: tidying {len(files)} files with "
+              f"{args.jobs} jobs")
+        output = run_tidy(files, args.build_dir, args.clang_tidy, args.jobs)
+        findings = parse_diagnostics(output, root)
+        if args.cache:
+            with open(args.cache, "w", encoding="utf-8") as fp:
+                json.dump({"key": key,
+                           "findings": [[f, c, n] for (f, c), n
+                                        in sorted(findings.items())]}, fp)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"run_clang_tidy.py: baseline rewritten "
+              f"({len(findings)} finding classes)")
+        return 0
+
+    baseline = read_baseline(args.baseline)
+    regressions = diff_against_baseline(findings, baseline)
+    fixed = [key for key in baseline if key not in findings]
+    if fixed:
+        print(f"run_clang_tidy.py: {len(fixed)} baseline finding class(es) "
+              "no longer fire — consider --update-baseline to ratchet down")
+    if regressions:
+        print("NEW clang-tidy findings (not in baseline):")
+        for rel, check, count, allowed in regressions:
+            print(f"  {rel}\t{check}\t{count} (baseline {allowed})")
+        return 1
+    print(f"run_clang_tidy.py: no new findings "
+          f"({len(findings)} existing, {len(baseline)} baselined)")
+    return 0
+
+
+# --------------------------- self test -----------------------------------
+
+FAKE_OUTPUT = """\
+/repo/src/core/engine.cc:10:5: warning: use nullptr [modernize-use-nullptr]
+/repo/src/core/engine.cc:10:5: warning: use nullptr [modernize-use-nullptr]
+/repo/src/core/engine.cc:22:9: warning: use nullptr [modernize-use-nullptr]
+/repo/src/detect/detector.cc:7:1: warning: moved twice [bugprone-use-after-move]
+/repo/src/detect/detector.cc:9:3: warning: x [performance-unnecessary-copy-initialization,bugprone-foo]
+/usr/include/c++/12/vector:99:1: warning: system noise [bugprone-bar]
+12 warnings generated.
+Suppressed 11 warnings.
+"""
+
+
+def self_test():
+    failures = []
+    findings = parse_diagnostics(FAKE_OUTPUT, "/repo")
+    expected = {
+        ("src/core/engine.cc", "modernize-use-nullptr"): 2,
+        ("src/detect/detector.cc", "bugprone-use-after-move"): 1,
+        ("src/detect/detector.cc",
+         "performance-unnecessary-copy-initialization"): 1,
+        ("src/detect/detector.cc", "bugprone-foo"): 1,
+    }
+    if findings != expected:
+        failures.append(f"parse: got {findings}")
+
+    # Identical baseline → no regressions; missing entry and a grown count
+    # → exactly those two regress.
+    if diff_against_baseline(expected, dict(expected)):
+        failures.append("diff: identical baseline reported regressions")
+    shrunk = dict(expected)
+    del shrunk[("src/detect/detector.cc", "bugprone-foo")]
+    shrunk[("src/core/engine.cc", "modernize-use-nullptr")] = 1
+    regressions = {(r[0], r[1]) for r
+                   in diff_against_baseline(expected, shrunk)}
+    if regressions != {("src/detect/detector.cc", "bugprone-foo"),
+                       ("src/core/engine.cc", "modernize-use-nullptr")}:
+        failures.append(f"diff: got {regressions}")
+
+    # Baseline round-trip.
+    import tempfile
+    with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                     delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        write_baseline(tmp_path, expected)
+        if read_baseline(tmp_path) != expected:
+            failures.append("baseline round-trip mismatch")
+    finally:
+        os.unlink(tmp_path)
+
+    if failures:
+        print("run_clang_tidy.py self-test FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("run_clang_tidy.py self-test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,4 @@
-#ifndef ROCK_BASELINES_BASELINES_H_
-#define ROCK_BASELINES_BASELINES_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -153,4 +152,3 @@ class NaiveSqlEngine {
 
 }  // namespace rock::baselines
 
-#endif  // ROCK_BASELINES_BASELINES_H_

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/common/logging.h"
+#include "src/common/mutex.h"
 #include "src/ml/correlation.h"
 #include "src/ml/ranking.h"
 #include "src/obs/metrics.h"
@@ -95,7 +96,9 @@ ChaseResult ChaseEngine::Run(const std::vector<Ree>& rules) {
 ChaseResult ChaseEngine::RunIncremental(
     const std::vector<Ree>& rules,
     const std::vector<std::pair<int, int64_t>>& dirty) {
-  // Register any tuples inserted after construction.
+  // Register any tuples inserted after construction. The chase has not
+  // started, so this caller is trivially the (sole) apply thread.
+  common::RoleGuard apply(fixes_.apply_role());
   for (const auto& [rel, tid] : dirty) {
     fixes_.RegisterTuple(rel, tid);
   }
@@ -164,6 +167,9 @@ Value ChaseEngine::ResolveMiConflict(int rel, int64_t tid, int attr,
                                      const Value& candidate,
                                      const std::string& rule_id,
                                      const obs::ProvenanceRef& prov) {
+  // Only reached from ApplyConsequence, which already runs on the serial
+  // apply thread (the role is recursion-safe: acquiring it is a no-op).
+  common::RoleGuard apply(fixes_.apply_role());
   const ml::CorrelationModel* mc =
       models_ == nullptr ? nullptr
                          : models_->FindCorrelation(options_.mc_model);
@@ -216,6 +222,11 @@ Value ChaseEngine::ResolveMiConflict(int rel, int64_t tid, int attr,
 size_t ChaseEngine::ApplyConsequence(
     const Ree& rule, const Valuation& v, const rules::Evaluator& eval,
     std::vector<std::pair<int, int64_t>>* newly_dirty) {
+  // ApplyConsequence is the chase's single mutation funnel; both Loop and
+  // RunParallel invoke it strictly after the parallel evaluation barrier,
+  // so it always executes on the serial apply thread (see FixStore's
+  // thread contract).
+  common::RoleGuard apply(fixes_.apply_role());
   const Predicate& p = rule.consequence;
   size_t new_fixes = 0;
   auto rel_of = [&](int var) {
@@ -578,6 +589,8 @@ ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
   result.conflicts = conflicts_;
   // Publish provenance added since the previous export (watermark-based,
   // so repeated Run/RunIncremental calls on one engine never double-count).
+  // Runs after every worker has joined, i.e. on the apply thread.
+  common::RoleGuard apply(fixes_.apply_role());
   fixes_.mutable_provenance().ExportDeltaToMetrics();
   return result;
 }

@@ -1,5 +1,4 @@
-#ifndef ROCK_CHASE_CHASE_H_
-#define ROCK_CHASE_CHASE_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -179,4 +178,3 @@ class ChaseEngine {
 
 }  // namespace rock::chase
 
-#endif  // ROCK_CHASE_CHASE_H_

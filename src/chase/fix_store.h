@@ -1,5 +1,4 @@
-#ifndef ROCK_CHASE_FIX_STORE_H_
-#define ROCK_CHASE_FIX_STORE_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "src/common/json.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/obs/provenance.h"
 #include "src/rules/eval.h"
@@ -135,12 +135,30 @@ struct ConflictRecord {
 /// The store also implements the evaluator's CellOverlay/TemporalOracle so
 /// rules are evaluated over the repaired view, and tracks which cells are
 /// *validated* (in Γ or deduced) for certain-fix mode.
+///
+/// Thread contract (compile-time checked under Clang, see
+/// src/common/thread_annotations.h): the store is phase-confined, not
+/// internally locked. Mutators carry ROCK_REQUIRES(apply_role_) — callers
+/// must hold the store's apply role (common::RoleGuard role(
+/// store.apply_role())), which asserts "this is the chase's single serial
+/// apply thread". The read side (GetCell/GetEid/Holds/Find...) is lock-free
+/// and safe for any number of concurrent readers while no role holder
+/// mutates — the invariant RunParallel's read-only evaluation phase relies
+/// on. The role costs nothing at runtime; it exists so every new mutation
+/// path must visibly acknowledge the phase discipline or fail the
+/// -Werror=thread-safety build.
 class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
  public:
   explicit FixStore(const Database* db);
 
+  /// The apply-phase role; pass to common::RoleGuard before mutating.
+  const common::ThreadRole& apply_role() const
+      ROCK_RETURN_CAPABILITY(apply_role_) {
+    return apply_role_;
+  }
+
   /// Registers a tuple inserted after construction (incremental mode).
-  void RegisterTuple(int rel, int64_t tid);
+  void RegisterTuple(int rel, int64_t tid) ROCK_REQUIRES(apply_role_);
 
   /// All tuples whose (possibly merged) entity is `eid`'s entity.
   std::vector<std::pair<int, int64_t>> TuplesOfEntity(int64_t eid) const;
@@ -148,14 +166,15 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
   // ---- Ground truth Γ ----
 
   /// Marks every cell of (rel, tid) as validated with its current value.
-  Status AddGroundTruthTuple(int rel, int64_t tid);
+  Status AddGroundTruthTuple(int rel, int64_t tid) ROCK_REQUIRES(apply_role_);
 
   /// Marks one cell as validated with the given (trusted) value.
-  Status AddGroundTruthValue(int rel, int64_t tid, int attr, Value value);
+  Status AddGroundTruthValue(int rel, int64_t tid, int attr, Value value)
+      ROCK_REQUIRES(apply_role_);
 
   /// Seeds [A]_⪯ with an initial order (e.g. from timestamps).
   Status AddGroundTruthOrder(int rel, int attr, int64_t tid1, int64_t tid2,
-                             bool strict);
+                             bool strict) ROCK_REQUIRES(apply_role_);
 
   // ---- Chase-deduced fixes ----
 
@@ -164,23 +183,27 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
   /// `prov` carries the witness of the deducing rule application; the
   /// default (no witness) records a leaf provenance node.
   Status MergeEids(int64_t a, int64_t b, const std::string& rule_id,
-                   bool* changed, const obs::ProvenanceRef& prov = {});
+                   bool* changed, const obs::ProvenanceRef& prov = {})
+      ROCK_REQUIRES(apply_role_);
 
   /// t.EID != s.EID.
   Status AddEidDistinct(int64_t a, int64_t b, const std::string& rule_id,
-                        bool* changed, const obs::ProvenanceRef& prov = {});
+                        bool* changed, const obs::ProvenanceRef& prov = {})
+      ROCK_REQUIRES(apply_role_);
 
   /// Validates value `v` for attribute `attr` of tuple `tid`.
   /// kConflict when a different value is already validated.
   Status SetValue(int rel, int64_t tid, int attr, Value v,
                   const std::string& rule_id, bool* changed,
-                  const obs::ProvenanceRef& prov = {});
+                  const obs::ProvenanceRef& prov = {})
+      ROCK_REQUIRES(apply_role_);
 
   /// Overwrites a validated value — used only by deterministic conflict
   /// resolution (M_c argmax for MI, §4.2), never by plain chase steps.
   Status ReplaceValue(int rel, int64_t tid, int attr, Value v,
                       const std::string& rule_id,
-                      const obs::ProvenanceRef& prov = {});
+                      const obs::ProvenanceRef& prov = {})
+      ROCK_REQUIRES(apply_role_);
 
   /// Validated value of the cell, if any.
   std::optional<Value> ValidatedValue(int rel, int64_t tid, int attr) const;
@@ -191,7 +214,8 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
   /// Adds a temporal pair; kConflict on contradiction.
   Status AddTemporal(int rel, int attr, int64_t tid1, int64_t tid2,
                      bool strict, const std::string& rule_id, bool* changed,
-                     const obs::ProvenanceRef& prov = {});
+                     const obs::ProvenanceRef& prov = {})
+      ROCK_REQUIRES(apply_role_);
 
   // ---- CellOverlay / TemporalOracle (the repaired view) ----
   std::optional<Value> GetCell(int rel, int64_t tid,
@@ -206,7 +230,9 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
   // ---- Introspection ----
   const UnionFind& eids() const { return eids_; }
   const std::vector<FixRecord>& fixes() const { return fixes_; }
-  std::vector<FixRecord>& mutable_fixes() { return fixes_; }
+  std::vector<FixRecord>& mutable_fixes() ROCK_REQUIRES(apply_role_) {
+    return fixes_;
+  }
   size_t num_value_fixes() const { return values_.size(); }
   size_t num_ground_truth_cells() const { return ground_truth_cells_; }
 
@@ -215,7 +241,9 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
 
   // ---- Provenance ----
   const obs::ProvenanceGraph& provenance() const { return prov_; }
-  obs::ProvenanceGraph& mutable_provenance() { return prov_; }
+  obs::ProvenanceGraph& mutable_provenance() ROCK_REQUIRES(apply_role_) {
+    return prov_;
+  }
 
   /// Provenance node that validated the cell / installed the temporal pair
   /// (unordered) / the distinctness constraint; -1 when unknown.
@@ -230,7 +258,8 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
   /// kept so ConflictRecord links both sides). Returns the node id, -1
   /// when capture is compiled out.
   int64_t AddConflictCandidate(const std::string& rule_id, std::string target,
-                               const obs::ProvenanceRef& prov);
+                               const obs::ProvenanceRef& prov)
+      ROCK_REQUIRES(apply_role_);
 
   /// Depth-bounded proof tree for a validated cell / an eid merge.
   obs::ProofTree ExplainCell(int rel, int64_t tid, int attr,
@@ -240,6 +269,8 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
 
  private:
   const Database* db_;
+  /// Zero-cost capability for the serial apply phase (see class comment).
+  common::ThreadRole apply_role_;
   UnionFind eids_;
   // (rel, attr, tid) -> validated value.
   std::map<std::tuple<int, int, int64_t>, Value> values_;
@@ -274,9 +305,9 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
   /// state (raw -> ground-truth / prior-fix with upstream edges), and
   /// appends the node. Returns -1 when capture is compiled out.
   int64_t AddProvNode(obs::ProvKind kind, const std::string& rule_id,
-                      std::string target, const obs::ProvenanceRef& prov);
+                      std::string target, const obs::ProvenanceRef& prov)
+      ROCK_REQUIRES(apply_role_);
 };
 
 }  // namespace rock::chase
 
-#endif  // ROCK_CHASE_FIX_STORE_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_COMMON_CSV_H_
-#define ROCK_COMMON_CSV_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -31,4 +30,3 @@ std::string CsvEscape(std::string_view field);
 
 }  // namespace rock
 
-#endif  // ROCK_COMMON_CSV_H_

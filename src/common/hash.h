@@ -1,5 +1,4 @@
-#ifndef ROCK_COMMON_HASH_H_
-#define ROCK_COMMON_HASH_H_
+#pragma once
 
 #include <cstdint>
 #include <cstddef>
@@ -23,4 +22,3 @@ uint64_t HashCombine(uint64_t seed, uint64_t value);
 
 }  // namespace rock
 
-#endif  // ROCK_COMMON_HASH_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_COMMON_JSON_H_
-#define ROCK_COMMON_JSON_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -68,4 +67,3 @@ Result<Value> Parse(std::string_view text);
 
 }  // namespace rock::json
 
-#endif  // ROCK_COMMON_JSON_H_

@@ -26,7 +26,9 @@ const char* LevelName(LogLevel level) {
 
 /// Default level: ROCK_LOG_LEVEL if set and recognised, else kWarning.
 int InitialLevel() {
-  const char* env = std::getenv("ROCK_LOG_LEVEL");
+  // Read once before any thread spawns (function-local static init), so
+  // the mt-unsafe getenv cannot race a setenv.
+  const char* env = std::getenv("ROCK_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return static_cast<int>(LogLevel::kWarning);
   auto matches = [env](const char* name) {
     for (size_t i = 0;; ++i) {

@@ -1,5 +1,4 @@
-#ifndef ROCK_COMMON_LOGGING_H_
-#define ROCK_COMMON_LOGGING_H_
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -89,4 +88,3 @@ struct Voidify {
                ::rock::internal_logging::CheckFailed(       \
                    __FILE__, __LINE__, #cond)
 
-#endif  // ROCK_COMMON_LOGGING_H_

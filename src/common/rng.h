@@ -1,5 +1,4 @@
-#ifndef ROCK_COMMON_RNG_H_
-#define ROCK_COMMON_RNG_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -54,4 +53,3 @@ class Rng {
 
 }  // namespace rock
 
-#endif  // ROCK_COMMON_RNG_H_

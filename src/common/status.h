@@ -1,5 +1,4 @@
-#ifndef ROCK_COMMON_STATUS_H_
-#define ROCK_COMMON_STATUS_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -118,4 +117,3 @@ class Result {
 
 }  // namespace rock
 
-#endif  // ROCK_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_COMMON_STRINGS_H_
-#define ROCK_COMMON_STRINGS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -48,4 +47,3 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 
 }  // namespace rock
 
-#endif  // ROCK_COMMON_STRINGS_H_

@@ -1,0 +1,78 @@
+#pragma once
+
+/// Clang Thread Safety Analysis attribute macros (the ROCK_ prefix keeps
+/// them greppable and avoids clashing with other libraries' spellings).
+/// Under Clang these lower to the capability attributes the analysis
+/// understands; under GCC and every other compiler they expand to nothing,
+/// so annotated code stays portable. The contracts themselves are enforced
+/// by the ROCK_THREAD_SAFETY CMake option, which adds
+/// -Wthread-safety -Werror=thread-safety to Clang builds (default ON), and
+/// by tests/thread_safety_compile_test.cmake, which proves at configure
+/// time that an unguarded write to a ROCK_GUARDED_BY field fails to
+/// compile.
+///
+/// The vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+///  - ROCK_CAPABILITY marks a class as a capability (a lock, or a role);
+///  - ROCK_GUARDED_BY(mu) on a field means reads and writes require mu;
+///  - ROCK_REQUIRES(mu) on a function means callers must hold mu;
+///  - ROCK_ACQUIRE/ROCK_RELEASE annotate lock/unlock methods;
+///  - ROCK_SCOPED_CAPABILITY marks RAII guards (MutexLock, RoleGuard).
+
+#if defined(__clang__)
+#define ROCK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ROCK_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define ROCK_CAPABILITY(x) ROCK_THREAD_ANNOTATION(capability(x))
+
+#define ROCK_SCOPED_CAPABILITY ROCK_THREAD_ANNOTATION(scoped_lockable)
+
+#define ROCK_GUARDED_BY(x) ROCK_THREAD_ANNOTATION(guarded_by(x))
+
+#define ROCK_PT_GUARDED_BY(x) ROCK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ROCK_ACQUIRED_BEFORE(...) \
+  ROCK_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ROCK_ACQUIRED_AFTER(...) \
+  ROCK_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define ROCK_REQUIRES(...) \
+  ROCK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define ROCK_REQUIRES_SHARED(...) \
+  ROCK_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ROCK_ACQUIRE(...) \
+  ROCK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ROCK_ACQUIRE_SHARED(...) \
+  ROCK_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define ROCK_RELEASE(...) \
+  ROCK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define ROCK_RELEASE_SHARED(...) \
+  ROCK_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define ROCK_RELEASE_GENERIC(...) \
+  ROCK_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define ROCK_TRY_ACQUIRE(...) \
+  ROCK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define ROCK_TRY_ACQUIRE_SHARED(...) \
+  ROCK_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define ROCK_EXCLUDES(...) ROCK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ROCK_ASSERT_CAPABILITY(x) ROCK_THREAD_ANNOTATION(assert_capability(x))
+
+#define ROCK_ASSERT_SHARED_CAPABILITY(x) \
+  ROCK_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define ROCK_RETURN_CAPABILITY(x) ROCK_THREAD_ANNOTATION(lock_returned(x))
+
+#define ROCK_NO_THREAD_SAFETY_ANALYSIS \
+  ROCK_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,5 +1,4 @@
-#ifndef ROCK_COMMON_TIMER_H_
-#define ROCK_COMMON_TIMER_H_
+#pragma once
 
 #include <chrono>
 
@@ -26,4 +25,3 @@ class Timer {
 
 }  // namespace rock
 
-#endif  // ROCK_COMMON_TIMER_H_

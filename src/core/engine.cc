@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/mutex.h"
 #include "src/ml/correlation.h"
 #include "src/ml/her.h"
 #include "src/ml/ranking.h"
@@ -260,6 +261,8 @@ detect::DetectionReport Rock::DetectErrorsParallel(
 }
 
 size_t Rock::ApplyPolyFixes(chase::ChaseEngine* engine) const {
+  // Runs before the chase starts — the caller is the apply thread.
+  common::RoleGuard apply(engine->fix_store().apply_role());
   size_t applied = 0;
   for (const PolyRule& poly : poly_rules_) {
     const Relation& relation = db_->relation(poly.rel);
@@ -296,10 +299,14 @@ std::shared_ptr<chase::ChaseEngine> Rock::CorrectErrors(
   ROCK_OBS_SPAN("rock.correct");
   auto engine = std::make_shared<chase::ChaseEngine>(db_, graph_, &models_,
                                                      options_.chase);
-  for (const auto& [rel, tid] : ground_truth) {
-    Status s = engine->fix_store().AddGroundTruthTuple(rel, tid);
-    if (!s.ok()) {
-      ROCK_LOG(kWarning) << "ground truth rejected: " << s.ToString();
+  {
+    // Ground truth is seeded before any chase runs (apply thread).
+    common::RoleGuard apply(engine->fix_store().apply_role());
+    for (const auto& [rel, tid] : ground_truth) {
+      Status s = engine->fix_store().AddGroundTruthTuple(rel, tid);
+      if (!s.ok()) {
+        ROCK_LOG(kWarning) << "ground truth rejected: " << s.ToString();
+      }
     }
   }
   CorrectionResult local;

@@ -1,5 +1,4 @@
-#ifndef ROCK_CORE_ENGINE_H_
-#define ROCK_CORE_ENGINE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -198,4 +197,3 @@ class Rock {
 
 }  // namespace rock::core
 
-#endif  // ROCK_CORE_ENGINE_H_

@@ -68,7 +68,7 @@ QualityReport AssessQuality(const Database& db,
         if (t.timestamp(static_cast<int>(attr)) != kNoTimestamp) ++stamped;
       }
       quality.timeliness =
-          !any_temporal || relation.size() == 0
+          !any_temporal || relation.empty()
               ? 1.0
               : static_cast<double>(stamped) /
                     static_cast<double>(relation.size());

@@ -1,5 +1,4 @@
-#ifndef ROCK_CORE_QUALITY_H_
-#define ROCK_CORE_QUALITY_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -75,4 +74,3 @@ std::vector<TemplateResult> RunQualityTemplates(
 
 }  // namespace rock::core
 
-#endif  // ROCK_CORE_QUALITY_H_

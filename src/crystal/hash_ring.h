@@ -1,5 +1,4 @@
-#ifndef ROCK_CRYSTAL_HASH_RING_H_
-#define ROCK_CRYSTAL_HASH_RING_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -44,4 +43,3 @@ class HashRing {
 
 }  // namespace rock::crystal
 
-#endif  // ROCK_CRYSTAL_HASH_RING_H_

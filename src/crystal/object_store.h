@@ -1,5 +1,4 @@
-#ifndef ROCK_CRYSTAL_OBJECT_STORE_H_
-#define ROCK_CRYSTAL_OBJECT_STORE_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -110,4 +109,3 @@ class ObjectStore {
 
 }  // namespace rock::crystal
 
-#endif  // ROCK_CRYSTAL_OBJECT_STORE_H_

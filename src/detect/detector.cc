@@ -89,24 +89,35 @@ ErrorDetector::ErrorDetector(rules::EvalContext ctx, DetectorOptions options)
 int ErrorDetector::PairFrequency(int rel, int guard_attr, int cons_attr,
                                  const Value& guard,
                                  const Value& cons) const {
-  std::lock_guard<std::mutex> lock(pair_freq_mu_);
-  auto key = std::make_tuple(rel, guard_attr, cons_attr);
-  auto it = pair_freq_.find(key);
-  if (it != pair_freq_.end()) {
-    DetectMetrics::Get().pairfreq_hits->Add(1);
-  } else {
-    DetectMetrics::Get().pairfreq_misses->Add(1);
-    std::unordered_map<uint64_t, int> table;
-    const Relation& relation = ctx_.db->relation(rel);
-    for (size_t row = 0; row < relation.size(); ++row) {
-      const Value& g = relation.tuple(row).value(guard_attr);
-      const Value& c = relation.tuple(row).value(cons_attr);
-      if (g.is_null() || c.is_null()) continue;
-      table[HashCombine(g.Hash(), c.Hash())]++;
+  const auto key = std::make_tuple(rel, guard_attr, cons_attr);
+  const uint64_t pair_hash = HashCombine(guard.Hash(), cons.Hash());
+  {
+    common::MutexLock lock(pair_freq_mu_);
+    auto it = pair_freq_.find(key);
+    if (it != pair_freq_.end()) {
+      DetectMetrics::Get().pairfreq_hits->Add(1);
+      auto found = it->second.find(pair_hash);
+      return found == it->second.end() ? 0 : found->second;
     }
-    it = pair_freq_.emplace(key, std::move(table)).first;
   }
-  auto found = it->second.find(HashCombine(guard.Hash(), cons.Hash()));
+  // Miss: build the table without holding the lock. The full-relation scan
+  // is the expensive part, and holding pair_freq_mu_ across it would
+  // serialize every worker behind the first toucher of this (rel, guard,
+  // cons) key. The scan reads only the immutable database, so racing
+  // builders produce identical tables; the emplace below re-checks under
+  // the lock and keeps whichever landed first.
+  DetectMetrics::Get().pairfreq_misses->Add(1);
+  std::unordered_map<uint64_t, int> table;
+  const Relation& relation = ctx_.db->relation(rel);
+  for (size_t row = 0; row < relation.size(); ++row) {
+    const Value& g = relation.tuple(row).value(guard_attr);
+    const Value& c = relation.tuple(row).value(cons_attr);
+    if (g.is_null() || c.is_null()) continue;
+    table[HashCombine(g.Hash(), c.Hash())]++;
+  }
+  common::MutexLock lock(pair_freq_mu_);
+  auto it = pair_freq_.emplace(key, std::move(table)).first;
+  auto found = it->second.find(pair_hash);
   return found == it->second.end() ? 0 : found->second;
 }
 

@@ -1,15 +1,14 @@
-#ifndef ROCK_DETECT_DETECTOR_H_
-#define ROCK_DETECT_DETECTOR_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <tuple>
 #include <unordered_map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/par/executor.h"
 #include "src/rules/eval.h"
 #include "src/rules/ree.h"
@@ -102,11 +101,14 @@ class ErrorDetector {
   DetectorOptions options_;
   // Lazy (rel, guard attr, consequence attr) -> pair-frequency table used
   // by majority-side flagging of CR violations. Guarded by pair_freq_mu_:
-  // DetectParallel's worker threads reach it through RecordViolation.
-  mutable std::mutex pair_freq_mu_;
+  // DetectParallel's worker threads reach it through RecordViolation. On a
+  // miss the table is scanned OUTSIDE the lock (building it is the
+  // expensive part and the scan is a pure read of the immutable database);
+  // the insert re-checks under the lock and the first emplace wins.
+  mutable common::Mutex pair_freq_mu_;
   mutable std::map<std::tuple<int, int, int>,
                    std::unordered_map<uint64_t, int>>
-      pair_freq_;
+      pair_freq_ ROCK_GUARDED_BY(pair_freq_mu_);
 
   /// Frequency of (guard value, consequence value) among rel's tuples.
   int PairFrequency(int rel, int guard_attr, int cons_attr,
@@ -130,4 +132,3 @@ class ErrorDetector {
 
 }  // namespace rock::detect
 
-#endif  // ROCK_DETECT_DETECTOR_H_

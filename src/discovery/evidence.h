@@ -1,5 +1,4 @@
-#ifndef ROCK_DISCOVERY_EVIDENCE_H_
-#define ROCK_DISCOVERY_EVIDENCE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -94,4 +93,3 @@ class EvidenceTable {
 
 }  // namespace rock::discovery
 
-#endif  // ROCK_DISCOVERY_EVIDENCE_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_DISCOVERY_FEEDBACK_H_
-#define ROCK_DISCOVERY_FEEDBACK_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -52,4 +51,3 @@ class PriorKnowledgeSession {
 
 }  // namespace rock::discovery
 
-#endif  // ROCK_DISCOVERY_FEEDBACK_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_DISCOVERY_MINER_H_
-#define ROCK_DISCOVERY_MINER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -74,4 +73,3 @@ size_t HoeffdingSampleSize(double epsilon, double delta);
 
 }  // namespace rock::discovery
 
-#endif  // ROCK_DISCOVERY_MINER_H_

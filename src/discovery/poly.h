@@ -1,5 +1,4 @@
-#ifndef ROCK_DISCOVERY_POLY_H_
-#define ROCK_DISCOVERY_POLY_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -70,4 +69,3 @@ Result<PolyExpression> DiscoverPolynomial(const Relation& relation,
 
 }  // namespace rock::discovery
 
-#endif  // ROCK_DISCOVERY_POLY_H_

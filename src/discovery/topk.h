@@ -1,5 +1,4 @@
-#ifndef ROCK_DISCOVERY_TOPK_H_
-#define ROCK_DISCOVERY_TOPK_H_
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -71,4 +70,3 @@ class AnytimeRuleStream {
 
 }  // namespace rock::discovery
 
-#endif  // ROCK_DISCOVERY_TOPK_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_KG_GRAPH_H_
-#define ROCK_KG_GRAPH_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -76,4 +75,3 @@ class KnowledgeGraph {
 
 }  // namespace rock::kg
 
-#endif  // ROCK_KG_GRAPH_H_

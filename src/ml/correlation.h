@@ -1,5 +1,4 @@
-#ifndef ROCK_ML_CORRELATION_H_
-#define ROCK_ML_CORRELATION_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -116,4 +115,3 @@ class CooccurrenceModel : public CorrelationModel, public ValuePredictor {
 
 }  // namespace rock::ml
 
-#endif  // ROCK_ML_CORRELATION_H_

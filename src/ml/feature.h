@@ -1,5 +1,4 @@
-#ifndef ROCK_ML_FEATURE_H_
-#define ROCK_ML_FEATURE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -66,4 +65,3 @@ double Dot(const FeatureVector& a, const FeatureVector& b);
 
 }  // namespace rock::ml
 
-#endif  // ROCK_ML_FEATURE_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_ML_HER_H_
-#define ROCK_ML_HER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -96,4 +95,3 @@ class PathMatchModel {
 
 }  // namespace rock::ml
 
-#endif  // ROCK_ML_HER_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_ML_LIBRARY_H_
-#define ROCK_ML_LIBRARY_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -129,4 +128,3 @@ class MlLibrary {
 
 }  // namespace rock::ml
 
-#endif  // ROCK_ML_LIBRARY_H_

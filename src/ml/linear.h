@@ -1,5 +1,4 @@
-#ifndef ROCK_ML_LINEAR_H_
-#define ROCK_ML_LINEAR_H_
+#pragma once
 
 #include <vector>
 
@@ -77,4 +76,3 @@ class Lasso {
 
 }  // namespace rock::ml
 
-#endif  // ROCK_ML_LINEAR_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_ML_LSH_H_
-#define ROCK_ML_LSH_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -81,4 +80,3 @@ std::vector<std::string> BlockingTokens(const std::vector<Value>& values);
 
 }  // namespace rock::ml
 
-#endif  // ROCK_ML_LSH_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_ML_RANKING_H_
-#define ROCK_ML_RANKING_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -91,4 +90,3 @@ class RankingModel : public TemporalRanker {
 
 }  // namespace rock::ml
 
-#endif  // ROCK_ML_RANKING_H_

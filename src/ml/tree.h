@@ -1,5 +1,4 @@
-#ifndef ROCK_ML_TREE_H_
-#define ROCK_ML_TREE_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -81,4 +80,3 @@ class GradientBoostedTrees {
 
 }  // namespace rock::ml
 
-#endif  // ROCK_ML_TREE_H_

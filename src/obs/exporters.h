@@ -1,5 +1,4 @@
-#ifndef ROCK_OBS_EXPORTERS_H_
-#define ROCK_OBS_EXPORTERS_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -78,4 +77,3 @@ TelemetrySnapshot CaptureGlobalTelemetry();
 
 }  // namespace rock::obs
 
-#endif  // ROCK_OBS_EXPORTERS_H_

@@ -91,19 +91,19 @@ auto* FindOrCreate(Vec& vec, const std::string& name, const Make& make) {
 }  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return FindOrCreate(counters_, name,
                       [] { return std::make_unique<Counter>(); });
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return FindOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return FindOrCreate(histograms_, name, [&bounds] {
     return std::make_unique<Histogram>(std::move(bounds));
   });
@@ -118,7 +118,7 @@ uint64_t MetricsRegistry::Snapshot::CounterValue(
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters.push_back({name, counter->Value()});
@@ -145,7 +145,7 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   // Pointers held by call sites stay valid: metrics are zeroed in place.
   for (auto& [name, counter] : counters_) {
     (void)name;

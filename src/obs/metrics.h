@@ -1,13 +1,13 @@
-#ifndef ROCK_OBS_METRICS_H_
-#define ROCK_OBS_METRICS_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace rock::obs {
 
@@ -134,15 +134,18 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   // Linear lookup is fine: call sites cache the returned pointer, so each
   // name is looked up O(1) times. unique_ptr keeps those pointers stable
-  // across later insertions.
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  // across later insertions (updating a metric through a cached pointer
+  // needs no lock — the metrics themselves are atomic-sharded).
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      ROCK_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
+      ROCK_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      ROCK_GUARDED_BY(mu_);
 };
 
 }  // namespace rock::obs
 
-#endif  // ROCK_OBS_METRICS_H_

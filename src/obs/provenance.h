@@ -1,5 +1,4 @@
-#ifndef ROCK_OBS_PROVENANCE_H_
-#define ROCK_OBS_PROVENANCE_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -221,4 +220,3 @@ std::string ProvRuleCounterName(const std::string& rule_id);
 
 }  // namespace rock::obs
 
-#endif  // ROCK_OBS_PROVENANCE_H_

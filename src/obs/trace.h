@@ -1,5 +1,4 @@
-#ifndef ROCK_OBS_TRACE_H_
-#define ROCK_OBS_TRACE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -114,4 +113,3 @@ class ScopedSpan {
   ::rock::obs::ScopedSpan ROCK_OBS_CONCAT(rock_obs_span_, __LINE__)(name)
 #endif
 
-#endif  // ROCK_OBS_TRACE_H_

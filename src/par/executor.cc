@@ -4,11 +4,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <mutex>
 #include <queue>
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/common/mutex.h"
 #include "src/common/timer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -224,9 +224,12 @@ double ThreadCpuSeconds() {
 /// One worker's deque, guarded by its own mutex. Owners pop the front;
 /// thieves pop the back, so a steal and a local pop only collide on the
 /// victim's lock, never on the same end of a one-element queue unguarded.
+/// The capability annotation makes the discipline compile-time: any access
+/// to `queue` without holding `mu` — including the single-threaded seeding
+/// before the workers start — fails the Clang thread-safety build.
 struct WorkerQueue {
-  std::mutex mu;
-  std::deque<size_t> queue;
+  common::Mutex mu;
+  std::deque<size_t> queue ROCK_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -243,6 +246,7 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
   std::vector<WorkerQueue> queues(static_cast<size_t>(num_workers_));
   for (int w = 0; w < num_workers_; ++w) {
     auto& q = queues[static_cast<size_t>(w)];
+    common::MutexLock lock(q.mu);  // uncontended: workers not started yet
     q.queue.assign(placement[static_cast<size_t>(w)].begin(),
                    placement[static_cast<size_t>(w)].end());
     report.initial_units[static_cast<size_t>(w)] =
@@ -265,7 +269,7 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
       size_t unit = 0;
       bool have_unit = false;
       {
-        std::lock_guard<std::mutex> lock(own.mu);
+        common::MutexLock lock(own.mu);
         if (!own.queue.empty()) {
           unit = own.queue.front();
           own.queue.pop_front();
@@ -280,8 +284,7 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
         size_t best = 0;
         for (int w = 0; w < num_workers_; ++w) {
           if (w == me) continue;
-          std::lock_guard<std::mutex> lock(
-              queues[static_cast<size_t>(w)].mu);
+          common::MutexLock lock(queues[static_cast<size_t>(w)].mu);
           size_t size = queues[static_cast<size_t>(w)].queue.size();
           if (size > best) {
             best = size;
@@ -295,7 +298,7 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
         }
         auto& vq = queues[static_cast<size_t>(victim)];
         {
-          std::lock_guard<std::mutex> lock(vq.mu);
+          common::MutexLock lock(vq.mu);
           if (vq.queue.empty()) continue;  // lost the race; rescan
           unit = vq.queue.back();
           vq.queue.pop_back();

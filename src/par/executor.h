@@ -1,5 +1,4 @@
-#ifndef ROCK_PAR_EXECUTOR_H_
-#define ROCK_PAR_EXECUTOR_H_
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -153,4 +152,3 @@ class WorkerPool {
 
 }  // namespace rock::par
 
-#endif  // ROCK_PAR_EXECUTOR_H_

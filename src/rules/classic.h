@@ -1,5 +1,4 @@
-#ifndef ROCK_RULES_CLASSIC_H_
-#define ROCK_RULES_CLASSIC_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -64,4 +63,3 @@ Result<Ree> MdToRee(const MatchingDependency& md,
 
 }  // namespace rock::rules
 
-#endif  // ROCK_RULES_CLASSIC_H_

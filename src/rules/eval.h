@@ -1,5 +1,4 @@
-#ifndef ROCK_RULES_EVAL_H_
-#define ROCK_RULES_EVAL_H_
+#pragma once
 
 #include <functional>
 #include <map>
@@ -166,4 +165,3 @@ class Evaluator {
 
 }  // namespace rock::rules
 
-#endif  // ROCK_RULES_EVAL_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_RULES_PARSER_H_
-#define ROCK_RULES_PARSER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -41,4 +40,3 @@ Result<std::vector<Ree>> ParseRules(std::string_view text,
 
 }  // namespace rock::rules
 
-#endif  // ROCK_RULES_PARSER_H_

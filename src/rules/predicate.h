@@ -1,5 +1,4 @@
-#ifndef ROCK_RULES_PREDICATE_H_
-#define ROCK_RULES_PREDICATE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -98,4 +97,3 @@ struct Predicate {
 
 }  // namespace rock::rules
 
-#endif  // ROCK_RULES_PREDICATE_H_

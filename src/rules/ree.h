@@ -1,5 +1,4 @@
-#ifndef ROCK_RULES_REE_H_
-#define ROCK_RULES_REE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -58,4 +57,3 @@ std::string PredicateToString(const Predicate& p, const Ree& rule,
 
 }  // namespace rock::rules
 
-#endif  // ROCK_RULES_REE_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_STORAGE_DICTIONARY_H_
-#define ROCK_STORAGE_DICTIONARY_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -65,4 +64,3 @@ class DictionaryEncodedRelation {
 
 }  // namespace rock
 
-#endif  // ROCK_STORAGE_DICTIONARY_H_

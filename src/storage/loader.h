@@ -1,5 +1,4 @@
-#ifndef ROCK_STORAGE_LOADER_H_
-#define ROCK_STORAGE_LOADER_H_
+#pragma once
 
 #include <string>
 
@@ -50,4 +49,3 @@ CsvTable RelationToCsv(const Relation& relation,
 
 }  // namespace rock
 
-#endif  // ROCK_STORAGE_LOADER_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_STORAGE_RELATION_H_
-#define ROCK_STORAGE_RELATION_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -51,6 +50,7 @@ class Relation {
   Status Append(Tuple tuple);
 
   size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
   const Tuple& tuple(size_t row) const { return tuples_[row]; }
   Tuple& mutable_tuple(size_t row) { return tuples_[row]; }
   const std::vector<Tuple>& tuples() const { return tuples_; }
@@ -113,4 +113,3 @@ struct Delta {
 
 }  // namespace rock
 
-#endif  // ROCK_STORAGE_RELATION_H_

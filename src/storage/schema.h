@@ -1,5 +1,4 @@
-#ifndef ROCK_STORAGE_SCHEMA_H_
-#define ROCK_STORAGE_SCHEMA_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -64,4 +63,3 @@ class DatabaseSchema {
 
 }  // namespace rock
 
-#endif  // ROCK_STORAGE_SCHEMA_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_STORAGE_STATS_H_
-#define ROCK_STORAGE_STATS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -65,4 +64,3 @@ class DatabaseStats {
 
 }  // namespace rock
 
-#endif  // ROCK_STORAGE_STATS_H_

@@ -1,5 +1,4 @@
-#ifndef ROCK_STORAGE_VALUE_H_
-#define ROCK_STORAGE_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -79,4 +78,3 @@ class Value {
 
 }  // namespace rock
 
-#endif  // ROCK_STORAGE_VALUE_H_

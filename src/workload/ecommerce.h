@@ -1,5 +1,4 @@
-#ifndef ROCK_WORKLOAD_ECOMMERCE_H_
-#define ROCK_WORKLOAD_ECOMMERCE_H_
+#pragma once
 
 #include "src/kg/graph.h"
 #include "src/storage/relation.h"
@@ -42,4 +41,3 @@ EcommerceData MakeEcommerceData();
 
 }  // namespace rock::workload
 
-#endif  // ROCK_WORKLOAD_ECOMMERCE_H_

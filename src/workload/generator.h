@@ -1,5 +1,4 @@
-#ifndef ROCK_WORKLOAD_GENERATOR_H_
-#define ROCK_WORKLOAD_GENERATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -84,4 +83,3 @@ std::string SyntheticName(size_t entity, bool company);
 
 }  // namespace rock::workload
 
-#endif  // ROCK_WORKLOAD_GENERATOR_H_

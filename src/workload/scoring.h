@@ -1,5 +1,4 @@
-#ifndef ROCK_WORKLOAD_SCORING_H_
-#define ROCK_WORKLOAD_SCORING_H_
+#pragma once
 
 #include <map>
 #include <optional>
@@ -81,4 +80,3 @@ Prf ScoreDetectionTask(const GeneratedData& data,
 
 }  // namespace rock::workload
 
-#endif  // ROCK_WORKLOAD_SCORING_H_

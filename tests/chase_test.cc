@@ -4,6 +4,7 @@
 
 #include "src/chase/chase.h"
 #include "src/chase/fix_store.h"
+#include "src/common/mutex.h"
 #include "src/common/rng.h"
 #include "src/ml/correlation.h"
 #include "src/ml/her.h"
@@ -116,6 +117,7 @@ class FixStoreTest : public ::testing::Test {
 
 TEST_F(FixStoreTest, GroundTruthValidatesCells) {
   FixStore store(&data_.db);
+  common::RoleGuard apply(store.apply_role());  // single-threaded test body
   int64_t tid = data_.db.relation(data_.person).tuple(0).tid;
   ASSERT_TRUE(store.AddGroundTruthTuple(data_.person, tid).ok());
   EXPECT_TRUE(store.IsValidated(data_.person, tid, 1));
@@ -125,6 +127,7 @@ TEST_F(FixStoreTest, GroundTruthValidatesCells) {
 
 TEST_F(FixStoreTest, SetValueConflictsOnDisagreement) {
   FixStore store(&data_.db);
+  common::RoleGuard apply(store.apply_role());
   int64_t tid = data_.db.relation(data_.person).tuple(0).tid;
   bool changed = false;
   ASSERT_TRUE(store
@@ -151,6 +154,7 @@ TEST_F(FixStoreTest, ValueFixesAreTupleScoped) {
   // the entity: a fix through one tid must NOT leak to the other (temporal
   // versions may legitimately hold different values; see DESIGN.md).
   FixStore store(&data_.db);
+  common::RoleGuard apply(store.apply_role());
   const Relation& person = data_.db.relation(data_.person);
   int64_t tid_row1 = person.tuple(1).tid;
   int64_t tid_row2 = person.tuple(2).tid;
@@ -166,6 +170,7 @@ TEST_F(FixStoreTest, ValueFixesAreTupleScoped) {
 
 TEST_F(FixStoreTest, MergeUnifiesCanonicalEids) {
   FixStore store(&data_.db);
+  common::RoleGuard apply(store.apply_role());
   const Relation& person = data_.db.relation(data_.person);
   int64_t tid_p4 = person.tuple(4).tid;  // eid 104
   bool changed;
@@ -179,12 +184,14 @@ TEST_F(FixStoreTest, MergeUnifiesCanonicalEids) {
 
 TEST_F(FixStoreTest, DistinctnessBlocksMerge) {
   FixStore store(&data_.db);
+  common::RoleGuard apply(store.apply_role());
   bool changed;
   ASSERT_TRUE(store.AddEidDistinct(1, 2, "r", &changed).ok());
   Status s = store.MergeEids(1, 2, "er", &changed);
   EXPECT_EQ(s.code(), StatusCode::kConflict);
   // And the reverse: merging then distinct also conflicts.
   FixStore store2(&data_.db);
+  common::RoleGuard apply2(store2.apply_role());
   ASSERT_TRUE(store2.MergeEids(1, 2, "er", &changed).ok());
   EXPECT_EQ(store2.AddEidDistinct(1, 2, "r", &changed).code(),
             StatusCode::kConflict);
@@ -192,6 +199,7 @@ TEST_F(FixStoreTest, DistinctnessBlocksMerge) {
 
 TEST_F(FixStoreTest, PatchedTidsListsFixedTuples) {
   FixStore store(&data_.db);
+  common::RoleGuard apply(store.apply_role());
   const Relation& person = data_.db.relation(data_.person);
   bool changed;
   ASSERT_TRUE(store
@@ -334,10 +342,13 @@ TEST_F(ChaseTest, CertainModeRequiresValidatedPremises) {
   // Validate store 0's location; now exactly one fix fires.
   ChaseEngine engine2(&data_.db, &data_.graph, &models_, options);
   const Relation& store = data_.db.relation(data_.store);
-  ASSERT_TRUE(engine2.fix_store()
-                  .AddGroundTruthValue(data_.store, store.tuple(0).tid, 3,
-                                       Value::String("Beijing"))
-                  .ok());
+  {
+    common::RoleGuard apply(engine2.fix_store().apply_role());
+    ASSERT_TRUE(engine2.fix_store()
+                    .AddGroundTruthValue(data_.store, store.tuple(0).tid, 3,
+                                         Value::String("Beijing"))
+                    .ok());
+  }
   ChaseResult result2 = engine2.Run(rules);
   EXPECT_EQ(result2.fixes_applied, 1u);
 }

@@ -157,6 +157,30 @@ TEST_F(DetectTest, ParallelMatchesSerial) {
   }
 }
 
+TEST_F(DetectTest, PairFrequencyCacheSafeUnderConcurrentFirstUse) {
+  // Regression for the pair-frequency cache's check-then-insert: the first
+  // DetectParallel run populates the (rel, guard, cons) table from several
+  // worker threads at once. Fresh detectors each iteration keep the cache
+  // cold so every run exercises the racy first-miss path; the reported
+  // cells must match the serial result every time (under TSan this also
+  // proves the double-checked insert is race-free).
+  std::vector<rules::Ree> rules = {
+      Parse("Trans(t0) ^ Trans(t1) ^ t0.com = t1.com -> t0.mfg = t1.mfg")};
+  detect::ErrorDetector serial_detector(Ctx());
+  auto serial = serial_detector.Detect(rules);
+  ASSERT_FALSE(serial.DirtyCells().empty());
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    par::ScheduleReport schedule;
+    detect::DetectorOptions options;
+    options.block_rows = 1;  // many small units -> real thread contention
+    options.execution_mode = par::ExecutionMode::kThreads;
+    detect::ErrorDetector parallel(Ctx(), options);
+    auto report = parallel.DetectParallel(rules, 8, &schedule);
+    ASSERT_EQ(report.DirtyCells(), serial.DirtyCells())
+        << "iteration " << iteration;
+  }
+}
+
 // ---------- par ----------
 
 TEST(HyperCubeTest, UnitsCoverCrossProduct) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/chase/chase.h"
+#include "src/common/mutex.h"
 #include "src/ml/correlation.h"
 #include "src/ml/library.h"
 #include "src/rules/parser.h"
@@ -129,6 +130,7 @@ TEST_F(EvalExtraTest, NotEqualConsequenceIsDetectionOnly) {
   EXPECT_GT(result.fixes_applied, 0u);  // distinctness facts recorded
   // A later attempt to merge a male with a female person conflicts.
   bool changed = false;
+  common::RoleGuard apply(engine.fix_store().apply_role());
   Status s = engine.fix_store().MergeEids(101, 103, "er", &changed);
   EXPECT_EQ(s.code(), StatusCode::kConflict);
 }
@@ -163,12 +165,16 @@ TEST_F(EvalExtraTest, MiConflictResolvedByMcArgmax) {
   // M_c assesses candidates against the tuple's VALIDATED values (§2.3),
   // so the stores' locations must be ground truth first.
   const Relation& store = data_.db.relation(data_.store);
-  for (size_t row = 0; row < store.size(); ++row) {
-    if (!store.tuple(row).value(3).is_null()) {
-      ASSERT_TRUE(engine.fix_store()
-                      .AddGroundTruthValue(data_.store, store.tuple(row).tid,
-                                           3, store.tuple(row).value(3))
-                      .ok());
+  {
+    common::RoleGuard apply(engine.fix_store().apply_role());
+    for (size_t row = 0; row < store.size(); ++row) {
+      if (!store.tuple(row).value(3).is_null()) {
+        ASSERT_TRUE(engine.fix_store()
+                        .AddGroundTruthValue(data_.store,
+                                             store.tuple(row).tid, 3,
+                                             store.tuple(row).value(3))
+                        .ok());
+      }
     }
   }
   chase::ChaseResult result = engine.Run(conflicting);
@@ -231,6 +237,7 @@ TEST_F(EvalExtraTest, OverlayChangesEvaluationOutcome) {
 
   const Relation& trans = data_.db.relation(data_.trans);
   bool changed = false;
+  common::RoleGuard apply(store.apply_role());
   ASSERT_TRUE(store
                   .SetValue(data_.trans, trans.tuple(4).tid, 3,
                             Value::String("Huawei"), "fix", &changed)

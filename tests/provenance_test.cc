@@ -14,6 +14,7 @@
 #include "src/chase/chase.h"
 #include "src/chase/fix_store.h"
 #include "src/common/json.h"
+#include "src/common/mutex.h"
 #include "src/core/engine.h"
 #include "src/ml/correlation.h"
 #include "src/ml/library.h"
@@ -153,11 +154,14 @@ TEST(ChaseProvenanceTest, CertainFixProofReachesGroundTruth) {
   options.certain_fixes_only = true;
   ml::MlLibrary models;
   ChaseEngine engine(&data.db, nullptr, &models, options);
-  ASSERT_TRUE(engine.fix_store().AddGroundTruthTuple(0, trusted).ok());
-  ASSERT_TRUE(
-      engine.fix_store()
-          .AddGroundTruthValue(0, dirty, 0, Value::String("x"))
-          .ok());
+  {
+    common::RoleGuard apply(engine.fix_store().apply_role());
+    ASSERT_TRUE(engine.fix_store().AddGroundTruthTuple(0, trusted).ok());
+    ASSERT_TRUE(
+        engine.fix_store()
+            .AddGroundTruthValue(0, dirty, 0, Value::String("x"))
+            .ok());
+  }
 
   Ree rule = MustParse("S(t0) ^ S(t1) ^ t0.k = t1.k -> t0.v = t1.v",
                        data.db.schema(), "cr1");
@@ -360,6 +364,7 @@ TEST(FixStoreHashIndexTest, ReplaceValueErasesStaleHashEntry) {
   KvDb data;
   int64_t tid = data.Insert("x", nullptr, nullptr, 0);
   FixStore store(&data.db);
+  common::RoleGuard apply(store.apply_role());  // single-threaded test body
   bool changed = false;
   ASSERT_TRUE(
       store.SetValue(0, tid, 1, Value::String("old"), "r1", &changed).ok());
@@ -384,6 +389,7 @@ TEST(FixStoreHashIndexTest, PatchedTidsEqNeverServesMismatchedValues) {
     tids.push_back(data.Insert("x", nullptr, nullptr, i));
   }
   FixStore store(&data.db);
+  common::RoleGuard apply(store.apply_role());
   bool changed = false;
   std::vector<Value> candidates = {Value::String("a"), Value::String("b"),
                                    Value::String("c")};
@@ -607,10 +613,13 @@ TEST_F(MiConflictTest, McArgmaxCandidateReplacesAndRelinksProvenance) {
   models.RegisterCorrelation("Mc", std::make_shared<StubCorrelation>("B"));
   ChaseEngine engine(&data_.db, nullptr, &models);
   // M_c needs at least one validated attribute to condition on.
-  ASSERT_TRUE(
-      engine.fix_store()
-          .AddGroundTruthValue(0, tid_, 0, Value::String("x"))
-          .ok());
+  {
+    common::RoleGuard apply(engine.fix_store().apply_role());
+    ASSERT_TRUE(
+        engine.fix_store()
+            .AddGroundTruthValue(0, tid_, 0, Value::String("x"))
+            .ok());
+  }
   chase::ChaseResult result = engine.Run(rules_);
   ASSERT_FALSE(result.conflicts.empty());
   const ConflictRecord& conflict = result.conflicts[0];
@@ -631,10 +640,13 @@ TEST_F(MiConflictTest, McArgmaxExistingKeepsCellAndProvenance) {
   ml::MlLibrary models;
   models.RegisterCorrelation("Mc", std::make_shared<StubCorrelation>("A"));
   ChaseEngine engine(&data_.db, nullptr, &models);
-  ASSERT_TRUE(
-      engine.fix_store()
-          .AddGroundTruthValue(0, tid_, 0, Value::String("x"))
-          .ok());
+  {
+    common::RoleGuard apply(engine.fix_store().apply_role());
+    ASSERT_TRUE(
+        engine.fix_store()
+            .AddGroundTruthValue(0, tid_, 0, Value::String("x"))
+            .ok());
+  }
   chase::ChaseResult result = engine.Run(rules_);
   ASSERT_FALSE(result.conflicts.empty());
   EXPECT_EQ(result.conflicts[0].resolution, "mc_argmax:existing");

@@ -1,0 +1,22 @@
+// Negative-compilation fixture: writing a ROCK_GUARDED_BY field without
+// holding its mutex. Under Clang with -Werror=thread-safety this file MUST
+// fail to compile; tests/thread_safety_compile_test.cmake asserts that it
+// does (and that the diagnostic is a thread-safety one, not some other
+// error masking a silently-disabled analysis).
+#include "src/common/mutex.h"
+
+class Account {
+ public:
+  // No lock taken: the analysis must reject this write.
+  void Deposit(int amount) { balance_ += amount; }
+
+ private:
+  rock::common::Mutex mu_;
+  int balance_ ROCK_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

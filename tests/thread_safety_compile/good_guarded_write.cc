@@ -1,0 +1,24 @@
+// Positive-compilation fixture: the same guarded write as
+// bad_unguarded_write.cc but holding the mutex through the RAII guard.
+// Must compile cleanly under -Werror=thread-safety — this proves the
+// negative test fails for the right reason (the missing lock) and not
+// because the fixture or the annotation macros are broken.
+#include "src/common/mutex.h"
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    rock::common::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+ private:
+  rock::common::Mutex mu_;
+  int balance_ ROCK_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,73 @@
+# Negative-compilation contract for the thread-safety annotations
+# (src/common/thread_annotations.h): an unguarded write to a
+# ROCK_GUARDED_BY field must be a COMPILE ERROR, and the properly guarded
+# twin must compile cleanly. Both checks run at configure time via
+# try_compile (so a broken contract fails the build immediately) and are
+# also registered as ctest cases so `ctest` reports them.
+#
+# The analysis is Clang-only; under GCC the annotations expand to nothing
+# and there is nothing to assert.
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  return()
+endif()
+if(NOT ROCK_THREAD_SAFETY)
+  return()
+endif()
+
+set(_tsa_fixture_dir ${CMAKE_CURRENT_SOURCE_DIR}/thread_safety_compile)
+set(_tsa_flags -Wthread-safety -Werror=thread-safety)
+
+# --- Configure-time assertions -------------------------------------------
+
+try_compile(_tsa_good_compiles
+  ${CMAKE_CURRENT_BINARY_DIR}/tsa_good_check
+  SOURCES ${_tsa_fixture_dir}/good_guarded_write.cc
+  COMPILE_DEFINITIONS "${_tsa_flags}"
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}"
+    "-DCMAKE_CXX_STANDARD=20"
+  OUTPUT_VARIABLE _tsa_good_output)
+if(NOT _tsa_good_compiles)
+  message(FATAL_ERROR
+      "thread-safety contract: the GUARDED fixture failed to compile, so "
+      "the annotation macros themselves are broken:\n${_tsa_good_output}")
+endif()
+
+try_compile(_tsa_bad_compiles
+  ${CMAKE_CURRENT_BINARY_DIR}/tsa_bad_check
+  SOURCES ${_tsa_fixture_dir}/bad_unguarded_write.cc
+  COMPILE_DEFINITIONS "${_tsa_flags}"
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}"
+    "-DCMAKE_CXX_STANDARD=20"
+  OUTPUT_VARIABLE _tsa_bad_output)
+if(_tsa_bad_compiles)
+  message(FATAL_ERROR
+      "thread-safety contract: an UNGUARDED write to a ROCK_GUARDED_BY "
+      "field compiled — the analysis is not enforcing anything. Check "
+      "that ROCK_THREAD_SAFETY flags reach try_compile.")
+endif()
+if(NOT _tsa_bad_output MATCHES "thread-safety")
+  message(FATAL_ERROR
+      "thread-safety contract: the unguarded fixture failed for a reason "
+      "other than a thread-safety diagnostic:\n${_tsa_bad_output}")
+endif()
+message(STATUS
+    "thread-safety contract: unguarded ROCK_GUARDED_BY write rejected")
+
+# --- ctest registration ---------------------------------------------------
+# -fsyntax-only keeps the ctest cases link-free and fast. The bad case
+# passes iff the compiler emits a thread-safety diagnostic
+# (PASS_REGULAR_EXPRESSION replaces exit-code checking).
+
+add_test(NAME thread_safety_contract_accepts_guarded_write
+  COMMAND ${CMAKE_CXX_COMPILER} -std=c++20 -I${CMAKE_SOURCE_DIR}
+          ${_tsa_flags} -fsyntax-only
+          ${_tsa_fixture_dir}/good_guarded_write.cc)
+
+add_test(NAME thread_safety_contract_rejects_unguarded_write
+  COMMAND ${CMAKE_CXX_COMPILER} -std=c++20 -I${CMAKE_SOURCE_DIR}
+          ${_tsa_flags} -fsyntax-only
+          ${_tsa_fixture_dir}/bad_unguarded_write.cc)
+set_tests_properties(thread_safety_contract_rejects_unguarded_write
+  PROPERTIES PASS_REGULAR_EXPRESSION "thread-safety")
