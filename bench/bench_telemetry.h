@@ -79,6 +79,9 @@ class BenchTelemetry {
     // histogram, premise-source mix) distilled from the rock_prov_* metrics
     // exported by the chase. check_bench_json.py validates this block.
     obs::AppendProvenanceBlock(snap.metrics, &w);
+    // Fault-injection/recovery accounting (all zero on fault-free runs);
+    // bench-smoke gates on faults.unrecovered == 0.
+    obs::AppendFaultsBlock(snap.metrics, &w);
     w.EndObject();
 
     std::string path = OutputPath();

@@ -1,23 +1,29 @@
 #!/usr/bin/env python3
 """Validates the BENCH_*.json files the bench binaries emit.
 
-Usage: check_bench_json.py [--require-zero-dropped-spans] FILE [FILE...]
+Usage: check_bench_json.py [--require-zero-dropped-spans]
+                           [--require-zero-unrecovered-faults]
+                           FILE [FILE...]
 
 Fails (exit 1) when a file is missing, is not valid JSON, or lacks the
 required sections: bench name, schema_version, non-empty phases,
 schedules (rows must carry the ScheduleReport fields), results,
-telemetry with counters/gauges/histograms/spans, and the provenance
-block (enabled flag, node/premise counts, fixes_by_rule, proof_depth).
+telemetry with counters/gauges/histograms/spans, the provenance block
+(enabled flag, node/premise counts, fixes_by_rule, proof_depth), and
+the faults block (injection/retry/death/checkpoint accounting).
 With --require-zero-dropped-spans, a non-zero tracer drop count is an
-error (the bench ring must be sized for the run). CI's bench-smoke step
-runs this over every emitted file.
+error (the bench ring must be sized for the run). With
+--require-zero-unrecovered-faults, a non-zero faults.unrecovered gauge
+is an error: every unit the pool abandoned must have been replayed from
+the round checkpoint by the time the bench emitted telemetry. CI's
+bench-smoke step runs this over every emitted file with both flags.
 """
 
 import json
 import sys
 
 REQUIRED_TOP = ["bench", "schema_version", "phases", "schedules",
-                "results", "telemetry", "provenance"]
+                "results", "telemetry", "provenance", "faults"]
 REQUIRED_SCHEDULE = ["label", "mode", "workers", "serial_seconds",
                      "makespan_seconds", "wall_seconds", "stolen_units",
                      "speedup", "measured_speedup", "initial_units",
@@ -28,6 +34,10 @@ REQUIRED_PROVENANCE = ["enabled", "nodes", "conflict_candidates",
                        "max_depth", "ml_calls", "premises",
                        "fixes_by_rule", "proof_depth"]
 REQUIRED_PREMISES = ["ground_truth", "prior_fix", "raw", "oracle"]
+REQUIRED_FAULTS = ["injected", "retries", "backoff_micros", "worker_deaths",
+                   "crashes_suppressed", "steals_on_death",
+                   "units_reassigned", "checkpoints", "checkpoint_restores",
+                   "unrecovered"]
 
 
 def fail(path, message):
@@ -65,7 +75,29 @@ def check_provenance(path, prov):
     return True
 
 
-def check(path, require_zero_dropped_spans=False):
+def check_faults(path, faults, require_zero_unrecovered=False):
+    for key in REQUIRED_FAULTS:
+        if key not in faults:
+            return fail(path, f"faults missing {key!r}")
+        if not isinstance(faults[key], int):
+            return fail(path, f"faults {key}={faults[key]!r} must be an int")
+    # Counters can never go negative; the gauge can transiently (a replay
+    # without a matching give-up would be a double-subtract bug).
+    for key in REQUIRED_FAULTS:
+        if faults[key] < 0:
+            return fail(path, f"faults {key}={faults[key]} is negative")
+    if faults["injected"] < faults["retries"] + faults["worker_deaths"]:
+        return fail(path, f"faults injected={faults['injected']} < "
+                          f"retries+deaths="
+                          f"{faults['retries'] + faults['worker_deaths']}")
+    if require_zero_unrecovered and faults["unrecovered"] != 0:
+        return fail(path, f"{faults['unrecovered']} unit(s) abandoned by the "
+                          f"pool were never replayed from a checkpoint")
+    return True
+
+
+def check(path, require_zero_dropped_spans=False,
+          require_zero_unrecovered=False):
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -107,26 +139,38 @@ def check(path, require_zero_dropped_spans=False):
                           f"spans (ring too small for this run)")
     if not check_provenance(path, doc["provenance"]):
         return False
+    if not check_faults(path, doc["faults"], require_zero_unrecovered):
+        return False
 
     n_counters = len(telemetry["counters"])
     n_spans = len(telemetry["spans"])
     prov = doc["provenance"]
+    faults = doc["faults"]
     print(f"OK   {path}: bench={doc['bench']} phases={len(doc['phases'])} "
           f"schedules={len(doc['schedules'])} counters={n_counters} "
-          f"spans={n_spans} prov_nodes={prov['nodes']}")
+          f"spans={n_spans} prov_nodes={prov['nodes']} "
+          f"faults={faults['injected']} unrecovered={faults['unrecovered']}")
     return True
 
 
 def main(argv):
     args = argv[1:]
     require_zero_dropped_spans = False
-    if args and args[0] == "--require-zero-dropped-spans":
-        require_zero_dropped_spans = True
+    require_zero_unrecovered = False
+    while args and args[0].startswith("--"):
+        if args[0] == "--require-zero-dropped-spans":
+            require_zero_dropped_spans = True
+        elif args[0] == "--require-zero-unrecovered-faults":
+            require_zero_unrecovered = True
+        else:
+            print(f"unknown flag {args[0]}")
+            return 1
         args = args[1:]
     if not args:
         print(__doc__.strip())
         return 1
-    ok = all([check(path, require_zero_dropped_spans) for path in args])
+    ok = all([check(path, require_zero_dropped_spans,
+                    require_zero_unrecovered) for path in args])
     return 0 if ok else 1
 
 

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Gates line coverage of the recovery-critical directories.
+
+Usage:
+  check_coverage.py --build-dir BUILD [--baseline FILE] [--update]
+                    [--margin PP] [--self-test]
+
+Walks BUILD for .gcda note files produced by a --coverage build after the
+test suite ran, shells out to `gcov --json-format --stdout` per
+translation unit, and unions the per-line execution counts across TUs (a
+line is covered when any TU covered it). Computes line coverage for each
+gated directory (src/par, src/chase) and fails (exit 1) when a
+directory's coverage drops below the recorded floor in the baseline
+file. `--update` rewrites the baseline instead: measured coverage minus
+`--margin` percentage points (default 3.0), floored, so routine compiler
+and inlining jitter never trips the gate but a real regression — a new
+untested branch in the executor or checkpoint path — does.
+
+The gate exists because the fault-injection paths are exactly the code
+that only runs when something goes wrong; without a floor, a refactor
+can silently orphan the crash/drain/replay branches from the test suite.
+
+Requires gcov >= 9 (JSON intermediate format). No third-party modules.
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+GATED_DIRS = ["src/par", "src/chase"]
+
+
+def run_gcov(gcda, build_dir, gcov="gcov"):
+    """Returns parsed gcov JSON documents for one .gcda file."""
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout", gcda],
+        cwd=build_dir, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"WARN gcov failed on {gcda}: {proc.stderr.strip()}")
+        return []
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return docs
+
+
+def collect_line_hits(build_dir, gcov="gcov"):
+    """Union of per-line hit counts across all TUs: {source: {line: hits}}."""
+    gcdas = []
+    for root, _dirs, files in os.walk(build_dir):
+        gcdas.extend(os.path.abspath(os.path.join(root, f)) for f in files
+                     if f.endswith(".gcda"))
+    if not gcdas:
+        print(f"FAIL no .gcda files under {build_dir}; build with "
+              f"--coverage and run the tests first")
+        return None
+    hits = collections.defaultdict(dict)
+    for gcda in sorted(gcdas):
+        for doc in run_gcov(gcda, build_dir, gcov):
+            for entry in doc.get("files", []):
+                source = os.path.normpath(entry["file"])
+                per_line = hits[source]
+                for line in entry.get("lines", []):
+                    number = line["line_number"]
+                    per_line[number] = max(per_line.get(number, 0),
+                                           line["count"])
+    return hits
+
+
+def directory_coverage(hits, gated=GATED_DIRS):
+    """Per-directory (covered, total, percent) over the gated prefixes."""
+    out = {}
+    for gate in gated:
+        covered = total = 0
+        needle = gate.rstrip("/") + "/"
+        for source, per_line in hits.items():
+            # gcov paths may be absolute or build-relative; match on the
+            # repo-relative infix.
+            normalized = source.replace("\\", "/")
+            if needle not in normalized and not normalized.startswith(
+                    needle):
+                continue
+            total += len(per_line)
+            covered += sum(1 for count in per_line.values() if count > 0)
+        percent = 100.0 * covered / total if total else 0.0
+        out[gate] = (covered, total, percent)
+    return out
+
+
+def check(coverage, baseline_path):
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except OSError as err:
+        print(f"FAIL unreadable baseline {baseline_path}: {err}")
+        return False
+    ok = True
+    for gate, floor in sorted(baseline.items()):
+        covered, total, percent = coverage.get(gate, (0, 0, 0.0))
+        verdict = "OK  " if percent >= floor else "FAIL"
+        print(f"{verdict} {gate}: {percent:.1f}% line coverage "
+              f"({covered}/{total} lines), floor {floor:.1f}%")
+        if percent < floor:
+            ok = False
+    return ok
+
+
+def update(coverage, baseline_path, margin):
+    baseline = {}
+    for gate, (covered, total, percent) in sorted(coverage.items()):
+        if total == 0:
+            print(f"FAIL {gate}: no executable lines measured; refusing "
+                  f"to record a 0% floor")
+            return False
+        baseline[gate] = max(0.0, float(int(percent - margin)))
+        print(f"RECORD {gate}: measured {percent:.1f}% "
+              f"({covered}/{total}), floor {baseline[gate]:.1f}%")
+    with open(baseline_path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {baseline_path}")
+    return True
+
+
+def self_test():
+    """Fixture check so a broken checker fails loudly, not vacuously."""
+    hits = {
+        "/repo/src/par/executor.cc": {1: 5, 2: 0, 3: 1, 4: 1},
+        "src/par/fault.cc": {10: 1, 11: 1},
+        "/repo/src/chase/chase.cc": {7: 0, 8: 0, 9: 3},
+        "/repo/src/ml/library.cc": {1: 0},  # not gated
+    }
+    cov = directory_coverage(hits)
+    assert cov["src/par"][:2] == (5, 6), cov["src/par"]
+    assert abs(cov["src/par"][2] - 500 / 6) < 1e-9, cov["src/par"]
+    assert abs(cov["src/chase"][2] - 100 / 3) < 1e-9, cov["src/chase"]
+    # Union semantics: the same header line covered in one TU and missed
+    # in another counts as covered.
+    merged = collections.defaultdict(dict)
+    for tu in ({"src/par/fault.h": {5: 0}}, {"src/par/fault.h": {5: 2}}):
+        for source, per_line in tu.items():
+            for number, count in per_line.items():
+                merged[source][number] = max(
+                    merged[source].get(number, 0), count)
+    assert merged["src/par/fault.h"][5] == 2
+    print("self-test OK")
+    return True
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline",
+                        default="scripts/coverage_baseline.json")
+    parser.add_argument("--update", action="store_true")
+    parser.add_argument("--margin", type=float, default=3.0)
+    parser.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return 0 if self_test() else 1
+    hits = collect_line_hits(args.build_dir, args.gcov)
+    if hits is None:
+        return 1
+    coverage = directory_coverage(hits)
+    if args.update:
+        return 0 if update(coverage, args.baseline, args.margin) else 1
+    return 0 if check(coverage, args.baseline) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -32,6 +32,10 @@ struct ChaseMetrics {
   obs::Counter* fixes_mi;
   obs::Counter* fixes_td;
   obs::Counter* fixes_general;
+  /// Round checkpoints taken / units replayed from one after the pool gave
+  /// up on them (fault-injection recovery, DESIGN.md).
+  obs::Counter* checkpoints;
+  obs::Counter* checkpoint_restores;
 
   static const ChaseMetrics& Get() {
     static ChaseMetrics m = [] {
@@ -45,6 +49,9 @@ struct ChaseMetrics {
       out.fixes_mi = reg.GetCounter("rock_chase_fixes_mi_total");
       out.fixes_td = reg.GetCounter("rock_chase_fixes_td_total");
       out.fixes_general = reg.GetCounter("rock_chase_fixes_general_total");
+      out.checkpoints = reg.GetCounter("rock_chase_checkpoints_total");
+      out.checkpoint_restores =
+          reg.GetCounter("rock_chase_checkpoint_restores_total");
       return out;
     }();
     return m;
@@ -637,39 +644,65 @@ ChaseResult ChaseEngine::RunParallel(const std::vector<Ree>& rules,
   // nothing is applied until every worker reaches the barrier — so
   // concurrent precondition evaluation needs no locks. One evaluator per
   // worker keeps the evaluator's lazy equality indexes thread-local.
-  par::WorkerPool pool(num_workers, mode);
+  par::PoolOptions pool_options;
+  pool_options.retry = options_.retry;
+  pool_options.fault_plan = options_.fault_plan;
+  par::WorkerPool pool(num_workers, mode, pool_options);
   std::vector<rules::Evaluator> evals;
   evals.reserve(static_cast<size_t>(pool.num_workers()));
   for (int w = 0; w < pool.num_workers(); ++w) {
     evals.emplace_back(Context());
   }
   std::vector<std::vector<Valuation>> unit_hits(units.size());
+  // Round checkpoint: the recovery protocol's invariant. Evaluation writes
+  // only the per-unit buffers, so a unit lost mid-round (worker crash,
+  // exhausted retry budget) can be replayed in isolation — the checkpoint
+  // verification at the barrier proves no fix leaked in early, hence
+  // nothing is ever applied twice.
+  FixStore::Checkpoint checkpoint = fixes_.TakeCheckpoint();
+  metrics.checkpoints->Add(1);
+  auto eval_unit = [&](const par::WorkUnit& unit, size_t unit_index,
+                       int worker) {
+    const Ree& rule = rules[static_cast<size_t>(unit.rule_index)];
+    const rules::Evaluator& worker_eval =
+        evals[static_cast<size_t>(worker)];
+    std::vector<Valuation>& hits = unit_hits[unit_index];
+    hits.clear();  // replayed units overwrite, never append
+    Valuation v;
+    v.rows.assign(rule.tuple_vars.size(), 0);
+    std::function<void(size_t)> recurse = [&](size_t var) {
+      if (var == rule.tuple_vars.size()) {
+        if (worker_eval.SatisfiesPrecondition(rule, v)) {
+          hits.push_back(v);
+        }
+        return;
+      }
+      for (int row = unit.ranges[var].begin; row < unit.ranges[var].end;
+           ++row) {
+        v.rows[var] = row;
+        recurse(var + 1);
+      }
+    };
+    recurse(0);
+  };
   par::ScheduleReport local;
   {
     ROCK_OBS_SPAN("chase.parallel_eval");
-    local = pool.Execute(
-      units, [&](const par::WorkUnit& unit, size_t unit_index, int worker) {
-        const Ree& rule = rules[static_cast<size_t>(unit.rule_index)];
-        const rules::Evaluator& worker_eval =
-            evals[static_cast<size_t>(worker)];
-        std::vector<Valuation>& hits = unit_hits[unit_index];
-        Valuation v;
-        v.rows.assign(rule.tuple_vars.size(), 0);
-        std::function<void(size_t)> recurse = [&](size_t var) {
-          if (var == rule.tuple_vars.size()) {
-            if (worker_eval.SatisfiesPrecondition(rule, v)) {
-              hits.push_back(v);
-            }
-            return;
-          }
-          for (int row = unit.ranges[var].begin;
-               row < unit.ranges[var].end; ++row) {
-            v.rows[var] = row;
-            recurse(var + 1);
-          }
-        };
-        recurse(0);
-      });
+    local = pool.Execute(units, eval_unit);
+  }
+  // Barrier: every surviving worker joined. Verify the checkpoint before
+  // touching the store — evaluation (even with injected crashes and
+  // retries) must not have advanced it.
+  ROCK_CHECK(fixes_.TakeCheckpoint() == checkpoint)
+      << "fix store advanced during the read-only evaluation phase";
+  // Recovery: re-run abandoned units serially against the checkpoint.
+  // Their buffers were never merged (the apply loop below runs in unit
+  // order, after this), so replaying preserves the fault-free output and
+  // provenance bit-for-bit.
+  result.replayed_units = par::WorkerPool::ReplayUnrecovered(
+      units, &local, eval_unit);
+  if (result.replayed_units > 0) {
+    metrics.checkpoint_restores->Add(result.replayed_units);
   }
   if (schedule != nullptr) *schedule = local;
 

@@ -43,6 +43,13 @@ struct ChaseOptions {
   /// Optional user queue for ER/CR value conflicts; when unset, conflicts
   /// are recorded and left for offline review.
   UserConflictResolver user_resolver;
+  /// Deterministic fault schedule injected into RunParallel's worker pool
+  /// (not owned; nullptr disables injection). Units lost to exhausted
+  /// attempt budgets are replayed serially against the round checkpoint,
+  /// so the chase output is identical to the fault-free run.
+  const par::FaultPlan* fault_plan = nullptr;
+  /// Retry discipline for the pool when a fault plan is set.
+  par::RetryPolicy retry;
 };
 
 /// Per-cell difference between the raw database and the repaired view.
@@ -64,6 +71,10 @@ struct ChaseResult {
   size_t applications = 0;
   bool converged = false;
   std::vector<ConflictRecord> conflicts;
+  /// Units the pool abandoned (attempt budget exhausted under an injected
+  /// fault plan) and RunParallel replayed serially from the round
+  /// checkpoint. Zero on fault-free runs.
+  size_t replayed_units = 0;
 };
 
 /// The chase engine (paper §4): deduces fixes by chasing D with (Σ, Γ),

@@ -357,6 +357,17 @@ FixStore::FixStore(const Database* db) : db_(db) {
   }
 }
 
+FixStore::Checkpoint FixStore::TakeCheckpoint() const {
+  Checkpoint cp;
+  cp.fixes = fixes_.size();
+  cp.value_cells = values_.size();
+  cp.merges = eids_.num_merges();
+  cp.distinct = distinct_.size();
+  cp.ground_truth_cells = ground_truth_cells_;
+  cp.provenance_nodes = static_cast<int64_t>(prov_.size());
+  return cp;
+}
+
 void FixStore::RegisterTuple(int rel, int64_t tid) {
   const Tuple* t = FindTuple(rel, tid);
   if (t == nullptr) return;

@@ -151,6 +151,26 @@ class FixStore : public rules::CellOverlay, public rules::TemporalOracle {
  public:
   explicit FixStore(const Database* db);
 
+  /// A cheap structural snapshot of the store's size vector. The store is
+  /// inflationary (fixes only accumulate, merges only grow classes), so
+  /// "no counter moved" is equivalent to "no state changed" — which makes
+  /// the checkpoint a sufficient barrier invariant for the parallel
+  /// chase's recovery protocol: RunParallel checkpoints before its
+  /// read-only evaluation phase and verifies at the apply barrier that the
+  /// store is bit-for-bit where the checkpoint left it, so replaying lost
+  /// or unrecovered units can never double-apply a fix.
+  struct Checkpoint {
+    size_t fixes = 0;
+    size_t value_cells = 0;
+    size_t merges = 0;
+    size_t distinct = 0;
+    size_t ground_truth_cells = 0;
+    int64_t provenance_nodes = 0;
+
+    bool operator==(const Checkpoint&) const = default;
+  };
+  Checkpoint TakeCheckpoint() const;
+
   /// The apply-phase role; pass to common::RoleGuard before mutating.
   const common::ThreadRole& apply_role() const
       ROCK_RETURN_CAPABILITY(apply_role_) {

@@ -374,6 +374,34 @@ std::shared_ptr<chase::ChaseEngine> Rock::CorrectErrors(
   return engine;
 }
 
+std::shared_ptr<chase::ChaseEngine> Rock::CorrectErrorsParallel(
+    const std::vector<Ree>& rules,
+    const std::vector<std::pair<int, int64_t>>& ground_truth,
+    int num_workers, CorrectionResult* result,
+    par::ScheduleReport* schedule) {
+  ROCK_OBS_SPAN("rock.correct_parallel");
+  auto engine = std::make_shared<chase::ChaseEngine>(db_, graph_, &models_,
+                                                     options_.chase);
+  {
+    common::RoleGuard apply(engine->fix_store().apply_role());
+    for (const auto& [rel, tid] : ground_truth) {
+      Status s = engine->fix_store().AddGroundTruthTuple(rel, tid);
+      if (!s.ok()) {
+        ROCK_LOG(kWarning) << "ground truth rejected: " << s.ToString();
+      }
+    }
+  }
+  CorrectionResult local;
+  local.poly_fixes = ApplyPolyFixes(engine.get());
+  local.chase = engine->RunParallel(rules, num_workers,
+                                    options_.detector.block_rows, schedule,
+                                    options_.detector.execution_mode);
+  local.passes = 1;
+  if (result != nullptr) *result = local;
+  last_engine_ = engine;
+  return engine;
+}
+
 obs::ProofTree Rock::Explain(int rel, int64_t tid, int attr,
                              int max_depth) const {
   if (last_engine_ == nullptr) return obs::ProofTree();

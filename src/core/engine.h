@@ -95,6 +95,21 @@ class Rock {
   ml::MlLibrary* models() { return &models_; }
   Database* db() { return db_; }
 
+  /// Recovery knobs for the parallel paths: injects a deterministic fault
+  /// schedule (see src/par/fault.h; not owned, may be nullptr to disable)
+  /// and a retry discipline into both DetectErrorsParallel and the chase's
+  /// RunParallel. Faulty runs produce output identical to fault-free runs:
+  /// the pool retries transient failures with capped backoff, re-places a
+  /// crashed worker's units via the hash ring, and the chase/detector
+  /// replay anything the pool abandons from the round checkpoint.
+  void SetFaultInjection(const par::FaultPlan* plan,
+                         par::RetryPolicy retry = par::RetryPolicy()) {
+    options_.chase.fault_plan = plan;
+    options_.chase.retry = retry;
+    options_.detector.fault_plan = plan;
+    options_.detector.retry = retry;
+  }
+
   /// Trains and registers the built-in model suite (MER similarity
   /// matcher, M_c/M_d co-occurrence, M_rank creator-critic, HER, path
   /// matcher). Under kNoMl only registers nothing (rules using models are
@@ -146,6 +161,17 @@ class Rock {
       const std::vector<rules::Ree>& rules,
       const std::vector<std::pair<int, int64_t>>& ground_truth,
       CorrectionResult* result);
+
+  /// Parallel correction: the dominant first chase round runs under the
+  /// worker pool (block size from RockOptions::detector.block_rows), with
+  /// any SetFaultInjection schedule applied and recovered. Produces the
+  /// same fix store as CorrectErrors under the kRock variant; fills
+  /// `schedule` with the pool accounting when non-null.
+  std::shared_ptr<chase::ChaseEngine> CorrectErrorsParallel(
+      const std::vector<rules::Ree>& rules,
+      const std::vector<std::pair<int, int64_t>>& ground_truth,
+      int num_workers, CorrectionResult* result,
+      par::ScheduleReport* schedule = nullptr);
 
   /// Why-provenance of a fix from the last CorrectErrors run: the proof
   /// tree of the validated cell (rule + witness tuples + premise cells,

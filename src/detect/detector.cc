@@ -397,7 +397,10 @@ DetectionReport ErrorDetector::DetectParallel(
     units.insert(units.end(), rule_units.begin(), rule_units.end());
   }
 
-  par::WorkerPool pool(num_workers, options_.execution_mode);
+  par::PoolOptions pool_options;
+  pool_options.retry = options_.retry;
+  pool_options.fault_plan = options_.fault_plan;
+  par::WorkerPool pool(num_workers, options_.execution_mode, pool_options);
   // One evaluator per worker (the evaluator caches equality indexes) and
   // one report per unit: workers never write shared state, and merging in
   // unit order makes the result independent of worker count and stealing.
@@ -405,12 +408,24 @@ DetectionReport ErrorDetector::DetectParallel(
   evals.reserve(static_cast<size_t>(pool.num_workers()));
   for (int w = 0; w < pool.num_workers(); ++w) evals.emplace_back(ctx_);
   std::vector<DetectionReport> unit_reports(units.size());
-  par::ScheduleReport local = pool.Execute(
-      units, [&](const par::WorkUnit& u, size_t unit_index, int worker) {
-        DetectRuleInRanges(rules[static_cast<size_t>(u.rule_index)], u.ranges,
-                           evals[static_cast<size_t>(worker)],
-                           &unit_reports[unit_index]);
-      });
+  auto unit_body = [&](const par::WorkUnit& u, size_t unit_index,
+                       int worker) {
+    unit_reports[unit_index] = DetectionReport();  // replay overwrites
+    DetectRuleInRanges(rules[static_cast<size_t>(u.rule_index)], u.ranges,
+                       evals[static_cast<size_t>(worker)],
+                       &unit_reports[unit_index]);
+  };
+  par::ScheduleReport local = pool.Execute(units, unit_body);
+  // Recovery: units abandoned under an injected fault plan re-run serially
+  // into their (still empty) per-unit reports; the unit-order merge below
+  // then yields the same report as the fault-free run.
+  size_t recovered = par::WorkerPool::ReplayUnrecovered(units, &local,
+                                                        unit_body);
+  if (recovered > 0) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("rock_detect_recovered_units_total")
+        ->Add(recovered);
+  }
   if (schedule != nullptr) *schedule = local;
 
   DetectionReport report;

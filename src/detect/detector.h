@@ -67,6 +67,13 @@ struct DetectorOptions {
   /// production path) or the deterministic simulated-time schedule used by
   /// the speedup-shape benches.
   par::ExecutionMode execution_mode = par::ExecutionMode::kThreads;
+  /// Deterministic fault schedule injected into DetectParallel's pool (not
+  /// owned; nullptr disables injection). Units the pool abandons are
+  /// replayed serially into their own per-unit reports before the unit-
+  /// order merge, so the detection report matches the fault-free run.
+  const par::FaultPlan* fault_plan = nullptr;
+  /// Retry discipline for the pool when a fault plan is set.
+  par::RetryPolicy retry;
 };
 
 /// Error detection (paper §3): violations of REE++s in Σ, batch and

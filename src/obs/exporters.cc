@@ -215,6 +215,35 @@ void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
   w.Key("dropped_spans").Uint(dropped_spans);
 }
 
+void AppendFaultsBlock(const MetricsRegistry::Snapshot& snapshot,
+                       JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.Key("faults").BeginObject();
+  w.Key("injected")
+      .Uint(snapshot.CounterValue("rock_par_faults_injected_total"));
+  w.Key("retries")
+      .Uint(snapshot.CounterValue("rock_par_unit_retries_total"));
+  w.Key("backoff_micros")
+      .Uint(snapshot.CounterValue("rock_par_backoff_micros_total"));
+  w.Key("worker_deaths")
+      .Uint(snapshot.CounterValue("rock_par_worker_deaths_total"));
+  w.Key("crashes_suppressed")
+      .Uint(snapshot.CounterValue("rock_par_crashes_suppressed_total"));
+  w.Key("steals_on_death")
+      .Uint(snapshot.CounterValue("rock_par_steals_on_death_total"));
+  w.Key("units_reassigned")
+      .Uint(snapshot.CounterValue("rock_par_units_reassigned_total"));
+  w.Key("checkpoints")
+      .Uint(snapshot.CounterValue("rock_chase_checkpoints_total"));
+  w.Key("checkpoint_restores")
+      .Uint(snapshot.CounterValue("rock_chase_checkpoint_restores_total"));
+  // Gauge, not counter: the pool adds abandoned units, the recovery
+  // layers subtract them after replay, so a healthy bench reports 0.
+  w.Key("unrecovered")
+      .Int(snapshot.GaugeValue("rock_faults_unrecovered_units"));
+  w.EndObject();
+}
+
 std::string ExportJson(const MetricsRegistry::Snapshot& snapshot,
                        const std::map<std::string, SpanStats>& spans,
                        uint64_t dropped_spans) {

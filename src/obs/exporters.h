@@ -58,6 +58,16 @@ void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
                            const std::map<std::string, SpanStats>& spans,
                            uint64_t dropped_spans, JsonWriter* writer);
 
+/// Emits the fault-injection/recovery accounting as a "faults" object into
+/// an already-open JSON object (the bench emitter's `faults` block):
+/// injected/retried fault events, backoff slept, worker deaths and the
+/// resulting re-placements, chase checkpoints/restores, and the number of
+/// units still unrecovered (0 after the recovery layers replayed them —
+/// what scripts/check_bench_json.py --require-zero-unrecovered-faults
+/// gates on).
+void AppendFaultsBlock(const MetricsRegistry::Snapshot& snapshot,
+                       JsonWriter* writer);
+
 Status WriteFile(const std::string& path, const std::string& content);
 
 /// Point-in-time view of the process-wide registry + tracer, with the

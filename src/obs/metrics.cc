@@ -117,6 +117,14 @@ uint64_t MetricsRegistry::Snapshot::CounterValue(
   return 0;
 }
 
+int64_t MetricsRegistry::Snapshot::GaugeValue(
+    const std::string& name) const {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   common::MutexLock lock(mu_);
   Snapshot snap;

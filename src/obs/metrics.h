@@ -127,6 +127,8 @@ class MetricsRegistry {
 
     /// Counter value by name; 0 when absent.
     uint64_t CounterValue(const std::string& name) const;
+    /// Gauge value by name; 0 when absent.
+    int64_t GaugeValue(const std::string& name) const;
   };
   Snapshot Snap() const;
 

@@ -3,7 +3,10 @@
 #include <ctime>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <thread>
 
@@ -24,6 +27,17 @@ struct PoolMetrics {
   obs::Counter* idle_micros;
   obs::Gauge* queue_depth;
   obs::Histogram* unit_seconds;
+  // Fault injection & recovery (DESIGN.md "Fault injection & recovery").
+  obs::Counter* faults_injected;
+  obs::Counter* unit_retries;
+  obs::Counter* backoff_micros;
+  obs::Counter* worker_deaths;
+  obs::Counter* crashes_suppressed;
+  obs::Counter* steals_on_death;
+  obs::Counter* units_reassigned;
+  /// Outstanding units the pool gave up on; settled back to zero by
+  /// WorkerPool::ReplayUnrecovered (the checkpoint-recovery layers).
+  obs::Gauge* unrecovered_units;
 
   static const PoolMetrics& Get() {
     static PoolMetrics m = [] {
@@ -36,6 +50,16 @@ struct PoolMetrics {
       out.queue_depth = reg.GetGauge("rock_par_queue_depth");
       out.unit_seconds = reg.GetHistogram("rock_par_unit_seconds",
                                           obs::LatencyBucketsSeconds());
+      out.faults_injected = reg.GetCounter("rock_par_faults_injected_total");
+      out.unit_retries = reg.GetCounter("rock_par_unit_retries_total");
+      out.backoff_micros = reg.GetCounter("rock_par_backoff_micros_total");
+      out.worker_deaths = reg.GetCounter("rock_par_worker_deaths_total");
+      out.crashes_suppressed =
+          reg.GetCounter("rock_par_crashes_suppressed_total");
+      out.steals_on_death = reg.GetCounter("rock_par_steals_on_death_total");
+      out.units_reassigned =
+          reg.GetCounter("rock_par_units_reassigned_total");
+      out.unrecovered_units = reg.GetGauge("rock_faults_unrecovered_units");
       return out;
     }();
     return m;
@@ -44,6 +68,42 @@ struct PoolMetrics {
 
 uint64_t Micros(double seconds) {
   return seconds > 0 ? static_cast<uint64_t>(seconds * 1e6) : 0;
+}
+
+/// Publishes one Execute call's fault accounting into the registry.
+void ExportFaultMetrics(const FaultReport& faults) {
+  const PoolMetrics& m = PoolMetrics::Get();
+  if (faults.injected > 0) {
+    m.faults_injected->Add(static_cast<uint64_t>(faults.injected));
+  }
+  if (faults.retries > 0) {
+    m.unit_retries->Add(static_cast<uint64_t>(faults.retries));
+  }
+  if (faults.backoff_seconds > 0) {
+    m.backoff_micros->Add(Micros(faults.backoff_seconds));
+  }
+  if (faults.worker_deaths > 0) {
+    m.worker_deaths->Add(static_cast<uint64_t>(faults.worker_deaths));
+  }
+  if (faults.crashes_suppressed > 0) {
+    m.crashes_suppressed->Add(
+        static_cast<uint64_t>(faults.crashes_suppressed));
+  }
+  if (faults.steals_on_death > 0) {
+    m.steals_on_death->Add(static_cast<uint64_t>(faults.steals_on_death));
+  }
+  if (faults.units_reassigned > 0) {
+    m.units_reassigned->Add(static_cast<uint64_t>(faults.units_reassigned));
+  }
+  if (!faults.unrecovered_units.empty()) {
+    m.unrecovered_units->Add(
+        static_cast<int64_t>(faults.unrecovered_units.size()));
+  }
+}
+
+/// Worker index from a ring node name ("worker-<id>").
+int WorkerIdOf(const std::string& node) {
+  return std::stoi(node.substr(node.find('-') + 1));
 }
 
 }  // namespace
@@ -117,11 +177,30 @@ const char* ExecutionModeName(ExecutionMode mode) {
   return "?";
 }
 
-WorkerPool::WorkerPool(int num_workers, ExecutionMode mode)
-    : num_workers_(std::max(1, num_workers)), mode_(mode) {
+WorkerPool::WorkerPool(int num_workers, ExecutionMode mode,
+                       PoolOptions options)
+    : num_workers_(std::max(1, num_workers)),
+      mode_(mode),
+      options_(options) {
+  ROCK_CHECK(options_.retry.max_attempts >= 1);
   for (int w = 0; w < num_workers_; ++w) {
     Status s = ring_.AddNode("worker-" + std::to_string(w));
     ROCK_CHECK(s.ok());
+  }
+}
+
+int WorkerPool::LocateLiveWorker(const WorkUnit& unit,
+                                 const std::vector<char>& alive) const {
+  ROCK_CHECK(std::find(alive.begin(), alive.end(), 1) != alive.end())
+      << "no live worker to place " << unit.PlacementKey();
+  const std::string key = unit.PlacementKey();
+  for (int salt = 0;; ++salt) {
+    // Salted probing keeps the re-placement a pure function of the ring and
+    // the alive set — identical across runs and execution modes.
+    auto owner =
+        ring_.Locate(salt == 0 ? key : key + "#" + std::to_string(salt));
+    int worker = owner.ok() ? WorkerIdOf(*owner) : 0;
+    if (alive[static_cast<size_t>(worker)]) return worker;
   }
 }
 
@@ -146,16 +225,30 @@ struct SimulationResult {
   double makespan = 0.0;
   std::vector<int> executed;
   int stolen = 0;
+  FaultReport faults;
 };
+
+/// Deterministic re-placement rule used when a (virtual or real) worker
+/// dies; implemented by WorkerPool::LocateLiveWorker.
+using RelocateFn = std::function<int(size_t unit, const std::vector<char>&)>;
 
 /// Event-driven replay of the placement + work-stealing schedule from
 /// per-unit durations: when a worker's queue drains it steals the tail of
 /// the longest remaining queue (paper §5.2: "when a node finishes its
 /// assigned work units, it evokes the work manager to fetch work units from
 /// other nodes").
+///
+/// With a FaultPlan, the same fault pipeline as ExecuteThreads runs in
+/// virtual time: a crash kills the acquiring virtual worker and drains its
+/// queue via `relocate`, a straggler stretches the executing attempt, and a
+/// transient failure costs one backoff and a requeue (or exhausts the
+/// attempt budget). Because faults are keyed by (unit, attempt number),
+/// never by time, the resulting FaultReport matches the threaded run.
 SimulationResult SimulateSchedule(
     const std::vector<std::vector<size_t>>& placement,
-    const std::vector<double>& durations, int num_workers) {
+    const std::vector<double>& durations, int num_workers,
+    const FaultPlan* plan, const RetryPolicy& retry,
+    const RelocateFn& relocate) {
   SimulationResult result;
   result.executed.assign(static_cast<size_t>(num_workers), 0);
   std::vector<std::deque<size_t>> queues(static_cast<size_t>(num_workers));
@@ -167,6 +260,10 @@ SimulationResult SimulateSchedule(
     }
   }
 
+  std::vector<int> attempts(durations.size(), 0);
+  std::vector<char> alive(static_cast<size_t>(num_workers), 1);
+  int live = num_workers;
+
   std::vector<double> clock(static_cast<size_t>(num_workers), 0.0);
   using Event = std::pair<double, int>;  // (time ready, worker)
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> ready;
@@ -175,9 +272,11 @@ SimulationResult SimulateSchedule(
   while (remaining > 0 && !ready.empty()) {
     auto [now, worker] = ready.top();
     ready.pop();
+    if (!alive[static_cast<size_t>(worker)]) continue;
     auto& queue = queues[static_cast<size_t>(worker)];
     if (queue.empty()) {
-      // Steal from the worker with the most queued units.
+      // Steal from the worker with the most queued units. Dead workers'
+      // queues drained at death, so they are never chosen.
       int victim = -1;
       size_t best = 0;
       for (int w = 0; w < num_workers; ++w) {
@@ -194,12 +293,65 @@ SimulationResult SimulateSchedule(
     }
     size_t unit = queue.front();
     queue.pop_front();
-    double finish = now + durations[unit];
+    double service = durations[unit];
+    if (plan != nullptr) {
+      int attempt = ++attempts[unit];
+      auto crash = plan->crash_at_attempt.find(unit);
+      if (crash != plan->crash_at_attempt.end() &&
+          crash->second == attempt) {
+        if (live > 1) {
+          alive[static_cast<size_t>(worker)] = 0;
+          --live;
+          result.faults.injected++;
+          result.faults.worker_deaths++;
+          // The acquired unit and the remaining deque drain to survivors.
+          std::vector<size_t> drained(queue.begin(), queue.end());
+          queue.clear();
+          queues[static_cast<size_t>(relocate(unit, alive))].push_back(unit);
+          result.faults.units_reassigned++;
+          for (size_t u : drained) {
+            queues[static_cast<size_t>(relocate(u, alive))].push_back(u);
+            result.faults.units_reassigned++;
+            result.faults.steals_on_death++;
+          }
+          continue;  // the dead worker schedules no further events
+        }
+        result.faults.crashes_suppressed++;
+      }
+      auto flaky = plan->transient_failures.find(unit);
+      if (flaky != plan->transient_failures.end() &&
+          attempt <= flaky->second) {
+        result.faults.injected++;
+        if (attempt >= retry.max_attempts) {
+          // Budget exhausted: the unit is abandoned, never executed.
+          result.faults.unrecovered_units.push_back(unit);
+          --remaining;
+          ready.emplace(now, worker);
+          continue;
+        }
+        double backoff = retry.BackoffSeconds(attempt);
+        result.faults.retries++;
+        result.faults.backoff_seconds += backoff;
+        queue.push_back(unit);
+        clock[static_cast<size_t>(worker)] = now + backoff;
+        ready.emplace(now + backoff, worker);
+        continue;
+      }
+      auto delay = plan->delay_seconds.find(unit);
+      if (delay != plan->delay_seconds.end()) {
+        // Straggler: stalls the (unique) executing attempt.
+        result.faults.injected++;
+        service += delay->second;
+      }
+    }
+    double finish = now + service;
     clock[static_cast<size_t>(worker)] = finish;
     result.executed[static_cast<size_t>(worker)]++;
     --remaining;
     ready.emplace(finish, worker);
   }
+  std::sort(result.faults.unrecovered_units.begin(),
+            result.faults.unrecovered_units.end());
   result.makespan = clock.empty()
                         ? 0.0
                         : *std::max_element(clock.begin(), clock.end());
@@ -227,9 +379,28 @@ double ThreadCpuSeconds() {
 /// The capability annotation makes the discipline compile-time: any access
 /// to `queue` without holding `mu` — including the single-threaded seeding
 /// before the workers start — fails the Clang thread-safety build.
+///
+/// `closed` flips (under `mu`, by the owner only) when the owner dies to an
+/// injected crash: a closed queue accepts no pushes and yields no pops, so
+/// a thief racing the death drain can never extract a unit the drain also
+/// re-places. Owners and thieves alike must re-check it after acquiring the
+/// lock — sampling a size and popping later spans two critical sections.
 struct WorkerQueue {
   common::Mutex mu;
   std::deque<size_t> queue ROCK_GUARDED_BY(mu);
+  bool closed ROCK_GUARDED_BY(mu) = false;
+};
+
+/// Cross-worker fault state. fault_mu orders death decisions and the
+/// subsequent drain re-placement: a worker that holds it while re-placing
+/// sees a frozen alive set (any other death blocks on the decision), so no
+/// unit is ever pushed to a queue that closes concurrently.
+/// Lock order: fault_mu before any WorkerQueue::mu; never the reverse.
+struct FaultState {
+  common::Mutex mu;
+  std::vector<char> alive ROCK_GUARDED_BY(mu);
+  int live ROCK_GUARDED_BY(mu) = 0;
+  FaultReport faults ROCK_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -260,12 +431,34 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
   std::vector<int> stolen(static_cast<size_t>(num_workers_), 0);
   std::vector<double> busy(static_cast<size_t>(num_workers_), 0.0);
 
+  const FaultPlan* plan = options_.fault_plan;
+  const RetryPolicy& retry = options_.retry;
+  FaultState fs;
+  {
+    common::MutexLock lock(fs.mu);  // uncontended: workers not started yet
+    fs.alive.assign(static_cast<size_t>(num_workers_), 1);
+    fs.live = num_workers_;
+  }
+  // Units finished (executed or declared unrecovered). With a plan, queues
+  // can be transiently empty while a unit sits in a retry backoff or a
+  // death drain, so "all queues empty" no longer implies "done" — workers
+  // exit on this counter instead.
+  std::atomic<size_t> completed{0};
+  // 1-based acquisition counter per unit; faults key off this, never off
+  // wall-clock or thread identity, which is what makes runs replayable.
+  std::vector<std::atomic<int>> attempts(plan != nullptr ? units.size() : 0);
+  for (auto& a : attempts) a.store(0, std::memory_order_relaxed);
+
   const PoolMetrics& metrics = PoolMetrics::Get();
   metrics.queue_depth->Add(static_cast<int64_t>(units.size()));
 
   auto worker_main = [&](int me) {
     auto& own = queues[static_cast<size_t>(me)];
     while (true) {
+      if (plan != nullptr &&
+          completed.load(std::memory_order_acquire) >= units.size()) {
+        return;
+      }
       size_t unit = 0;
       bool have_unit = false;
       {
@@ -279,12 +472,13 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
       if (!have_unit) {
         // Steal from the most loaded peer. Sizes are sampled under each
         // peer's lock; the re-check under the victim's lock keeps the pop
-        // correct when the queue drained in between.
+        // correct when the queue drained — or its owner died — in between.
         int victim = -1;
         size_t best = 0;
         for (int w = 0; w < num_workers_; ++w) {
           if (w == me) continue;
           common::MutexLock lock(queues[static_cast<size_t>(w)].mu);
+          if (queues[static_cast<size_t>(w)].closed) continue;
           size_t size = queues[static_cast<size_t>(w)].queue.size();
           if (size > best) {
             best = size;
@@ -292,19 +486,117 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
           }
         }
         if (victim < 0) {
-          // Every queue is empty. Units never spawn new units, so no work
-          // can reappear: the worker is done.
-          return;
+          if (plan == nullptr) {
+            // Every queue is empty. Units never spawn new units, so no
+            // work can reappear: the worker is done.
+            return;
+          }
+          // Under a plan, work can reappear (retry requeue, death drain):
+          // idle until the completion counter says everything finished.
+          if (completed.load(std::memory_order_acquire) >= units.size()) {
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          continue;
         }
         auto& vq = queues[static_cast<size_t>(victim)];
         {
           common::MutexLock lock(vq.mu);
-          if (vq.queue.empty()) continue;  // lost the race; rescan
+          // Re-check under the lock: the sample above is stale, and a
+          // victim picked as most-loaded may have drained — or died and
+          // closed its queue — before this second acquisition.
+          if (vq.closed || vq.queue.empty()) continue;
           unit = vq.queue.back();
           vq.queue.pop_back();
         }
         stolen[static_cast<size_t>(me)]++;
         metrics.units_stolen->Add(1);
+      }
+      if (plan != nullptr) {
+        int attempt = attempts[unit].fetch_add(
+                          1, std::memory_order_relaxed) + 1;
+        auto crash = plan->crash_at_attempt.find(unit);
+        if (crash != plan->crash_at_attempt.end() &&
+            crash->second == attempt) {
+          bool died = false;
+          {
+            common::MutexLock lock(fs.mu);
+            if (fs.live > 1) {
+              fs.alive[static_cast<size_t>(me)] = 0;
+              --fs.live;
+              fs.faults.injected++;
+              fs.faults.worker_deaths++;
+              died = true;
+            } else {
+              // Killing the last live worker would strand every remaining
+              // unit; the crash is suppressed and the unit just runs.
+              fs.faults.crashes_suppressed++;
+            }
+          }
+          if (died) {
+            // Graceful degradation: close the deque so thieves back off,
+            // then drain it (plus the unit in hand) to survivors chosen by
+            // salted ring placement. fault_mu freezes the alive set while
+            // units are pushed, so no target can close concurrently.
+            std::vector<size_t> drained;
+            {
+              common::MutexLock lock(own.mu);
+              own.closed = true;
+              drained.assign(own.queue.begin(), own.queue.end());
+              own.queue.clear();
+            }
+            common::MutexLock flock(fs.mu);
+            drained.insert(drained.begin(), unit);
+            for (size_t u : drained) {
+              int target = LocateLiveWorker(units[u], fs.alive);
+              auto& tq = queues[static_cast<size_t>(target)];
+              common::MutexLock lock(tq.mu);
+              tq.queue.push_back(u);
+              fs.faults.units_reassigned++;
+              if (u != unit) fs.faults.steals_on_death++;
+            }
+            return;  // this worker is dead
+          }
+        }
+        auto flaky = plan->transient_failures.find(unit);
+        if (flaky != plan->transient_failures.end() &&
+            attempt <= flaky->second) {
+          if (attempt >= retry.max_attempts) {
+            // Attempt budget exhausted: hand the unit to the caller's
+            // recovery layer instead of looping forever.
+            {
+              common::MutexLock lock(fs.mu);
+              fs.faults.injected++;
+              fs.faults.unrecovered_units.push_back(unit);
+            }
+            metrics.queue_depth->Add(-1);
+            completed.fetch_add(1, std::memory_order_release);
+            continue;
+          }
+          double backoff = retry.BackoffSeconds(attempt);
+          {
+            common::MutexLock lock(fs.mu);
+            fs.faults.injected++;
+            fs.faults.retries++;
+            fs.faults.backoff_seconds += backoff;
+          }
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff));
+          common::MutexLock lock(own.mu);
+          own.queue.push_back(unit);
+          continue;
+        }
+        auto delay = plan->delay_seconds.find(unit);
+        if (delay != plan->delay_seconds.end()) {
+          // Straggler: stall the (unique) executing attempt. Injected
+          // before the body so side effects still happen exactly once.
+          {
+            common::MutexLock lock(fs.mu);
+            fs.faults.injected++;
+          }
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(delay->second));
+        }
       }
       Timer timer;
       double cpu_start = ThreadCpuSeconds();
@@ -318,6 +610,7 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
       metrics.units_executed->Add(1);
       metrics.unit_seconds->Observe(durations[unit]);
       metrics.queue_depth->Add(-1);
+      completed.fetch_add(1, std::memory_order_release);
     }
   };
 
@@ -340,9 +633,21 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
   }
   for (double d : durations) report.serial_seconds += d;
 
+  {
+    common::MutexLock lock(fs.mu);  // uncontended: workers joined
+    report.faults = fs.faults;
+  }
+  std::sort(report.faults.unrecovered_units.begin(),
+            report.faults.unrecovered_units.end());
+  ExportFaultMetrics(report.faults);
+
   // The modeled makespan from the same durations, so benches can compare
   // the simulation against the measured wall-clock.
-  SimulationResult sim = SimulateSchedule(placement, durations, num_workers_);
+  SimulationResult sim = SimulateSchedule(
+      placement, durations, num_workers_, plan, retry,
+      [this, &units](size_t u, const std::vector<char>& alive) {
+        return LocateLiveWorker(units[u], alive);
+      });
   report.makespan_seconds =
       sim.makespan > 0.0 ? sim.makespan : report.serial_seconds;
   return report;
@@ -368,12 +673,20 @@ ScheduleReport WorkerPool::ExecuteSimulated(
     for (size_t unit : placement[static_cast<size_t>(w)]) owner[unit] = w;
   }
 
-  // Run every unit serially in unit order, measuring durations.
+  // Run every recoverable unit serially in unit order, measuring
+  // durations. Units whose attempt budget the plan exhausts are skipped —
+  // exactly the units the threaded mode abandons — so both modes produce
+  // identical side effects and identical unrecovered sets.
+  const FaultPlan* plan = options_.fault_plan;
   const PoolMetrics& metrics = PoolMetrics::Get();
   metrics.queue_depth->Add(static_cast<int64_t>(units.size()));
   Timer wall;
   std::vector<double> durations(units.size(), 0.0);
   for (size_t i = 0; i < units.size(); ++i) {
+    if (plan != nullptr && plan->Unrecoverable(i, options_.retry)) {
+      metrics.queue_depth->Add(-1);
+      continue;
+    }
     Timer timer;
     body(units[i], i, owner[i]);
     durations[i] = timer.ElapsedSeconds();
@@ -385,18 +698,59 @@ ScheduleReport WorkerPool::ExecuteSimulated(
   report.wall_seconds = wall.ElapsedSeconds();
   metrics.busy_micros->Add(Micros(report.serial_seconds));
 
-  SimulationResult sim = SimulateSchedule(placement, durations, num_workers_);
+  SimulationResult sim = SimulateSchedule(
+      placement, durations, num_workers_, plan, options_.retry,
+      [this, &units](size_t u, const std::vector<char>& alive) {
+        return LocateLiveWorker(units[u], alive);
+      });
   report.executed_units = sim.executed;
   report.stolen_units = sim.stolen;
+  report.faults = sim.faults;
   metrics.units_stolen->Add(static_cast<uint64_t>(sim.stolen));
+  ExportFaultMetrics(report.faults);
   report.makespan_seconds =
       sim.makespan > 0.0 ? sim.makespan : report.serial_seconds;
   return report;
 }
 
+size_t WorkerPool::ReplayUnrecovered(const std::vector<WorkUnit>& units,
+                                     ScheduleReport* report,
+                                     const UnitBody& body) {
+  size_t replayed = 0;
+  for (size_t unit : report->faults.unrecovered_units) {
+    ROCK_CHECK(unit < units.size());
+    body(units[unit], unit, /*worker=*/0);
+    ++replayed;
+  }
+  if (replayed > 0) {
+    // Settle the outstanding-unrecovered gauge: every abandoned unit has
+    // now run, so a bench emitting after recovery reports zero.
+    PoolMetrics::Get().unrecovered_units->Add(
+        -static_cast<int64_t>(replayed));
+    report->faults.unrecovered_units.clear();
+  }
+  return replayed;
+}
+
 ScheduleReport WorkerPool::Execute(const std::vector<WorkUnit>& units,
                                    const UnitBody& body) {
   ROCK_OBS_SPAN("par.execute");
+  // Environment fallback (ROCK_FAULT_PLAN / ROCK_FAULT_SEED): lets CI's
+  // fault-matrix and ad-hoc debugging inject schedules into any parallel
+  // execution without touching call sites. An explicitly configured plan
+  // always wins; the env plan is re-derived per Execute because it is
+  // sized to this call's unit count.
+  if (options_.fault_plan == nullptr) {
+    env_plan_ = FaultPlan::FromEnv(units.size(), num_workers_);
+    if (env_plan_.has_value()) {
+      options_.fault_plan = &*env_plan_;
+      ScheduleReport report = mode_ == ExecutionMode::kThreads
+                                  ? ExecuteThreads(units, body)
+                                  : ExecuteSimulated(units, body);
+      options_.fault_plan = nullptr;
+      return report;
+    }
+  }
   if (mode_ == ExecutionMode::kThreads) {
     return ExecuteThreads(units, body);
   }

@@ -2,10 +2,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/crystal/hash_ring.h"
+#include "src/par/fault.h"
 #include "src/storage/stats.h"
 
 namespace rock::par {
@@ -90,6 +92,8 @@ struct ScheduleReport {
   /// Units that moved between workers via stealing (real transfers under
   /// kThreads, simulated transfers under kSimulated).
   int stolen_units = 0;
+  /// Fault-injection and recovery accounting (all zero without a plan).
+  FaultReport faults;
 
   /// Simulated speedup (serial time over modeled makespan).
   double speedup() const {
@@ -101,10 +105,27 @@ struct ScheduleReport {
   }
 };
 
+/// Pool-level execution knobs: retry discipline and an optional
+/// deterministic fault schedule (see src/par/fault.h).
+struct PoolOptions {
+  RetryPolicy retry;
+  /// Injected fault schedule, keyed by unit index + attempt so runs replay
+  /// bit-identically. Not owned; nullptr disables injection entirely.
+  const FaultPlan* fault_plan = nullptr;
+};
+
 /// The worker pool (paper §5.2 (3)): a non-centralized set of workers under
 /// consistent hashing; every unit is first placed on the ring by its
 /// partition key, and idle workers steal queued units from the most loaded
 /// peer.
+///
+/// Fault tolerance (paper §6 "21-node cluster" deployment conditions,
+/// DESIGN.md "Fault injection & recovery"): when a PoolOptions::fault_plan
+/// is injected, units that fail transiently are retried with capped
+/// exponential backoff under a per-unit attempt budget, a crashed worker's
+/// deque drains to surviving peers via the hash ring, and units whose
+/// budget is exhausted are reported (never silently dropped) for the
+/// caller's checkpoint-recovery layer to replay.
 ///
 /// Thread contract for kThreads: the body runs concurrently on
 /// `num_workers` threads. Each unit is executed exactly once; bodies must
@@ -121,7 +142,8 @@ class WorkerPool {
       std::function<void(const WorkUnit&, size_t unit_index, int worker)>;
 
   explicit WorkerPool(int num_workers,
-                      ExecutionMode mode = ExecutionMode::kThreads);
+                      ExecutionMode mode = ExecutionMode::kThreads,
+                      PoolOptions options = PoolOptions());
 
   /// Executes all units under the selected mode and returns the schedule
   /// accounting.
@@ -132,17 +154,38 @@ class WorkerPool {
   ScheduleReport Execute(const std::vector<WorkUnit>& units,
                          const std::function<void(const WorkUnit&)>& body);
 
+  /// Recovery hook for checkpoint layers: runs `body` serially (worker 0)
+  /// for every unit `report` lists as unrecovered, clears the list, and
+  /// settles the rock_par_unrecovered_units gauge. Returns the number of
+  /// replayed units. Call sites that merge per-unit buffers in unit order
+  /// therefore produce output identical to the fault-free run.
+  static size_t ReplayUnrecovered(const std::vector<WorkUnit>& units,
+                                  ScheduleReport* report,
+                                  const UnitBody& body);
+
   int num_workers() const { return num_workers_; }
   ExecutionMode mode() const { return mode_; }
+  const PoolOptions& options() const { return options_; }
 
  private:
   int num_workers_;
   ExecutionMode mode_;
+  PoolOptions options_;
+  /// Owns the plan parsed from ROCK_FAULT_PLAN / ROCK_FAULT_SEED when no
+  /// explicit plan was configured (options_.fault_plan points into it for
+  /// the duration of one Execute call).
+  std::optional<FaultPlan> env_plan_;
   crystal::HashRing ring_;
 
   /// Hash-ring placement: queue of unit indices per worker.
   std::vector<std::vector<size_t>> PlaceUnits(
       const std::vector<WorkUnit>& units) const;
+
+  /// Ring placement restricted to live workers: the unit's key is probed
+  /// with increasing salts until it lands on a worker `alive[w]` — the
+  /// deterministic re-placement rule for draining a dead worker's deque.
+  int LocateLiveWorker(const WorkUnit& unit,
+                       const std::vector<char>& alive) const;
 
   ScheduleReport ExecuteThreads(const std::vector<WorkUnit>& units,
                                 const UnitBody& body);

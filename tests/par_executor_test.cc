@@ -117,6 +117,50 @@ TEST(ThreadedPoolTest, RepeatedRunsStress) {
   }
 }
 
+TEST(ThreadedPoolTest, StealRacesDrainOnWorkerDeathStress) {
+  // Regression for the steal-vs-drain race: thieves used to sample a
+  // victim's queue size without re-checking emptiness *and* closed state
+  // under the victim's mutex before popping, so a thief could pop from a
+  // queue its dying owner was concurrently draining to survivors. With the
+  // whole batch placed on one worker (identical placement keys) and that
+  // worker crashing on its first unit while slow bodies keep the thieves
+  // circling, every round forces drain and steal to overlap. Run under
+  // TSan in CI's fault-matrix job; exactly-once execution proves no unit
+  // is lost or duplicated across the handoff.
+  par::FaultPlan plan;
+  plan.crash_at_attempt[0] = 1;
+  for (int round = 0; round < 10; ++round) {
+    const int kUnits = 48;
+    std::vector<par::WorkUnit> units;
+    for (int i = 0; i < kUnits; ++i) {
+      par::WorkUnit unit;
+      unit.rule_index = round;
+      unit.ranges.push_back({0, 0, 0});  // identical block coordinates
+      units.push_back(unit);
+    }
+    std::vector<std::atomic<int>> executed(kUnits);
+    for (auto& e : executed) e.store(0);
+    par::PoolOptions options;
+    options.fault_plan = &plan;
+    par::WorkerPool pool(4, par::ExecutionMode::kThreads, options);
+    auto report = pool.Execute(
+        units, [&](const par::WorkUnit&, size_t unit_index, int) {
+          executed[unit_index].fetch_add(1);
+          volatile double x = 0;
+          for (int i = 0; i < 20000; ++i) x = x + i * 0.5;
+        });
+    for (const auto& e : executed) ASSERT_EQ(e.load(), 1) << round;
+    EXPECT_EQ(report.faults.worker_deaths, 1u) << round;
+    // The acquired unit re-places without counting as a steal; everything
+    // else drained from the dead worker's deque counts as both.
+    EXPECT_EQ(report.faults.steals_on_death + 1,
+              report.faults.units_reassigned)
+        << round;
+    EXPECT_GE(report.faults.units_reassigned, 1u) << round;
+    EXPECT_TRUE(report.faults.unrecovered_units.empty()) << round;
+  }
+}
+
 TEST(ThreadedPoolTest, SimulatedModeIsDeterministic) {
   std::vector<par::WorkUnit> units = MakeUnits(50);
   par::WorkerPool pool(5, par::ExecutionMode::kSimulated);

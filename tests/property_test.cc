@@ -274,6 +274,130 @@ TEST_P(ParallelEquivalenceTest, ChaseIndependentOfWorkerCount) {
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelEquivalenceTest,
                          ::testing::Values(1, 2, 5, 9, 16));
 
+// ---------------- Metamorphic: execution order never matters ----------------
+
+/// Greedy shrinker for failing fault plans: repeatedly tries dropping each
+/// entry, keeping any removal after which `fails` still holds, until no
+/// single entry can be removed. The result is a locally minimal plan whose
+/// ToSpec() string replays the failure via ROCK_FAULT_PLAN.
+par::FaultPlan ShrinkFaultPlan(
+    par::FaultPlan plan,
+    const std::function<bool(const par::FaultPlan&)>& fails) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (auto it = plan.crash_at_attempt.begin();
+         it != plan.crash_at_attempt.end(); ++it) {
+      par::FaultPlan candidate = plan;
+      candidate.crash_at_attempt.erase(it->first);
+      if (fails(candidate)) {
+        plan = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) continue;
+    for (auto it = plan.delay_seconds.begin(); it != plan.delay_seconds.end();
+         ++it) {
+      par::FaultPlan candidate = plan;
+      candidate.delay_seconds.erase(it->first);
+      if (fails(candidate)) {
+        plan = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+    if (shrunk) continue;
+    for (auto it = plan.transient_failures.begin();
+         it != plan.transient_failures.end(); ++it) {
+      par::FaultPlan candidate = plan;
+      candidate.transient_failures.erase(it->first);
+      if (fails(candidate)) {
+        plan = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+TEST(FaultPlanShrinkTest, ShrinkerFindsMinimalFailingPlan) {
+  // Synthetic failure predicate: the "bug" triggers iff the plan delays
+  // unit 3 AND fails unit 5 transiently. The shrinker must strip all noise
+  // and keep exactly those two entries.
+  auto fails = [](const par::FaultPlan& p) {
+    return p.delay_seconds.count(3) > 0 && p.transient_failures.count(5) > 0;
+  };
+  par::FaultPlan noisy = par::FaultPlan::FromSeed(42, 30, 4);
+  noisy.delay_seconds[3] = 0.001;
+  noisy.transient_failures[5] = 2;
+  ASSERT_TRUE(fails(noisy));
+  par::FaultPlan minimal = ShrinkFaultPlan(noisy, fails);
+  EXPECT_TRUE(fails(minimal));
+  EXPECT_EQ(minimal.size(), 2u) << minimal.ToSpec();
+  EXPECT_EQ(minimal.ToSpec(), "delay:3=1000us;flaky:5x2");
+}
+
+class DelayPermutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DelayPermutationTest, UnitOrderPermutationsNeverChangeChaseOutput) {
+  // Metamorphic property: seeded straggler delays permute the order in
+  // which workers pick up and finish units — a different interleaving of
+  // the same work. Because unit buffers merge in unit order at the
+  // barrier, the chase output must be invariant under every such
+  // permutation. On failure, the offending plan is shrunk to a locally
+  // minimal replayable spec.
+  workload::GeneratedData data = MakeData({"Logistics", 7}, 80);
+  core::Rock rock(&data.db, &data.graph);
+  rock.TrainModels(SpecFor("Logistics"));
+  auto rules = rock.LoadRules(data.rule_text);
+  ASSERT_TRUE(rules.ok());
+
+  auto digest_under = [&](const par::FaultPlan* plan) {
+    workload::GeneratedData run_data = MakeData({"Logistics", 7}, 80);
+    core::Rock run_rock(&run_data.db, &run_data.graph);
+    run_rock.TrainModels(SpecFor("Logistics"));
+    chase::ChaseOptions options;
+    options.fault_plan = plan;
+    chase::ChaseEngine engine(&run_data.db, &run_data.graph,
+                              run_rock.models(), options);
+    for (const auto& [rel, tid] : run_data.clean_tuples) {
+      Status ignored = engine.fix_store().AddGroundTruthTuple(rel, tid);
+      (void)ignored;
+    }
+    par::ScheduleReport schedule;
+    engine.RunParallel(*rules, /*num_workers=*/4, /*block_rows=*/16,
+                       &schedule, par::ExecutionMode::kThreads);
+    return FixStoreDigest(engine, run_data.db);
+  };
+  std::string expected = digest_under(nullptr);
+
+  // Delay-only plans: pure execution-order permutations (no retries, no
+  // deaths), several per seed to vary which units straggle.
+  Rng rng(GetParam() ^ 0xDE1A);
+  for (int trial = 0; trial < 3; ++trial) {
+    par::FaultPlan plan;
+    size_t stragglers = 2 + rng.NextBounded(5);
+    for (size_t i = 0; i < stragglers; ++i) {
+      plan.delay_seconds[rng.NextBounded(48)] =
+          0.0002 + 0.0015 * rng.NextDouble();
+    }
+    if (digest_under(&plan) != expected) {
+      auto fails = [&](const par::FaultPlan& p) {
+        return digest_under(&p) != expected;
+      };
+      par::FaultPlan minimal = ShrinkFaultPlan(plan, fails);
+      FAIL() << "chase output changed under delay permutation; minimal "
+                "replayable plan (set ROCK_FAULT_PLAN to reproduce): "
+             << minimal.ToSpec();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelayPermutationTest,
+                         ::testing::Values(1u, 2u, 3u));
+
 // ---------------- Rule-language round-trips ----------------
 
 class RoundTripTest : public ::testing::TestWithParam<const char*> {};
