@@ -1,10 +1,11 @@
 #include "src/common/strings.h"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <algorithm>
+#include <bit>
 #include <cctype>
-#include <unordered_set>
 
 namespace rock {
 
@@ -81,8 +82,45 @@ std::vector<std::string> Tokenize(std::string_view text) {
   return tokens;
 }
 
+namespace {
+
+/// Myers' bit-parallel Levenshtein (pattern `a`, |a| <= 64, text `b`): the
+/// whole DP column lives in two uint64_t words, one text character per
+/// step. Exact — identical to the rolling-row DP for every input.
+int MyersEditDistance(std::string_view a, std::string_view b) {
+  const int m = static_cast<int>(a.size());
+  uint64_t peq[256] = {};
+  for (int i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[static_cast<size_t>(i)])] |= 1ull << i;
+  }
+  uint64_t vp = ~0ull;
+  uint64_t vn = 0;
+  int score = m;
+  const uint64_t last = 1ull << (m - 1);
+  for (char tc : b) {
+    const uint64_t eq = peq[static_cast<unsigned char>(tc)];
+    const uint64_t xv = eq | vn;
+    const uint64_t xh = (((eq & vp) + vp) ^ vp) | eq;
+    uint64_t ph = vn | ~(xh | vp);
+    const uint64_t mh = vp & xh;
+    if (ph & last) {
+      ++score;
+    } else if (mh & last) {
+      --score;
+    }
+    ph = (ph << 1) | 1;
+    vp = (mh << 1) | ~(xv | ph);
+    vn = ph & xv;
+  }
+  return score;
+}
+
+}  // namespace
+
 int EditDistance(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return static_cast<int>(b.size());
+  if (a.size() <= 64) return MyersEditDistance(a, b);
   const size_t n = a.size();
   const size_t m = b.size();
   std::vector<int> prev(n + 1), cur(n + 1);
@@ -105,6 +143,81 @@ double EditSimilarity(std::string_view a, std::string_view b) {
                    static_cast<double>(longest);
 }
 
+namespace {
+
+/// SWAR Jaro match/transposition counts for strings that fit one word:
+/// per-character position masks of `b` replace the inner window scan, and
+/// the matched flags live in two uint64_t words. Picks the same matches
+/// (first unmatched `b` position in the window) as the reference loop.
+void JaroMatchesSwar(std::string_view a, std::string_view b, int window,
+                     int* matches, int* transpositions) {
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  uint64_t bpos[256] = {};
+  for (int j = 0; j < lb; ++j) {
+    bpos[static_cast<unsigned char>(b[static_cast<size_t>(j)])] |= 1ull << j;
+  }
+  uint64_t matched_a = 0;
+  uint64_t matched_b = 0;
+  *matches = 0;
+  for (int i = 0; i < la; ++i) {
+    const int lo = std::max(0, i - window);
+    const int hi = std::min(lb - 1, i + window);
+    if (hi < lo) continue;
+    const int width = hi - lo + 1;
+    const uint64_t span =
+        (width >= 64 ? ~0ull : ((1ull << width) - 1) << lo);
+    uint64_t cand = bpos[static_cast<unsigned char>(a[static_cast<size_t>(
+                        i)])] &
+                    span & ~matched_b;
+    if (cand != 0) {
+      matched_b |= cand & (~cand + 1);  // lowest set bit = first j
+      matched_a |= 1ull << i;
+      ++*matches;
+    }
+  }
+  *transpositions = 0;
+  uint64_t mb = matched_b;
+  while (matched_a != 0) {
+    const int i = std::countr_zero(matched_a);
+    matched_a &= matched_a - 1;
+    const int j = std::countr_zero(mb);
+    mb &= mb - 1;
+    if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(j)]) {
+      ++*transpositions;
+    }
+  }
+}
+
+void JaroMatchesReference(std::string_view a, std::string_view b, int window,
+                          int* matches, int* transpositions) {
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  std::vector<bool> matched_a(la, false), matched_b(lb, false);
+  *matches = 0;
+  for (int i = 0; i < la; ++i) {
+    int lo = std::max(0, i - window);
+    int hi = std::min(lb - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!matched_b[j] && a[i] == b[j]) {
+        matched_a[i] = matched_b[j] = true;
+        ++*matches;
+        break;
+      }
+    }
+  }
+  *transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < la; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++*transpositions;
+    ++j;
+  }
+}
+
+}  // namespace
+
 double JaroWinkler(std::string_view a, std::string_view b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
@@ -112,30 +225,14 @@ double JaroWinkler(std::string_view a, std::string_view b) {
   const int lb = static_cast<int>(b.size());
   const int window = std::max(0, std::max(la, lb) / 2 - 1);
 
-  std::vector<bool> matched_a(la, false), matched_b(lb, false);
   int matches = 0;
-  for (int i = 0; i < la; ++i) {
-    int lo = std::max(0, i - window);
-    int hi = std::min(lb - 1, i + window);
-    for (int j = lo; j <= hi; ++j) {
-      if (!matched_b[j] && a[i] == b[j]) {
-        matched_a[i] = matched_b[j] = true;
-        ++matches;
-        break;
-      }
-    }
+  int transpositions = 0;
+  if (la <= 64 && lb <= 64) {
+    JaroMatchesSwar(a, b, window, &matches, &transpositions);
+  } else {
+    JaroMatchesReference(a, b, window, &matches, &transpositions);
   }
   if (matches == 0) return 0.0;
-
-  // Count transpositions among matched characters.
-  int transpositions = 0;
-  int j = 0;
-  for (int i = 0; i < la; ++i) {
-    if (!matched_a[i]) continue;
-    while (!matched_b[j]) ++j;
-    if (a[i] != b[j]) ++transpositions;
-    ++j;
-  }
   double m = matches;
   double jaro = (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
 
@@ -151,34 +248,61 @@ double JaroWinkler(std::string_view a, std::string_view b) {
   return jaro + prefix * 0.1 * (1.0 - jaro);
 }
 
+std::vector<std::string> SortedUniqueTokens(std::string_view text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
 double TokenJaccard(std::string_view a, std::string_view b) {
-  std::vector<std::string> ta = Tokenize(a);
-  std::vector<std::string> tb = Tokenize(b);
-  if (ta.empty() && tb.empty()) return 1.0;
-  std::unordered_set<std::string> sa(ta.begin(), ta.end());
-  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  return TokenJaccardSorted(SortedUniqueTokens(a), SortedUniqueTokens(b));
+}
+
+double TokenJaccardSorted(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  // Merge walk over the two sorted, deduplicated token lists.
   size_t inter = 0;
-  for (const auto& tok : sa) inter += sb.count(tok);
-  size_t uni = sa.size() + sb.size() - inter;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
   if (uni == 0) return 1.0;
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
 double SoftTokenSimilarity(std::string_view a, std::string_view b) {
-  std::vector<std::string> ta = Tokenize(a);
-  std::vector<std::string> tb = Tokenize(b);
-  if (ta.empty() && tb.empty()) return 1.0;
-  if (ta.empty() || tb.empty()) return 0.0;
-  if (ta.size() > tb.size()) std::swap(ta, tb);
+  return SoftTokenSimilarityTokens(Tokenize(a), Tokenize(b));
+}
+
+double SoftTokenSimilarityTokens(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const std::vector<std::string>* small = &a;
+  const std::vector<std::string>* big = &b;
+  if (small->size() > big->size()) std::swap(small, big);
   double total = 0.0;
-  for (const std::string& tok : ta) {
+  for (const std::string& tok : *small) {
     double best = 0.0;
-    for (const std::string& other : tb) {
+    for (const std::string& other : *big) {
       best = std::max(best, JaroWinkler(tok, other));
     }
     total += best;
   }
-  return total / static_cast<double>(ta.size());
+  return total / static_cast<double>(small->size());
 }
 
 std::string StrFormat(const char* fmt, ...) {

@@ -25,22 +25,45 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 /// "IPhone 14 (Discount ID 41)" -> {"iphone","14","discount","id","41"}.
 std::vector<std::string> Tokenize(std::string_view text);
 
+/// Tokenize + sort + dedup: the token *set* of `text` in a deterministic
+/// order. The precomputed-token entry points below take these so batch
+/// callers tokenize each distinct string once.
+std::vector<std::string> SortedUniqueTokens(std::string_view text);
+
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
+/// Strings whose shorter side fits 64 characters run through Myers'
+/// bit-parallel algorithm (one word of SWAR state per column); longer
+/// inputs fall back to the rolling-row DP. Both are exact.
 int EditDistance(std::string_view a, std::string_view b);
 
 /// 1 - EditDistance(a,b) / max(|a|,|b|); 1.0 when both strings are empty.
 double EditSimilarity(std::string_view a, std::string_view b);
 
 /// Jaro-Winkler similarity in [0,1]; good for short names with typos.
+/// Strings up to 64 characters keep the match/transposition bookkeeping in
+/// uint64_t masks (SWAR) instead of per-character flag vectors; the result
+/// is bitwise identical to the reference formulation for any length.
 double JaroWinkler(std::string_view a, std::string_view b);
 
 /// Jaccard similarity of the token sets of `a` and `b`.
 double TokenJaccard(std::string_view a, std::string_view b);
 
+/// TokenJaccard over pre-tokenized inputs (each must come from
+/// SortedUniqueTokens). Bitwise identical to TokenJaccard on the original
+/// strings; lets batch callers amortize tokenization across pairs.
+double TokenJaccardSorted(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
 /// Soft token similarity: each token of the smaller set is matched to its
 /// best Jaro-Winkler counterpart in the other set; the mean of those best
 /// scores. Robust to in-token typos where plain Jaccard collapses.
 double SoftTokenSimilarity(std::string_view a, std::string_view b);
+
+/// SoftTokenSimilarity over pre-tokenized inputs (raw Tokenize order,
+/// duplicates preserved — multiplicity affects the mean). Bitwise identical
+/// to SoftTokenSimilarity on the original strings.
+double SoftTokenSimilarityTokens(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b);
 
 /// Printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <unordered_set>
 
 #include "src/common/hash.h"
 #include "src/common/timer.h"
@@ -18,6 +19,7 @@ struct DetectMetrics {
   obs::Counter* pairfreq_misses;
   obs::Counter* blocked_pairs;
   obs::Counter* exhaustive_pairs;
+  obs::Counter* ml_batched_pairs;
   obs::Histogram* rule_seconds;
 
   static const DetectMetrics& Get() {
@@ -33,6 +35,8 @@ struct DetectMetrics {
           reg.GetCounter("rock_detect_blocked_pairs_checked_total");
       out.exhaustive_pairs =
           reg.GetCounter("rock_detect_exhaustive_pairs_checked_total");
+      out.ml_batched_pairs =
+          reg.GetCounter("rock_detect_ml_batched_pairs_total");
       out.rule_seconds = reg.GetHistogram("rock_detect_rule_seconds",
                                           obs::LatencyBucketsSeconds());
       return out;
@@ -85,6 +89,17 @@ ErrorDetector::ErrorDetector(rules::EvalContext ctx)
 
 ErrorDetector::ErrorDetector(rules::EvalContext ctx, DetectorOptions options)
     : ctx_(ctx), options_(options) {}
+
+ml::MlScoreCache* ErrorDetector::MlCache() const {
+  if (!options_.batch_ml_predicates) return nullptr;
+  return options_.ml_cache != nullptr ? options_.ml_cache : &ml_scores_;
+}
+
+rules::EvalContext ErrorDetector::CachedContext() const {
+  rules::EvalContext ctx = ctx_;
+  ctx.ml_cache = MlCache();
+  return ctx;
+}
 
 int ErrorDetector::PairFrequency(int rel, int guard_attr, int cons_attr,
                                  const Value& guard,
@@ -243,6 +258,7 @@ void ErrorDetector::RecordViolation(const Ree& rule, const Valuation& v,
 
 bool ErrorDetector::DetectWithBlocking(const Ree& rule,
                                        const rules::Evaluator& eval,
+                                       ml::BatchScratch* scratch,
                                        DetectionReport* report) const {
   if (!options_.use_ml_blocking) return false;
   if (rule.tuple_vars.size() != 2 || rule.num_vertex_vars != 0) return false;
@@ -281,7 +297,8 @@ bool ErrorDetector::DetectWithBlocking(const Ree& rule,
     blocker.Add(static_cast<int64_t>(row), model->BlockTokens(values));
   }
 
-  // Verify: evaluate the full precondition on candidate pairs only.
+  // Materialize the candidate pairs (the block) in verify order.
+  std::vector<std::pair<int, int>> pairs;
   for (size_t row = 0; row < relation.size(); ++row) {
     v.rows[0] = static_cast<int>(row);
     std::vector<Value> values;
@@ -290,13 +307,82 @@ bool ErrorDetector::DetectWithBlocking(const Ree& rule,
     }
     for (int64_t candidate : blocker.Candidates(model->BlockTokens(values))) {
       if (candidate == static_cast<int64_t>(row)) continue;
-      v.rows[0] = static_cast<int>(row);
-      v.rows[1] = static_cast<int>(candidate);
-      ++report->blocked_pairs_checked;
-      if (!eval.SatisfiesPrecondition(rule, v)) continue;
-      if (!eval.Satisfies(rule, v, rule.consequence)) {
-        RecordViolation(rule, v, eval, report);
+      pairs.emplace_back(static_cast<int>(row), static_cast<int>(candidate));
+    }
+  }
+
+  // Batch pre-pass: score the block's uncached ML pairs with one
+  // ScoreBatch per model, so the verify loop's Satisfies calls hit the
+  // memo. The memoized doubles are exactly what the scalar path computes,
+  // so the verify outcome is unchanged.
+  ml::MlScoreCache* cache = eval.context().ml_cache;
+  if (cache != nullptr && scratch != nullptr) {
+    std::vector<const Predicate*> ml_preds;
+    for (const Predicate& p : rule.precondition) {
+      if (p.kind == PredicateKind::kMlPair) ml_preds.push_back(&p);
+    }
+    std::unordered_set<ml::MlScoreCache::Key, ml::MlScoreCache::KeyHash>
+        queued;
+    struct Pending {
+      const ml::PairClassifier* pending_model = nullptr;
+      ml::PairBatch batch;
+      std::vector<ml::MlScoreCache::Key> keys;
+    };
+    std::map<std::string, Pending> pending;
+    size_t pending_pairs = 0;
+    size_t scored = 0;
+    std::vector<double> scores;
+    auto flush = [&] {
+      for (auto& [name, entry] : pending) {
+        if (entry.batch.empty()) continue;
+        entry.pending_model->ScoreBatch(entry.batch, scratch, &scores);
+        cache->InsertBatch(entry.keys, scores);
+        scored += scores.size();
+        entry.batch.Clear();
+        entry.keys.clear();
       }
+      pending_pairs = 0;
+    };
+    for (const auto& [row, candidate] : pairs) {
+      v.rows[0] = row;
+      v.rows[1] = candidate;
+      for (const Predicate* p : ml_preds) {
+        const ml::PairClassifier* pair_model =
+            ctx_.models->FindPair(p->model);
+        if (pair_model == nullptr) continue;
+        std::vector<Value> a, b;
+        a.reserve(p->attrs_a.size());
+        b.reserve(p->attrs_b.size());
+        for (int attr : p->attrs_a) {
+          a.push_back(eval.GetCell(rule, v, p->var, attr));
+        }
+        for (int attr : p->attrs_b) {
+          b.push_back(eval.GetCell(rule, v, p->var2, attr));
+        }
+        const ml::MlScoreCache::Key key =
+            ml::MlScoreCache::MakeKey(p->model, a, b);
+        if (!queued.insert(key).second) continue;
+        if (cache->Contains(key)) continue;
+        Pending& entry = pending[p->model];
+        entry.pending_model = pair_model;
+        entry.batch.Add(std::move(a), std::move(b));
+        entry.keys.push_back(key);
+        // Bound pre-pass memory on huge blocks.
+        if (++pending_pairs >= 4096) flush();
+      }
+    }
+    flush();
+    DetectMetrics::Get().ml_batched_pairs->Add(scored);
+  }
+
+  // Verify: evaluate the full precondition on candidate pairs only.
+  for (const auto& [row, candidate] : pairs) {
+    v.rows[0] = row;
+    v.rows[1] = candidate;
+    ++report->blocked_pairs_checked;
+    if (!eval.SatisfiesPrecondition(rule, v)) continue;
+    if (!eval.Satisfies(rule, v, rule.consequence)) {
+      RecordViolation(rule, v, eval, report);
     }
   }
   return true;
@@ -315,12 +401,17 @@ DetectionReport ErrorDetector::Detect(
   ROCK_OBS_SPAN("detect.batch");
   const DetectMetrics& metrics = DetectMetrics::Get();
   DetectionReport report;
-  rules::Evaluator eval(ctx_);
+  rules::Evaluator eval(CachedContext());
+  ml::BatchScratch scratch;
   for (const Ree& rule : rules) {
     Timer timer;
-    if (!DetectWithBlocking(rule, eval, &report)) {
+    if (!DetectWithBlocking(rule, eval, &scratch, &report)) {
+      // Warm the score memo with one batch per model before the per-pair
+      // enumeration; misses inside DetectRule still score-and-insert.
+      metrics.ml_batched_pairs->Add(eval.WarmMlCache(rule, &scratch));
       DetectRule(rule, eval, &report);
     }
+    scratch.Reset();
     metrics.rule_seconds->Observe(timer.ElapsedSeconds());
   }
   metrics.blocked_pairs->Add(report.blocked_pairs_checked);
@@ -333,7 +424,8 @@ DetectionReport ErrorDetector::DetectIncremental(
     const std::vector<std::pair<int, int64_t>>& dirty) const {
   ROCK_OBS_SPAN("detect.incremental");
   DetectionReport report;
-  rules::Evaluator eval(ctx_);
+  rules::Evaluator eval(CachedContext());
+  ml::BatchScratch scratch;
   std::set<std::vector<int>> seen;
   for (const Ree& rule : rules) {
     seen.clear();
@@ -343,6 +435,8 @@ DetectionReport ErrorDetector::DetectIncremental(
         if (drel != rel) continue;
         int row = ctx_.db->relation(rel).RowOfTid(dtid);
         if (row < 0) continue;
+        DetectMetrics::Get().ml_batched_pairs->Add(eval.WarmMlCache(
+            rule, &scratch, static_cast<int>(var), row));
         eval.ForEachSatisfying(
             rule,
             [&](const Valuation& v) {
@@ -355,15 +449,110 @@ DetectionReport ErrorDetector::DetectIncremental(
             static_cast<int>(var), row);
       }
     }
+    scratch.Reset();
   }
   return report;
 }
 
+void ErrorDetector::WarmRanges(const Ree& rule,
+                               const std::vector<par::WorkUnit::Range>& ranges,
+                               const rules::Evaluator& eval,
+                               ml::BatchScratch* scratch) const {
+  ml::MlScoreCache* cache = eval.context().ml_cache;
+  if (cache == nullptr || scratch == nullptr || ctx_.models == nullptr) {
+    return;
+  }
+  if (rule.num_vertex_vars != 0) return;
+  std::vector<const Predicate*> ml_preds;
+  std::vector<const Predicate*> non_ml;
+  for (const Predicate& p : rule.precondition) {
+    if (p.kind == PredicateKind::kMlPair) {
+      ml_preds.push_back(&p);
+    } else {
+      non_ml.push_back(&p);
+    }
+  }
+  if (ml_preds.empty()) return;
+
+  struct Pending {
+    const ml::PairClassifier* pending_model = nullptr;
+    ml::PairBatch batch;
+    std::vector<ml::MlScoreCache::Key> keys;
+  };
+  std::map<std::string, Pending> pending;
+  std::unordered_set<ml::MlScoreCache::Key, ml::MlScoreCache::KeyHash> queued;
+  size_t pending_pairs = 0;
+  size_t scored = 0;
+  std::vector<double> scores;
+  auto flush = [&] {
+    for (auto& [name, entry] : pending) {
+      if (entry.batch.empty()) continue;
+      entry.pending_model->ScoreBatch(entry.batch, scratch, &scores);
+      cache->InsertBatch(entry.keys, scores);
+      scored += scores.size();
+      entry.batch.Clear();
+      entry.keys.clear();
+    }
+    pending_pairs = 0;
+  };
+
+  Valuation v;
+  v.rows.assign(rule.tuple_vars.size(), 0);
+  v.vertices.clear();
+  std::function<void(size_t)> recurse = [&](size_t var) {
+    if (var == rule.tuple_vars.size()) {
+      // Collect ML pairs only for valuations passing every non-ML
+      // predicate: a superset of the pairs the real pass scores (which
+      // short-circuits in precondition order), minus those where a later
+      // non-ML predicate fails — the latter just fall back to per-pair
+      // scoring on their cache miss.
+      for (const Predicate* p : non_ml) {
+        if (!eval.Satisfies(rule, v, *p)) return;
+      }
+      for (const Predicate* p : ml_preds) {
+        const ml::PairClassifier* pair_model =
+            ctx_.models->FindPair(p->model);
+        if (pair_model == nullptr) continue;
+        std::vector<Value> a, b;
+        a.reserve(p->attrs_a.size());
+        b.reserve(p->attrs_b.size());
+        for (int attr : p->attrs_a) {
+          a.push_back(eval.GetCell(rule, v, p->var, attr));
+        }
+        for (int attr : p->attrs_b) {
+          b.push_back(eval.GetCell(rule, v, p->var2, attr));
+        }
+        const ml::MlScoreCache::Key key =
+            ml::MlScoreCache::MakeKey(p->model, a, b);
+        if (!queued.insert(key).second) continue;
+        if (cache->Contains(key)) continue;
+        Pending& entry = pending[p->model];
+        entry.pending_model = pair_model;
+        entry.batch.Add(std::move(a), std::move(b));
+        entry.keys.push_back(key);
+        if (++pending_pairs >= 4096) flush();
+      }
+      return;
+    }
+    for (int row = ranges[var].begin; row < ranges[var].end; ++row) {
+      v.rows[var] = row;
+      recurse(var + 1);
+    }
+  };
+  recurse(0);
+  flush();
+  DetectMetrics::Get().ml_batched_pairs->Add(scored);
+}
+
 void ErrorDetector::DetectRuleInRanges(
     const Ree& rule, const std::vector<par::WorkUnit::Range>& ranges,
-    const rules::Evaluator& eval, DetectionReport* report) const {
+    const rules::Evaluator& eval, ml::BatchScratch* scratch,
+    DetectionReport* report) const {
   // Block-local nested-loop evaluation — the HyperCube executor's unit
   // body. Correctness comes from covering every block combination.
+  if (rule.num_vertex_vars == 0) {
+    WarmRanges(rule, ranges, eval, scratch);
+  }
   Valuation v;
   v.rows.assign(rule.tuple_vars.size(), 0);
   v.vertices.assign(static_cast<size_t>(rule.num_vertex_vars), -1);
@@ -401,19 +590,27 @@ DetectionReport ErrorDetector::DetectParallel(
   pool_options.retry = options_.retry;
   pool_options.fault_plan = options_.fault_plan;
   par::WorkerPool pool(num_workers, options_.execution_mode, pool_options);
-  // One evaluator per worker (the evaluator caches equality indexes) and
-  // one report per unit: workers never write shared state, and merging in
-  // unit order makes the result independent of worker count and stealing.
+  // One evaluator and batch scratch per worker (the evaluator caches
+  // equality indexes; the scratch is not thread-safe) and one report per
+  // unit: workers share only the sharded ML score memo, whose content-
+  // keyed first-insert-wins entries are value-identical no matter which
+  // worker lands first, and merging reports in unit order makes the result
+  // independent of worker count and stealing.
+  const rules::EvalContext cached_ctx = CachedContext();
   std::vector<rules::Evaluator> evals;
   evals.reserve(static_cast<size_t>(pool.num_workers()));
-  for (int w = 0; w < pool.num_workers(); ++w) evals.emplace_back(ctx_);
+  for (int w = 0; w < pool.num_workers(); ++w) evals.emplace_back(cached_ctx);
+  std::vector<ml::BatchScratch> scratches(
+      static_cast<size_t>(pool.num_workers()));
   std::vector<DetectionReport> unit_reports(units.size());
   auto unit_body = [&](const par::WorkUnit& u, size_t unit_index,
                        int worker) {
     unit_reports[unit_index] = DetectionReport();  // replay overwrites
+    ml::BatchScratch& scratch = scratches[static_cast<size_t>(worker)];
     DetectRuleInRanges(rules[static_cast<size_t>(u.rule_index)], u.ranges,
-                       evals[static_cast<size_t>(worker)],
+                       evals[static_cast<size_t>(worker)], &scratch,
                        &unit_reports[unit_index]);
+    scratch.Reset();
   };
   par::ScheduleReport local = pool.Execute(units, unit_body);
   // Recovery: units abandoned under an injected fault plan re-run serially

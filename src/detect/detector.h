@@ -74,6 +74,15 @@ struct DetectorOptions {
   const par::FaultPlan* fault_plan = nullptr;
   /// Retry discipline for the pool when a fault plan is set.
   par::RetryPolicy retry;
+  /// Batched ML predicate evaluation: each (rule, block) warms a shared
+  /// score memo with one ScoreBatch per model before verification, and
+  /// Satisfies then hits the memo instead of re-scoring per pair. Cached
+  /// scores are the exact doubles the scalar path computes, so reports are
+  /// bitwise identical with this on or off.
+  bool batch_ml_predicates = true;
+  /// External ML score cache to use instead of the detector's own (not
+  /// owned). Lets tests pre-seed or share the memo across detectors.
+  ml::MlScoreCache* ml_cache = nullptr;
 };
 
 /// Error detection (paper §3): violations of REE++s in Σ, batch and
@@ -117,6 +126,19 @@ class ErrorDetector {
                    std::unordered_map<uint64_t, int>>
       pair_freq_ ROCK_GUARDED_BY(pair_freq_mu_);
 
+  // The ML-score counterpart of pair_freq_: a memo shared by every rule
+  // (and every DetectParallel worker) that caches PairClassifier scores by
+  // (model, pair-content) hash. Same double-checked discipline — lookup
+  // under a (shard) lock, score outside any lock, first insert wins — but
+  // sharded inside MlScoreCache because workers hit it far more often.
+  mutable ml::MlScoreCache ml_scores_;
+
+  /// The active score memo: the external override, the detector's own, or
+  /// nullptr when batching is disabled.
+  ml::MlScoreCache* MlCache() const;
+  /// ctx_ with the active memo attached.
+  rules::EvalContext CachedContext() const;
+
   /// Frequency of (guard value, consequence value) among rel's tuples.
   int PairFrequency(int rel, int guard_attr, int cons_attr,
                     const Value& guard, const Value& cons) const;
@@ -128,13 +150,24 @@ class ErrorDetector {
                   DetectionReport* report) const;
   /// Blocking-accelerated path for two-variable ML rules; returns false
   /// when the rule does not qualify (caller falls back to DetectRule).
+  /// With a score memo active and `scratch` non-null, the candidate pairs
+  /// are batch-scored per model before the verify loop.
   bool DetectWithBlocking(const rules::Ree& rule,
                           const rules::Evaluator& eval,
+                          ml::BatchScratch* scratch,
                           DetectionReport* report) const;
   void DetectRuleInRanges(const rules::Ree& rule,
                           const std::vector<par::WorkUnit::Range>& ranges,
                           const rules::Evaluator& eval,
+                          ml::BatchScratch* scratch,
                           DetectionReport* report) const;
+  /// Batch pre-pass for DetectRuleInRanges: scores the block's uncached ML
+  /// pairs (valuations passing every non-ML predicate) with one ScoreBatch
+  /// per model.
+  void WarmRanges(const rules::Ree& rule,
+                  const std::vector<par::WorkUnit::Range>& ranges,
+                  const rules::Evaluator& eval,
+                  ml::BatchScratch* scratch) const;
 };
 
 }  // namespace rock::detect

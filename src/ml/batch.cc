@@ -1,0 +1,141 @@
+#include "src/ml/batch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/strings.h"
+
+namespace rock::ml {
+
+uint32_t BatchScratch::InternString(std::string_view s) {
+  const uint32_t id = interner_.Intern(s);
+  if (id >= tokens_.size()) tokens_.resize(id + 1);
+  return id;
+}
+
+const std::vector<std::string>& BatchScratch::RawTokens(uint32_t id) {
+  TokenEntry& entry = tokens_[id];
+  if (!entry.raw_ready) {
+    entry.raw = Tokenize(interner_.Lookup(id));
+    entry.raw_ready = true;
+  }
+  return entry.raw;
+}
+
+const std::vector<std::string>& BatchScratch::SortedTokens(uint32_t id) {
+  TokenEntry& entry = tokens_[id];
+  if (!entry.sorted_ready) {
+    entry.sorted = SortedUniqueTokens(interner_.Lookup(id));
+    entry.sorted_ready = true;
+  }
+  return entry.sorted;
+}
+
+BatchScratch::SimEntry& BatchScratch::SimFor(uint32_t a, uint32_t b) {
+  const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+  return sims_[key];
+}
+
+void BatchScratch::Reset() {
+  interner_.Clear();
+  tokens_.clear();
+  sims_.clear();
+}
+
+MlScoreCache::Key MlScoreCache::MakeKey(std::string_view model_name,
+                                        const std::vector<Value>& a,
+                                        const std::vector<Value>& b) {
+  // Two independently seeded chains over the same content; both must
+  // collide for a wrong hit.
+  uint64_t hi = Hash64(model_name);
+  uint64_t lo = MixHash64(hi ^ 0x9E3779B97F4A7C15ull);
+  hi = HashCombine(hi, a.size());
+  lo = HashCombine(lo, MixHash64(a.size()));
+  for (const Value& v : a) {
+    const uint64_t vh = v.Hash();
+    hi = HashCombine(hi, vh);
+    lo = HashCombine(lo, MixHash64(vh));
+  }
+  // Separator so ({x,y}, {z}) and ({x}, {y,z}) cannot alias.
+  hi = HashCombine(hi, 0x5eedull);
+  lo = HashCombine(lo, 0xfeedull);
+  for (const Value& v : b) {
+    const uint64_t vh = v.Hash();
+    hi = HashCombine(hi, vh);
+    lo = HashCombine(lo, MixHash64(vh));
+  }
+  return Key{hi, lo};
+}
+
+bool MlScoreCache::Lookup(const Key& key, double* score) const {
+  const Shard& shard = shards_[ShardOf(key)];
+  common::MutexLock lock(shard.mu);
+  auto it = shard.scores.find(key);
+  if (it == shard.scores.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *score = it->second;
+  return true;
+}
+
+bool MlScoreCache::Contains(const Key& key) const {
+  const Shard& shard = shards_[ShardOf(key)];
+  common::MutexLock lock(shard.mu);
+  return shard.scores.find(key) != shard.scores.end();
+}
+
+void MlScoreCache::Insert(const Key& key, double score) {
+  Shard& shard = shards_[ShardOf(key)];
+  common::MutexLock lock(shard.mu);
+  if (shard.scores.emplace(key, score).second) {
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MlScoreCache::InsertBatch(const std::vector<Key>& keys,
+                               const std::vector<double>& scores) {
+  // Group indices by shard so each shard lock is taken once per batch.
+  std::vector<uint32_t> by_shard[kNumShards];
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_shard[ShardOf(keys[i])].push_back(static_cast<uint32_t>(i));
+  }
+  uint64_t inserted = 0;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    common::MutexLock lock(shard.mu);
+    for (uint32_t i : by_shard[s]) {
+      if (shard.scores.emplace(keys[i], scores[i]).second) ++inserted;
+    }
+  }
+  if (inserted > 0) inserts_.fetch_add(inserted, std::memory_order_relaxed);
+}
+
+void MlScoreCache::Clear() {
+  for (Shard& shard : shards_) {
+    common::MutexLock lock(shard.mu);
+    shard.scores.clear();
+  }
+}
+
+size_t MlScoreCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    common::MutexLock lock(shard.mu);
+    total += shard.scores.size();
+  }
+  return total;
+}
+
+MlScoreCache::Stats MlScoreCache::GetStats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace rock::ml

@@ -7,8 +7,10 @@
 
 #include "src/common/status.h"
 #include "src/kg/graph.h"
+#include "src/ml/batch.h"
 #include "src/ml/feature.h"
 #include "src/ml/linear.h"
+#include "src/ml/tree.h"
 #include "src/storage/relation.h"
 #include "src/storage/schema.h"
 
@@ -34,6 +36,16 @@ class PairClassifier {
 
   virtual double threshold() const { return 0.5; }
 
+  /// Scores every pair of `batch` into *out (out->resize'd to
+  /// batch.size(); out[i] corresponds to (batch.a[i], batch.b[i])).
+  /// Contract: out[i] is bitwise equal to Score(batch.a[i], batch.b[i]) —
+  /// overrides may reorder *which pair is scored when* and share work
+  /// across rows through `scratch`, but each row's arithmetic must match
+  /// the scalar path exactly. The default loops over Score. `scratch` may
+  /// be nullptr (overrides then fall back to the scalar path).
+  virtual void ScoreBatch(const PairBatch& batch, BatchScratch* scratch,
+                          std::vector<double>* out) const;
+
   /// Blocking tokens for the filter-and-verify paradigm (§5.4): records
   /// with disjoint token sets are assumed non-matching by the filter.
   virtual std::vector<std::string> BlockTokens(
@@ -50,6 +62,8 @@ class SimilarityClassifier : public PairClassifier {
 
   double Score(const std::vector<Value>& a,
                const std::vector<Value>& b) const override;
+  void ScoreBatch(const PairBatch& batch, BatchScratch* scratch,
+                  std::vector<double>* out) const override;
   double threshold() const override { return threshold_; }
 
  private:
@@ -74,12 +88,44 @@ class LogisticPairClassifier : public PairClassifier {
 
   double Score(const std::vector<Value>& a,
                const std::vector<Value>& b) const override;
+  void ScoreBatch(const PairBatch& batch, BatchScratch* scratch,
+                  std::vector<double>* out) const override;
   double threshold() const override { return threshold_; }
   bool trained() const { return model_.trained(); }
 
  private:
   PairFeaturizer featurizer_;
   LogisticRegression model_;
+  double threshold_;
+};
+
+/// Gradient-boosted trees over PairFeaturizer features, clamped to [0,1]
+/// so the regression output reads as a match strength. The non-linear
+/// counterpart of LogisticPairClassifier for pairs whose decision boundary
+/// a single hyperplane cannot carve.
+class BoostedPairClassifier : public PairClassifier {
+ public:
+  BoostedPairClassifier(int num_attributes, double threshold = 0.5,
+                        GradientBoostedTrees::Options options = {})
+      : featurizer_(num_attributes),
+        model_(options),
+        threshold_(threshold) {}
+
+  /// Trains from labeled value-vector pairs ({0,1} labels).
+  Status Train(const std::vector<std::pair<std::vector<Value>,
+                                           std::vector<Value>>>& pairs,
+               const std::vector<int>& labels);
+
+  double Score(const std::vector<Value>& a,
+               const std::vector<Value>& b) const override;
+  void ScoreBatch(const PairBatch& batch, BatchScratch* scratch,
+                  std::vector<double>* out) const override;
+  double threshold() const override { return threshold_; }
+  bool trained() const { return model_.trained(); }
+
+ private:
+  PairFeaturizer featurizer_;
+  GradientBoostedTrees model_;
   double threshold_;
 };
 

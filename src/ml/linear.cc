@@ -53,11 +53,20 @@ void LogisticRegression::Train(const std::vector<FeatureVector>& features,
   }
 }
 
-double LogisticRegression::Score(const FeatureVector& features) const {
+double LogisticRegression::ScoreRow(const double* row, size_t n) const {
   double z = bias_;
-  size_t n = std::min(features.size(), weights_.size());
-  for (size_t i = 0; i < n; ++i) z += weights_[i] * features[i];
+  const size_t dim = std::min(n, weights_.size());
+  for (size_t i = 0; i < dim; ++i) z += weights_[i] * row[i];
   return Sigmoid(z);
+}
+
+void LogisticRegression::ScoreBatch(const double* data, size_t rows,
+                                    size_t cols,
+                                    std::vector<double>* out) const {
+  out->reserve(out->size() + rows);
+  for (size_t r = 0; r < rows; ++r) {
+    out->push_back(ScoreRow(data + r * cols, cols));
+  }
 }
 
 void Lasso::Train(const std::vector<FeatureVector>& x,

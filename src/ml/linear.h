@@ -27,7 +27,19 @@ class LogisticRegression {
              const std::vector<int>& labels);
 
   /// Probability of the positive class.
-  double Score(const FeatureVector& features) const;
+  double Score(const FeatureVector& features) const {
+    return ScoreRow(features.data(), features.size());
+  }
+
+  /// Score over a raw feature row (the batched entry point). Identical
+  /// accumulation order to Score, so results are bitwise equal.
+  double ScoreRow(const double* row, size_t n) const;
+
+  /// Scores `rows` consecutive rows of the row-major matrix `data`
+  /// (`cols` doubles each), appending to *out. Each row goes through
+  /// ScoreRow, so outputs match per-row Score bitwise.
+  void ScoreBatch(const double* data, size_t rows, size_t cols,
+                  std::vector<double>* out) const;
 
   bool Predict(const FeatureVector& features, double threshold = 0.5) const {
     return Score(features) >= threshold;

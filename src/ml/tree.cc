@@ -119,12 +119,12 @@ int DecisionTree::BuildNode(const std::vector<FeatureVector>& x,
   return node_id;
 }
 
-double DecisionTree::Predict(const FeatureVector& features) const {
+double DecisionTree::PredictRow(const double* row) const {
   if (nodes_.empty()) return 0.0;
   int node = 0;
   while (nodes_[static_cast<size_t>(node)].feature >= 0) {
     const Node& n = nodes_[static_cast<size_t>(node)];
-    double v = features[static_cast<size_t>(n.feature)];
+    double v = row[static_cast<size_t>(n.feature)];
     node = v <= n.split_threshold ? n.left : n.right;
   }
   return nodes_[static_cast<size_t>(node)].leaf_value;
@@ -156,12 +156,21 @@ void GradientBoostedTrees::Train(const std::vector<FeatureVector>& x,
   }
 }
 
-double GradientBoostedTrees::Predict(const FeatureVector& features) const {
+double GradientBoostedTrees::PredictRow(const double* row) const {
   double out = base_prediction_;
   for (const DecisionTree& tree : trees_) {
-    out += options_.learning_rate * tree.Predict(features);
+    out += options_.learning_rate * tree.PredictRow(row);
   }
   return out;
+}
+
+void GradientBoostedTrees::PredictBatch(const double* data, size_t rows,
+                                        size_t cols,
+                                        std::vector<double>* out) const {
+  out->reserve(out->size() + rows);
+  for (size_t r = 0; r < rows; ++r) {
+    out->push_back(PredictRow(data + r * cols));
+  }
 }
 
 std::vector<double> GradientBoostedTrees::FeatureImportance() const {

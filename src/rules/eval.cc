@@ -1,6 +1,7 @@
 #include "src/rules/eval.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/common/logging.h"
 #include "src/ml/correlation.h"
@@ -85,6 +86,20 @@ bool Evaluator::Satisfies(const Ree& rule, const Valuation& v,
       b.reserve(p.attrs_b.size());
       for (int attr : p.attrs_a) a.push_back(GetCell(rule, v, p.var, attr));
       for (int attr : p.attrs_b) b.push_back(GetCell(rule, v, p.var2, attr));
+      if (ctx_.ml_cache != nullptr) {
+        // Double-checked memo: look up, score outside any lock on a miss,
+        // first insert wins. The cached double is exactly what Score
+        // returns for this content, so the thresholded result matches the
+        // uncached (default-Predict) path bitwise.
+        const ml::MlScoreCache::Key key =
+            ml::MlScoreCache::MakeKey(p.model, a, b);
+        double score;
+        if (!ctx_.ml_cache->Lookup(key, &score)) {
+          score = model->Score(a, b);
+          ctx_.ml_cache->Insert(key, score);
+        }
+        return score >= model->threshold();
+      }
       return model->Predict(a, b);
     }
     case PredicateKind::kTemporal: {
@@ -370,6 +385,89 @@ void Evaluator::ForEachSatisfying(
   v.vertices.assign(static_cast<size_t>(rule.num_vertex_vars), -1);
   bool keep_going = true;
   Recurse(rule, v, 0, ready, cb, keep_going, pinned_var, pinned_row);
+}
+
+size_t Evaluator::WarmMlCache(const Ree& rule, ml::BatchScratch* scratch,
+                              int pinned_var, int pinned_row) const {
+  if (ctx_.ml_cache == nullptr || ctx_.models == nullptr) return 0;
+  if (rule.num_vertex_vars != 0) return 0;
+  std::vector<const Predicate*> ml_preds;
+  for (const Predicate& p : rule.precondition) {
+    if (p.kind == PredicateKind::kMlPair) ml_preds.push_back(&p);
+  }
+  if (ml_preds.empty()) return 0;
+  // Every ML predicate must bind at the deepest variable: the warm
+  // enumeration below skips ML predicates entirely, which is free only
+  // when they never prune an enumeration prefix.
+  const size_t num_vars = rule.tuple_vars.size();
+  const int last = static_cast<int>(num_vars) - 1;
+  for (const Predicate* p : ml_preds) {
+    int max_var = -1;
+    for (int tv : p->TupleVars()) max_var = std::max(max_var, tv);
+    if (max_var != last) return 0;
+  }
+
+  // Ready lists as in ForEachSatisfying, minus the ML predicates.
+  std::vector<std::vector<const Predicate*>> ready(num_vars);
+  for (const Predicate& p : rule.precondition) {
+    if (p.vertex_var >= 0) continue;
+    if (p.kind == PredicateKind::kMlPair) continue;
+    int max_var = -1;
+    for (int tv : p.TupleVars()) max_var = std::max(max_var, tv);
+    if (max_var < 0) max_var = 0;
+    if (static_cast<size_t>(max_var) < num_vars) {
+      ready[static_cast<size_t>(max_var)].push_back(&p);
+    }
+  }
+
+  // One pending batch per model; pairs dedup against the cache and the
+  // round's own pending set (many valuations repeat the same cell values).
+  struct Pending {
+    const ml::PairClassifier* model = nullptr;
+    ml::PairBatch batch;
+    std::vector<ml::MlScoreCache::Key> keys;
+  };
+  std::map<std::string, Pending> pending;
+  std::unordered_set<ml::MlScoreCache::Key, ml::MlScoreCache::KeyHash> queued;
+
+  auto collect = [&](const Valuation& v) {
+    for (const Predicate* p : ml_preds) {
+      const ml::PairClassifier* model = ctx_.models->FindPair(p->model);
+      if (model == nullptr) continue;
+      std::vector<Value> a, b;
+      a.reserve(p->attrs_a.size());
+      b.reserve(p->attrs_b.size());
+      for (int attr : p->attrs_a) a.push_back(GetCell(rule, v, p->var, attr));
+      for (int attr : p->attrs_b) {
+        b.push_back(GetCell(rule, v, p->var2, attr));
+      }
+      const ml::MlScoreCache::Key key =
+          ml::MlScoreCache::MakeKey(p->model, a, b);
+      if (!queued.insert(key).second) continue;
+      if (ctx_.ml_cache->Contains(key)) continue;
+      Pending& entry = pending[p->model];
+      entry.model = model;
+      entry.batch.Add(std::move(a), std::move(b));
+      entry.keys.push_back(key);
+    }
+    return true;
+  };
+
+  Valuation v;
+  v.rows.assign(num_vars, -1);
+  v.vertices.clear();
+  bool keep_going = true;
+  Recurse(rule, v, 0, ready, collect, keep_going, pinned_var, pinned_row);
+
+  size_t scored = 0;
+  std::vector<double> scores;
+  for (auto& [name, entry] : pending) {
+    if (entry.batch.empty()) continue;
+    entry.model->ScoreBatch(entry.batch, scratch, &scores);
+    ctx_.ml_cache->InsertBatch(entry.keys, scores);
+    scored += scores.size();
+  }
+  return scored;
 }
 
 void Evaluator::Recurse(

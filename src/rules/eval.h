@@ -66,6 +66,13 @@ struct EvalContext {
   const ml::MlLibrary* models = nullptr;
   const CellOverlay* overlay = nullptr;
   const TemporalOracle* temporal = nullptr;
+  /// Shared memo of ML pair-predicate scores keyed by (model, pair
+  /// content); nullptr disables caching. With a cache, kMlPair predicates
+  /// threshold the memoized Score — identical to the default Predict, so
+  /// only models relying on the default Score-vs-threshold Predict should
+  /// run with a cache. Keys hash the overlay-aware cell *values*, so the
+  /// cache stays sound across overlays, rules and workers.
+  ml::MlScoreCache* ml_cache = nullptr;
 };
 
 /// A valuation h of a rule's variables: a row index per tuple variable and
@@ -131,6 +138,23 @@ class Evaluator {
   void ForEachSatisfying(const Ree& rule,
                          const std::function<bool(const Valuation&)>& cb,
                          int pinned_var = -1, int pinned_row = -1) const;
+
+  /// Pre-scores the rule's ML pair predicates into ctx().ml_cache with one
+  /// ScoreBatch per model: enumerates valuations satisfying the *non-ML*
+  /// precondition predicates, collects each ML predicate's (a, b) value
+  /// pair, dedups against the cache and the round's pending set, then
+  /// scores every pending batch through the model's batched path. Later
+  /// Satisfies calls hit the memo instead of re-scoring per pair.
+  ///
+  /// Warms only rules where every ML pair predicate binds at the deepest
+  /// tuple variable and no vertex variables exist — skipping the ML
+  /// predicates then loses no pruning at shallower depths, so the warm
+  /// enumeration visits no more prefixes than the real one. Other rules
+  /// return 0 and fall back to per-pair scoring (which still populates the
+  /// cache). Cached values equal the scalar path's bitwise, so warming
+  /// never changes detection results. Returns the number of pairs scored.
+  size_t WarmMlCache(const Ree& rule, ml::BatchScratch* scratch,
+                     int pinned_var = -1, int pinned_row = -1) const;
 
   /// Enumerates violations: h |= X but h !|= p0.
   void ForEachViolation(const Ree& rule,

@@ -5,6 +5,20 @@
 
 namespace rock {
 
+uint32_t StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+void StringInterner::Clear() {
+  ids_.clear();
+  strings_.clear();
+}
+
 DictionaryEncodedRelation DictionaryEncodedRelation::Build(
     const Relation& relation) {
   DictionaryEncodedRelation out;

@@ -1,12 +1,44 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/storage/relation.h"
 
 namespace rock {
+
+/// Dense string interning for batch feature extraction: the first Intern of
+/// a string assigns the next uint32 id, later calls return the same id, and
+/// per-id derived data (tokenizations, similarity memos) can live in plain
+/// vectors indexed by id. Not thread-safe; batch callers keep one per
+/// worker scratch and Clear() it between rounds.
+class StringInterner {
+ public:
+  /// Id for `s`, assigning the next dense id on first sight.
+  uint32_t Intern(std::string_view s);
+
+  /// The string for a previously returned id.
+  const std::string& Lookup(uint32_t id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// Drops all ids; previously returned ids become invalid.
+  void Clear();
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, uint32_t, TransparentHash, std::equal_to<>>
+      ids_;
+  std::vector<std::string> strings_;
+};
 
 /// Dictionary encoding for one relation (paper §5.1: Crystal "transforms
 /// attribute values to unique ids, and builds (a) a row-oriented copy ...

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -242,6 +244,162 @@ TEST(CsvTest, RoundTrips) {
 TEST(CsvTest, MissingFileIsNotFound) {
   auto table = CsvTable::ReadFile("/nonexistent/file.csv");
   EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernel equivalence: the SWAR fast paths in strings.cc must be
+// bitwise identical to straightforward reference formulations.
+
+namespace reference {
+
+int EditDistanceDp(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<int> prev(n + 1), cur(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= m; ++j) {
+    cur[0] = static_cast<int>(j);
+    for (size_t i = 1; i <= n; ++i) {
+      int sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double JaroWinklerFlags(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  const int window = std::max(0, std::max(la, lb) / 2 - 1);
+  std::vector<bool> matched_a(la, false), matched_b(lb, false);
+  int matches = 0;
+  for (int i = 0; i < la; ++i) {
+    int lo = std::max(0, i - window);
+    int hi = std::min(lb - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!matched_b[j] && a[i] == b[j]) {
+        matched_a[i] = matched_b[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < la; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = matches;
+  double jaro = (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+  int prefix = 0;
+  for (int i = 0; i < std::min({la, lb, 4}); ++i) {
+    if (a[i] == b[i]) {
+      ++prefix;
+    } else {
+      break;
+    }
+  }
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double TokenJaccardSets(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = Tokenize(a);
+  std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& tok : sa) inter += sb.count(tok);
+  size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::string RandomWord(Rng& rng, size_t max_len, int alphabet) {
+  std::string out;
+  const size_t len = rng.NextBounded(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(
+        static_cast<char>('a' + rng.NextBounded(
+                                    static_cast<uint64_t>(alphabet))));
+  }
+  return out;
+}
+
+}  // namespace reference
+
+TEST(StringsTest, MyersEditDistanceMatchesDpReference) {
+  // Hand cases around the 64-char word boundary and then a fuzz sweep.
+  std::string sixty_four(64, 'a');
+  std::string sixty_five(65, 'a');
+  EXPECT_EQ(EditDistance(sixty_four, sixty_five), 1);
+  EXPECT_EQ(EditDistance(sixty_four, sixty_four), 0);
+  Rng rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    // Small alphabet maximizes repeated characters (the peq-mask stress).
+    std::string a = reference::RandomWord(rng, 70, 4);
+    std::string b = reference::RandomWord(rng, 70, 4);
+    ASSERT_EQ(EditDistance(a, b), reference::EditDistanceDp(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(StringsTest, SwarJaroWinklerMatchesFlagReferenceBitwise) {
+  Rng rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string a = reference::RandomWord(rng, 70, 5);
+    std::string b = reference::RandomWord(rng, 70, 5);
+    const double got = JaroWinkler(a, b);
+    const double want = reference::JaroWinklerFlags(a, b);
+    // Bitwise, not approximate: the SWAR path must pick the same matches.
+    ASSERT_EQ(got, want) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(StringsTest, MergeTokenJaccardMatchesSetReference) {
+  Rng rng(13);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string a, b;
+    for (uint64_t w = rng.NextBounded(6); w > 0; --w) {
+      a += reference::RandomWord(rng, 5, 3) + " ";
+    }
+    for (uint64_t w = rng.NextBounded(6); w > 0; --w) {
+      b += reference::RandomWord(rng, 5, 3) + " ";
+    }
+    ASSERT_EQ(TokenJaccard(a, b), reference::TokenJaccardSets(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(StringsTest, SortedUniqueTokensSortsAndDedups) {
+  auto toks = SortedUniqueTokens("Beta alpha BETA gamma alpha");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "alpha");
+  EXPECT_EQ(toks[1], "beta");
+  EXPECT_EQ(toks[2], "gamma");
+  EXPECT_TRUE(SortedUniqueTokens("").empty());
+}
+
+TEST(StringsTest, PreTokenizedEntryPointsMatchStringEntryPoints) {
+  const char* samples[] = {"apple store",     "apple shop",
+                           "Galaxy S21 5G",   "galaxy s21",
+                           "one two two three", ""};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      EXPECT_EQ(TokenJaccard(a, b),
+                TokenJaccardSorted(SortedUniqueTokens(a),
+                                   SortedUniqueTokens(b)));
+      EXPECT_EQ(SoftTokenSimilarity(a, b),
+                SoftTokenSimilarityTokens(Tokenize(a), Tokenize(b)));
+    }
+  }
 }
 
 }  // namespace

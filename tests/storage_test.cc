@@ -223,6 +223,39 @@ TEST(DictionaryTest, EncodeLookup) {
   EXPECT_EQ(dict.Encode(0, Value::Null()), 0);
 }
 
+TEST(StringInternerTest, DedupsAndAssignsDenseIds) {
+  StringInterner interner;
+  EXPECT_EQ(interner.size(), 0u);
+  const uint32_t apple = interner.Intern("apple");
+  const uint32_t pear = interner.Intern("pear");
+  EXPECT_EQ(apple, 0u);
+  EXPECT_EQ(pear, 1u);
+  // Re-interning (including via a non-owning view) returns the same id.
+  std::string owned = "apple";
+  EXPECT_EQ(interner.Intern(std::string_view(owned)), apple);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.Lookup(apple), "apple");
+  EXPECT_EQ(interner.Lookup(pear), "pear");
+
+  interner.Clear();
+  EXPECT_EQ(interner.size(), 0u);
+  EXPECT_EQ(interner.Intern("pear"), 0u);
+}
+
+TEST(StringInternerTest, IdsStableAcrossRehash) {
+  StringInterner interner;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(interner.Intern("key-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Lookup(ids[static_cast<size_t>(i)]),
+              "key-" + std::to_string(i));
+    EXPECT_EQ(interner.Intern("key-" + std::to_string(i)),
+              ids[static_cast<size_t>(i)]);
+  }
+}
+
 TEST(StatsTest, CountsAndMoments) {
   Relation rel = SmallRelation();
   ColumnStats city = ComputeColumnStats(rel, 0);
