@@ -79,7 +79,8 @@ void Run() {
 }  // namespace
 }  // namespace rock::bench
 
-int main() {
+int main(int argc, char** argv) {
+  rock::bench::ServeGuard serve(&argc, argv);
   rock::bench::PrintHeader(
       "Figure 4(l)", "Logistics-EC parallel scalability, n = 4..20 workers");
   rock::bench::Run();

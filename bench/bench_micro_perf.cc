@@ -334,6 +334,8 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace rock
 
 int main(int argc, char** argv) {
+  // Strips --serve* flags before google-benchmark sees (and rejects) them.
+  rock::bench::ServeGuard serve(&argc, argv);
   rock::bench::BenchTelemetry telemetry("micro_perf");
   rock::Timer total;
   benchmark::Initialize(&argc, argv);

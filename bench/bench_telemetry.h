@@ -6,9 +6,12 @@
 // span aggregates) captured over the run. CI's bench-smoke step validates
 // these files with scripts/check_bench_json.py.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +19,7 @@
 #include "src/obs/exporters.h"
 #include "src/obs/metrics.h"
 #include "src/obs/provenance.h"
+#include "src/obs/server.h"
 #include "src/obs/trace.h"
 #include "src/par/executor.h"
 
@@ -29,6 +33,9 @@ class BenchTelemetry {
   explicit BenchTelemetry(std::string name) : name_(std::move(name)) {
     obs::MetricsRegistry::Global().Reset();
     obs::Tracer::Global().Reset();
+    // Name the bench driver thread in trace exports; workers name
+    // themselves when the pool spawns them.
+    obs::Tracer::Global().SetThisThreadName("main");
   }
 
   /// Records a named phase duration (seconds).
@@ -92,17 +99,32 @@ class BenchTelemetry {
       std::fprintf(stderr, "[bench-json] FAILED writing %s: %s\n",
                    path.c_str(), status.message().c_str());
     }
+
+    // Companion Perfetto timeline over the same run: load TRACE_<name>.json
+    // at https://ui.perfetto.dev (or chrome://tracing). CI validates it
+    // with scripts/check_bench_json.py --trace.
+    std::string trace_path = OutputPrefix() + "TRACE_" + name_ + ".json";
+    Status trace_status =
+        obs::WriteFile(trace_path, snap.ToChromeTrace() + "\n");
+    if (trace_status.ok()) {
+      std::printf("[bench-json] wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench-json] FAILED writing %s: %s\n",
+                   trace_path.c_str(), trace_status.message().c_str());
+    }
     return path;
   }
 
  private:
-  std::string OutputPath() const {
+  static std::string OutputPrefix() {
     // Benches are single-threaded at report time; nothing calls setenv.
     const char* dir = std::getenv("ROCK_BENCH_JSON_DIR");  // NOLINT(concurrency-mt-unsafe)
-    std::string prefix = (dir != nullptr && *dir != '\0')
-                             ? std::string(dir) + "/"
-                             : std::string();
-    return prefix + "BENCH_" + name_ + ".json";
+    return (dir != nullptr && *dir != '\0') ? std::string(dir) + "/"
+                                            : std::string();
+  }
+
+  std::string OutputPath() const {
+    return OutputPrefix() + "BENCH_" + name_ + ".json";
   }
 
   static void AppendSchedule(const std::string& label,
@@ -133,6 +155,87 @@ class BenchTelemetry {
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<std::pair<std::string, par::ScheduleReport>> schedules_;
   std::vector<std::pair<std::string, double>> results_;
+};
+
+/// Opt-in live telemetry for bench binaries. Scans argv for
+///
+///   --serve[=PORT]             start obs::TelemetryServer (0/default =
+///                              ephemeral port)
+///   --serve-port-file=PATH     write the bound port to PATH (CI polls it)
+///   --serve-linger-seconds=N   keep serving N seconds after the bench
+///                              body finishes (default 0)
+///
+/// and strips those flags so downstream parsers (google-benchmark's
+/// Initialize rejects unknown flags) never see them. Construct before any
+/// other argv consumer; the destructor lingers, then stops the server.
+class ServeGuard {
+ public:
+  ServeGuard(int* argc, char** argv) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--serve") {
+        serve_ = true;
+      } else if (arg.rfind("--serve=", 0) == 0) {
+        serve_ = true;
+        port_ = std::atoi(arg.c_str() + 8);
+      } else if (arg.rfind("--serve-port-file=", 0) == 0) {
+        port_file_ = arg.substr(18);
+      } else if (arg.rfind("--serve-linger-seconds=", 0) == 0) {
+        linger_seconds_ = std::atof(arg.c_str() + 23);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    *argc = kept;
+    if (!serve_) return;
+
+    obs::TelemetryServer::Options options;
+    options.port = port_;
+    options.build_info = "rock bench";
+    auto server = obs::TelemetryServer::Start(options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "[serve] FAILED: %s\n",
+                   server.status().message().c_str());
+      return;
+    }
+    server_ = std::move(server).value();
+    std::printf("[serve] telemetry on http://127.0.0.1:%d "
+                "(/metrics /telemetry.json /trace.json /healthz)\n",
+                server_->port());
+    std::fflush(stdout);
+    if (!port_file_.empty()) {
+      Status status = obs::WriteFile(port_file_,
+                                     std::to_string(server_->port()) + "\n");
+      if (!status.ok()) {
+        std::fprintf(stderr, "[serve] port file: %s\n",
+                     status.message().c_str());
+      }
+    }
+  }
+
+  ~ServeGuard() {
+    if (server_ != nullptr && linger_seconds_ > 0) {
+      std::printf("[serve] lingering %.0f s for scrapers\n",
+                  linger_seconds_);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(linger_seconds_));
+    }
+  }
+
+  ServeGuard(const ServeGuard&) = delete;
+  ServeGuard& operator=(const ServeGuard&) = delete;
+
+  bool serving() const { return server_ != nullptr; }
+  int port() const { return server_ != nullptr ? server_->port() : -1; }
+
+ private:
+  bool serve_ = false;
+  int port_ = 0;
+  std::string port_file_;
+  double linger_seconds_ = 0;
+  std::unique_ptr<obs::TelemetryServer> server_;
 };
 
 }  // namespace rock::bench

@@ -1,22 +1,31 @@
 #!/usr/bin/env python3
-"""Validates the BENCH_*.json files the bench binaries emit.
+"""Validates the JSON artifacts the bench binaries and telemetry plane emit.
 
 Usage: check_bench_json.py [--require-zero-dropped-spans]
                            [--require-zero-unrecovered-faults]
                            FILE [FILE...]
+       check_bench_json.py --trace [--require-flow] FILE [FILE...]
+       check_bench_json.py --standalone-telemetry FILE [FILE...]
 
-Fails (exit 1) when a file is missing, is not valid JSON, or lacks the
-required sections: bench name, schema_version, non-empty phases,
-schedules (rows must carry the ScheduleReport fields), results,
-telemetry with counters/gauges/histograms/spans, the provenance block
-(enabled flag, node/premise counts, fixes_by_rule, proof_depth), and
-the faults block (injection/retry/death/checkpoint accounting).
-With --require-zero-dropped-spans, a non-zero tracer drop count is an
-error (the bench ring must be sized for the run). With
+Default mode checks BENCH_*.json files: bench name, schema_version,
+non-empty phases, schedules (rows must carry the ScheduleReport fields),
+results, telemetry with counters/gauges/histograms/spans (spans must
+carry p50/p95/p99 attribution), the provenance block, and the faults
+block. With --require-zero-dropped-spans, a non-zero tracer drop count
+is an error (the bench ring must be sized for the run). With
 --require-zero-unrecovered-faults, a non-zero faults.unrecovered gauge
 is an error: every unit the pool abandoned must have been replayed from
 the round checkpoint by the time the bench emitted telemetry. CI's
 bench-smoke step runs this over every emitted file with both flags.
+
+--trace checks Chrome trace-event JSON (TRACE_*.json / the server's
+/trace.json): a traceEvents array of well-formed M/X/s/f events.
+--require-flow additionally demands at least one s→f flow pair whose
+endpoints sit on *different* threads — the scheduler→worker causality
+link the tentpole exists to expose.
+
+--standalone-telemetry checks a bare /telemetry.json document (the
+telemetry object without the surrounding bench envelope).
 """
 
 import json
@@ -30,6 +39,9 @@ REQUIRED_SCHEDULE = ["label", "mode", "workers", "serial_seconds",
                      "executed_units"]
 REQUIRED_TELEMETRY = ["counters", "gauges", "histograms", "spans",
                       "dropped_spans"]
+REQUIRED_HISTOGRAM = ["buckets", "count", "sum", "p50", "p95", "p99"]
+REQUIRED_SPAN = ["count", "total_seconds", "max_seconds",
+                 "p50_seconds", "p95_seconds", "p99_seconds"]
 REQUIRED_PROVENANCE = ["enabled", "nodes", "conflict_candidates",
                        "max_depth", "ml_calls", "premises",
                        "fixes_by_rule", "proof_depth"]
@@ -43,6 +55,17 @@ REQUIRED_FAULTS = ["injected", "retries", "backoff_micros", "worker_deaths",
 def fail(path, message):
     print(f"FAIL {path}: {message}")
     return False
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as err:
+        fail(path, f"unreadable: {err}")
+    except json.JSONDecodeError as err:
+        fail(path, f"malformed JSON: {err}")
+    return None
 
 
 def check_provenance(path, prov):
@@ -96,15 +119,30 @@ def check_faults(path, faults, require_zero_unrecovered=False):
     return True
 
 
+def check_telemetry_block(path, telemetry):
+    for key in REQUIRED_TELEMETRY:
+        if key not in telemetry:
+            return fail(path, f"telemetry missing {key!r}")
+    for name, hist in telemetry["histograms"].items():
+        for key in REQUIRED_HISTOGRAM:
+            if key not in hist:
+                return fail(path, f"histogram {name!r} missing {key!r}")
+    for name, span in telemetry["spans"].items():
+        for key in REQUIRED_SPAN:
+            if key not in span:
+                return fail(path, f"span {name!r} missing {key!r}")
+        if span["p50_seconds"] > span["p99_seconds"]:
+            return fail(path, f"span {name!r} p50 > p99 "
+                              f"({span['p50_seconds']} > "
+                              f"{span['p99_seconds']})")
+    return True
+
+
 def check(path, require_zero_dropped_spans=False,
           require_zero_unrecovered=False):
-    try:
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except OSError as err:
-        return fail(path, f"unreadable: {err}")
-    except json.JSONDecodeError as err:
-        return fail(path, f"malformed JSON: {err}")
+    doc = load(path)
+    if doc is None:
+        return False
 
     for key in REQUIRED_TOP:
         if key not in doc:
@@ -123,17 +161,8 @@ def check(path, require_zero_dropped_spans=False,
             if key not in row:
                 return fail(path, f"schedule row missing {key!r}: {row}")
     telemetry = doc["telemetry"]
-    for key in REQUIRED_TELEMETRY:
-        if key not in telemetry:
-            return fail(path, f"telemetry missing {key!r}")
-    for name, hist in telemetry["histograms"].items():
-        for key in ("buckets", "count", "sum"):
-            if key not in hist:
-                return fail(path, f"histogram {name!r} missing {key!r}")
-    for name, span in telemetry["spans"].items():
-        for key in ("count", "total_seconds", "max_seconds"):
-            if key not in span:
-                return fail(path, f"span {name!r} missing {key!r}")
+    if not check_telemetry_block(path, telemetry):
+        return False
     if require_zero_dropped_spans and telemetry["dropped_spans"] != 0:
         return fail(path, f"tracer dropped {telemetry['dropped_spans']} "
                           f"spans (ring too small for this run)")
@@ -153,15 +182,90 @@ def check(path, require_zero_dropped_spans=False,
     return True
 
 
+def check_standalone_telemetry(path):
+    """A bare /telemetry.json document: the telemetry object itself."""
+    doc = load(path)
+    if doc is None:
+        return False
+    if not check_telemetry_block(path, doc):
+        return False
+    print(f"OK   {path}: counters={len(doc['counters'])} "
+          f"spans={len(doc['spans'])} dropped={doc['dropped_spans']}")
+    return True
+
+
+def check_trace(path, require_flow=False):
+    """Chrome trace-event JSON, as emitted by ExportChromeTrace."""
+    doc = load(path)
+    if doc is None:
+        return False
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, "expected an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, "traceEvents must be an array")
+
+    counts = {"X": 0, "M": 0, "s": 0, "f": 0}
+    flow_sources = {}   # flow id -> tid of the "s" step
+    flow_finishes = {}  # flow id -> tid of the "f" step
+    for event in events:
+        ph = event.get("ph")
+        if ph not in counts:
+            return fail(path, f"unexpected event phase {ph!r}: {event}")
+        counts[ph] += 1
+        if ph == "X":
+            for key in ("name", "pid", "tid", "ts", "dur"):
+                if key not in event:
+                    return fail(path, f"X event missing {key!r}: {event}")
+            if event["dur"] < 0:
+                return fail(path, f"negative duration: {event}")
+        elif ph == "M":
+            if "name" not in event or "args" not in event:
+                return fail(path, f"metadata event missing name/args: "
+                                  f"{event}")
+        else:  # flow step
+            for key in ("id", "tid", "ts"):
+                if key not in event:
+                    return fail(path, f"{ph} event missing {key!r}: {event}")
+            if ph == "f" and event.get("bp") != "e":
+                return fail(path, f"f event must bind enclosing (bp=e): "
+                                  f"{event}")
+            target = flow_sources if ph == "s" else flow_finishes
+            target[event["id"]] = event["tid"]
+
+    if flow_sources.keys() != flow_finishes.keys():
+        dangling = flow_sources.keys() ^ flow_finishes.keys()
+        return fail(path, f"unpaired flow ids: {sorted(dangling)[:5]}")
+    cross_thread = [fid for fid, tid in flow_sources.items()
+                    if flow_finishes[fid] != tid]
+    if require_flow and not cross_thread:
+        return fail(path, "no cross-thread flow event (scheduler→worker "
+                          "causality missing); pairs="
+                          f"{len(flow_sources)}")
+    print(f"OK   {path}: events={len(events)} spans={counts['X']} "
+          f"metadata={counts['M']} flows={counts['s']} "
+          f"cross_thread_flows={len(cross_thread)}")
+    return True
+
+
 def main(argv):
     args = argv[1:]
     require_zero_dropped_spans = False
     require_zero_unrecovered = False
+    trace_mode = False
+    require_flow = False
+    standalone_telemetry = False
     while args and args[0].startswith("--"):
         if args[0] == "--require-zero-dropped-spans":
             require_zero_dropped_spans = True
         elif args[0] == "--require-zero-unrecovered-faults":
             require_zero_unrecovered = True
+        elif args[0] == "--trace":
+            trace_mode = True
+        elif args[0] == "--require-flow":
+            require_flow = True
+        elif args[0] == "--standalone-telemetry":
+            standalone_telemetry = True
         else:
             print(f"unknown flag {args[0]}")
             return 1
@@ -169,8 +273,16 @@ def main(argv):
     if not args:
         print(__doc__.strip())
         return 1
-    ok = all([check(path, require_zero_dropped_spans,
-                    require_zero_unrecovered) for path in args])
+    if require_flow and not trace_mode:
+        print("--require-flow needs --trace")
+        return 1
+    if trace_mode:
+        ok = all([check_trace(path, require_flow) for path in args])
+    elif standalone_telemetry:
+        ok = all([check_standalone_telemetry(path) for path in args])
+    else:
+        ok = all([check(path, require_zero_dropped_spans,
+                        require_zero_unrecovered) for path in args])
     return 0 if ok else 1
 
 

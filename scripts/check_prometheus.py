@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition format (the /metrics endpoint).
+
+Usage:
+    check_prometheus.py [--require-metric NAME]... FILE [FILE...]
+    check_prometheus.py --self-test
+
+Checks, per https://prometheus.io/docs/instrumenting/exposition_formats/:
+  - every line is a sample, a # HELP/# TYPE comment, or blank;
+  - metric and label names are well-formed; label values use only the
+    \\\\ \\" \\n escapes; sample values parse as floats (+Inf/-Inf/NaN ok);
+  - at most one TYPE per metric, declared before its first sample, with a
+    known type; all samples of a family are consecutive;
+  - histogram families have non-decreasing `le` bucket counts, a +Inf
+    bucket, and _count equal to the +Inf bucket.
+
+--require-metric NAME (repeatable) additionally fails unless a sample
+with exactly that name appears. Reads stdin when FILE is '-'.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+# Suffixes that belong to the base family for grouping/TYPE purposes.
+FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(raw):
+    """Parses the inside of {...}; returns a dict or raises ValueError."""
+    labels = {}
+    i, n = 0, len(raw)
+    while i < n:
+        eq = raw.find("=", i)
+        if eq < 0:
+            raise ValueError(f"missing '=' at ...{raw[i:]!r}")
+        name = raw[i:eq]
+        if not LABEL_NAME_RE.match(name):
+            raise ValueError(f"bad label name {name!r}")
+        i = eq + 1
+        if i >= n or raw[i] != '"':
+            raise ValueError(f"label value must be quoted at ...{raw[i:]!r}")
+        i += 1
+        value = []
+        while i < n and raw[i] != '"':
+            if raw[i] == "\\":
+                if i + 1 >= n or raw[i + 1] not in ('\\', '"', 'n'):
+                    raise ValueError(
+                        f"bad escape at ...{raw[i:]!r} (only \\\\ \\\" \\n)")
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[raw[i + 1]])
+                i += 2
+            else:
+                value.append(raw[i])
+                i += 1
+        if i >= n:
+            raise ValueError("unterminated label value")
+        i += 1  # closing quote
+        labels[name] = "".join(value)
+        if i < n:
+            if raw[i] != ",":
+                raise ValueError(f"expected ',' between labels at "
+                                 f"...{raw[i:]!r}")
+            i += 1
+    return labels
+
+
+def parse_value(raw):
+    lowered = raw.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(raw)  # raises ValueError on garbage
+
+
+def family_of(name):
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def validate(text, path="<input>", require_metrics=()):
+    """Returns a list of error strings (empty = valid)."""
+    errors = []
+    types = {}          # family -> declared type
+    seen_samples = set()  # families that already emitted a sample
+    closed = set()      # families whose consecutive sample run ended
+    current_family = None
+    histogram_buckets = {}  # family -> list of (le, count)
+    histogram_counts = {}   # family -> _count value
+    sample_names = set()
+
+    def err(lineno, message):
+        errors.append(f"{path}:{lineno}: {message}")
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_NAME_RE.match(parts[2]):
+                    err(lineno, f"bad {parts[1]} line: {line!r}")
+                    continue
+                if parts[1] == "TYPE":
+                    name = parts[2]
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in KNOWN_TYPES:
+                        err(lineno, f"unknown type {kind!r} for {name}")
+                    if name in types:
+                        err(lineno, f"duplicate TYPE for {name}")
+                    if name in seen_samples:
+                        err(lineno, f"TYPE for {name} after its samples")
+                    types[name] = kind
+            # Other comments are legal and ignored.
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            err(lineno, f"unparsable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        sample_names.add(name)
+        labels_raw = match.group("labels")
+        labels = {}
+        if labels_raw is not None:
+            try:
+                labels = parse_labels(labels_raw)
+            except ValueError as exc:
+                err(lineno, f"{name}: {exc}")
+                continue
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            err(lineno, f"{name}: bad value {match.group('value')!r}")
+            continue
+
+        family = family_of(name)
+        if family != current_family:
+            if family in closed:
+                err(lineno, f"samples of {family} are not consecutive")
+            if current_family is not None:
+                closed.add(current_family)
+            current_family = family
+        seen_samples.add(family)
+        seen_samples.add(name)
+
+        if types.get(family) == "histogram" and name == family + "_bucket":
+            if "le" not in labels:
+                err(lineno, f"{name}: histogram bucket without le label")
+            else:
+                try:
+                    le = parse_value(labels["le"])
+                    histogram_buckets.setdefault(family, []).append(
+                        (le, value))
+                except ValueError:
+                    err(lineno, f"{name}: bad le {labels['le']!r}")
+        if types.get(family) == "histogram" and name == family + "_count":
+            histogram_counts[family] = value
+
+    for family, buckets in histogram_buckets.items():
+        counts = [count for _, count in buckets]
+        if counts != sorted(counts):
+            errors.append(f"{path}: histogram {family} bucket counts "
+                          f"decrease: {counts}")
+        if not buckets or not math.isinf(buckets[-1][0]):
+            errors.append(f"{path}: histogram {family} lacks a +Inf bucket")
+        elif family in histogram_counts and \
+                histogram_counts[family] != buckets[-1][1]:
+            errors.append(f"{path}: histogram {family} _count="
+                          f"{histogram_counts[family]} != +Inf bucket="
+                          f"{buckets[-1][1]}")
+
+    for required in require_metrics:
+        if required not in sample_names:
+            errors.append(f"{path}: required metric {required!r} absent")
+    return errors
+
+
+# --------------------------- self test -----------------------------------
+
+GOOD = """\
+# HELP rock_x_total Counts x events; backslash \\\\ and "quotes" are ok
+# TYPE rock_x_total counter
+rock_x_total 5
+# TYPE rock_q gauge
+rock_q -3
+# TYPE rock_lat_seconds histogram
+rock_lat_seconds_bucket{le="0.1"} 1
+rock_lat_seconds_bucket{le="1"} 3
+rock_lat_seconds_bucket{le="+Inf"} 4
+rock_lat_seconds_sum 1.25
+rock_lat_seconds_count 4
+# TYPE rock_span_seconds summary
+rock_span_seconds{name="detect \\"fast\\" pass",quantile="0.5"} 0.01
+rock_span_seconds{name="a\\\\b\\nc",quantile="0.99"} 0.05
+rock_span_seconds_sum{name="detect \\"fast\\" pass"} 0.5
+rock_span_seconds_count{name="detect \\"fast\\" pass"} 50
+"""
+
+SELF_TEST_CASES = [
+    # (description, text, expect_valid, require)
+    ("well-formed exposition", GOOD, True, ()),
+    ("require present metric", GOOD, True, ("rock_x_total",)),
+    ("require absent metric", GOOD, False, ("rock_missing",)),
+    ("bad metric name", "1bad_name 5\n", False, ()),
+    ("bad value", "rock_x oops\n", False, ()),
+    ("inf value ok", "rock_x +Inf\n", True, ()),
+    ("bad escape in label",
+     'rock_x{name="a\\qb"} 1\n', False, ()),
+    ("unquoted label value", "rock_x{name=zzz} 1\n", False, ()),
+    ("unterminated label value", 'rock_x{name="zzz} 1\n', False, ()),
+    ("unknown type", "# TYPE rock_x widget\nrock_x 1\n", False, ()),
+    ("duplicate type",
+     "# TYPE rock_x counter\n# TYPE rock_x counter\nrock_x 1\n", False, ()),
+    ("type after samples",
+     "rock_x 1\n# TYPE rock_x counter\n", False, ()),
+    ("non-consecutive family",
+     "rock_a 1\nrock_b 2\nrock_a 3\n", False, ()),
+    ("histogram bucket without le",
+     "# TYPE rock_h histogram\nrock_h_bucket 1\n", False, ()),
+    ("histogram decreasing buckets",
+     "# TYPE rock_h histogram\n"
+     'rock_h_bucket{le="1"} 5\nrock_h_bucket{le="+Inf"} 3\n', False, ()),
+    ("histogram missing +Inf",
+     "# TYPE rock_h histogram\n"
+     'rock_h_bucket{le="1"} 5\n', False, ()),
+    ("histogram count mismatch",
+     "# TYPE rock_h histogram\n"
+     'rock_h_bucket{le="+Inf"} 3\nrock_h_sum 1\nrock_h_count 4\n',
+     False, ()),
+    ("timestamped sample", "rock_x 5 1700000000000\n", True, ()),
+]
+
+
+def self_test():
+    failures = []
+    for description, text, expect_valid, require in SELF_TEST_CASES:
+        errors = validate(text, path=description, require_metrics=require)
+        if expect_valid and errors:
+            failures.append(f"{description!r}: expected valid, got "
+                            f"{errors[:2]}")
+        elif not expect_valid and not errors:
+            failures.append(f"{description!r}: expected errors, got none")
+    if failures:
+        print("check_prometheus.py self-test FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(f"check_prometheus.py self-test passed "
+          f"({len(SELF_TEST_CASES)} fixtures)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="exposition files "
+                        "('-' = stdin)")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME", help="fail unless a sample with "
+                        "exactly this name appears (repeatable)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixture suite and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("no input files (or --self-test)")
+
+    all_errors = []
+    for path in args.files:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    text = fh.read()
+            except OSError as exc:
+                all_errors.append(f"{path}: unreadable: {exc}")
+                continue
+        errors = validate(text, path=path,
+                          require_metrics=args.require_metric)
+        if errors:
+            all_errors.extend(errors)
+        else:
+            lines = sum(1 for l in text.split("\n")
+                        if l.strip() and not l.startswith("#"))
+            print(f"OK   {path}: {lines} samples")
+    for error in all_errors:
+        print("FAIL " + error)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

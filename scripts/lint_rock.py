@@ -15,6 +15,9 @@ Enforces repo conventions that neither the compiler nor clang-tidy check:
   nondeterminism     no rand() / std::random_device under src/ — the chase
                      and discovery must be bit-reproducible, so randomness
                      goes through the seeded rock::common::Rng.
+  raw-socket         no socket()/bind()/listen()/accept()/connect() calls
+                     outside src/obs/server.cc — one audited seam for all
+                     networking (TelemetryServer today, rockd tomorrow).
   unregistered-test  every tests/*.cc is picked up by tests/CMakeLists.txt
                      (the glob takes *_test.cc; anything else must be named
                      there explicitly or it silently never runs).
@@ -49,6 +52,12 @@ RAW_STDIO_RE = re.compile(
     r"std::cout\b|std::cerr\b|(?<![A-Za-z_])printf\s*\(|std::puts\b")
 NONDETERMINISM_RE = re.compile(
     r"(?<![A-Za-z_:])rand\s*\(\s*\)|std::random_device\b")
+# Bare POSIX calls, optionally `::`-qualified. The lookbehind keeps member
+# calls (ring.accept(...)), qualified names (std::bind), and identifiers
+# merely ending in a call name (MySocket(...)) from matching.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![A-Za-z0-9_:.>])(?:::\s*)?"
+    r"(?:socket|bind|listen|accept|accept4|connect)\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -114,6 +123,10 @@ def lint_file(path, text):
           "use the seeded rock::common::Rng; rand()/random_device break "
           "reproducibility",
           skip=not path.startswith("src/"))
+    check("raw-socket", RAW_SOCKET_RE,
+          "networking goes through obs::TelemetryServer / HttpFetch; "
+          "src/obs/server.cc is the one audited socket seam",
+          skip=path == "src/obs/server.cc")
 
     if is_header and "#pragma once" not in text:
         findings.append((path, 1, "pragma-once",
@@ -185,6 +198,14 @@ SELF_TEST_CASES = [
     ("src/discovery/sample.cc", "std::random_device rd;\n",
      "nondeterminism"),
     ("src/common/rng.cc", "uint64_t s = seed;\n", None),
+    ("src/core/engine.cc", "int fd = ::socket(AF_INET, 0, 0);\n",
+     "raw-socket"),
+    ("src/core/engine.cc", "bind(fd, addr, len);\n", "raw-socket"),
+    ("tests/obs_server_test.cc", "listen(fd, 4);\n", "raw-socket"),
+    ("src/obs/server.cc", "int fd = ::socket(AF_INET, 0, 0);\n", None),
+    ("src/par/executor.cc", "auto f = std::bind(&X::Run, this);\n", None),
+    ("src/par/executor.cc", "ring.accept(unit);\n", None),
+    ("src/par/executor.cc", "queue->accept(unit);\n", None),
     ("tests/helper_test.cc", "ok\n", None),
 ]
 

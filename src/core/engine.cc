@@ -427,4 +427,26 @@ Status Rock::DumpJson(const std::string& path) const {
   return obs::WriteFile(path, Telemetry().ToJson());
 }
 
+Status Rock::StartTelemetryServer(int port) {
+  if (telemetry_server_ != nullptr) {
+    return Status::AlreadyExists(
+        "telemetry server already running on port " +
+        std::to_string(telemetry_server_->port()));
+  }
+  obs::TelemetryServer::Options options;
+  options.port = port;
+  options.build_info = "rock core (" + std::string(VariantName(
+                           options_.variant)) + " variant)";
+  auto server = obs::TelemetryServer::Start(options);
+  if (!server.ok()) return server.status();
+  telemetry_server_ = std::move(server).value();
+  return Status::Ok();
+}
+
+void Rock::StopTelemetryServer() { telemetry_server_.reset(); }
+
+int Rock::telemetry_server_port() const {
+  return telemetry_server_ == nullptr ? -1 : telemetry_server_->port();
+}
+
 }  // namespace rock::core

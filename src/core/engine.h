@@ -12,6 +12,7 @@
 #include "src/kg/graph.h"
 #include "src/ml/library.h"
 #include "src/obs/exporters.h"
+#include "src/obs/server.h"
 #include "src/rules/parser.h"
 #include "src/storage/relation.h"
 
@@ -206,6 +207,20 @@ class Rock {
   /// Writes Telemetry() as a JSON document to `path`.
   Status DumpJson(const std::string& path) const;
 
+  /// Starts the live telemetry plane (obs::TelemetryServer) on `port`
+  /// (0 = ephemeral; read back via telemetry_server_port()). The server
+  /// snapshots the process-global registry/tracer per request, so it
+  /// observes every Rock instance in the process. Fails if a server is
+  /// already running on this instance or the port cannot be bound.
+  Status StartTelemetryServer(int port);
+
+  /// Stops the server started by StartTelemetryServer. Safe to call when
+  /// none is running.
+  void StopTelemetryServer();
+
+  /// Bound port of the running telemetry server, or -1.
+  int telemetry_server_port() const;
+
  private:
   Database* db_;
   kg::KnowledgeGraph* graph_;
@@ -213,6 +228,7 @@ class Rock {
   ml::MlLibrary models_;
   std::vector<PolyRule> poly_rules_;
   std::shared_ptr<chase::ChaseEngine> last_engine_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_server_;
 
   rules::EvalContext Context() const;
   /// Appends polynomial violations to `report`.

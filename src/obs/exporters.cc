@@ -132,22 +132,74 @@ JsonWriter& JsonWriter::Bool(bool value) {
   return *this;
 }
 
+std::string PromEscapeLabelValue(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeHelp(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendHelpLine(const std::string& name, const std::string& help,
+                    std::string* out) {
+  if (help.empty()) return;
+  *out += "# HELP " + name + " " + PromEscapeHelp(help) + "\n";
+}
+
+}  // namespace
+
 std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot) {
   std::string out;
   char buf[256];
   for (const auto& counter : snapshot.counters) {
+    AppendHelpLine(counter.name, counter.help, &out);
     out += "# TYPE " + counter.name + " counter\n";
     std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", counter.name.c_str(),
                   counter.value);
     out += buf;
   }
   for (const auto& gauge : snapshot.gauges) {
+    AppendHelpLine(gauge.name, gauge.help, &out);
     out += "# TYPE " + gauge.name + " gauge\n";
     std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", gauge.name.c_str(),
                   gauge.value);
     out += buf;
   }
   for (const auto& histogram : snapshot.histograms) {
+    AppendHelpLine(histogram.name, histogram.help, &out);
     out += "# TYPE " + histogram.name + " histogram\n";
     for (size_t i = 0; i < histogram.bounds.size(); ++i) {
       std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
@@ -164,6 +216,84 @@ std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot) {
     out += buf;
     std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n",
                   histogram.name.c_str(), histogram.count);
+    out += buf;
+    // Bucket-interpolated percentiles as companion gauges, so phase
+    // latencies compare across runs without a PromQL evaluator.
+    const struct {
+      const char* suffix;
+      double value;
+    } percentiles[] = {{"_p50", histogram.p50},
+                       {"_p95", histogram.p95},
+                       {"_p99", histogram.p99}};
+    for (const auto& p : percentiles) {
+      out += "# TYPE " + histogram.name + p.suffix + " gauge\n";
+      std::snprintf(buf, sizeof(buf), "%s%s %s\n", histogram.name.c_str(),
+                    p.suffix, FormatDouble(p.value).c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot,
+                             const std::map<std::string, SpanStats>& spans,
+                             uint64_t dropped_spans) {
+  std::string out = ExportPrometheus(snapshot);
+  char buf[256];
+  if (!spans.empty()) {
+    // One summary family for every span name: quantile-labelled latency
+    // series plus the conventional _sum/_count companions.
+    out +=
+        "# HELP rock_obs_span_seconds Span latency percentiles "
+        "(nearest-rank over the retained trace ring)\n";
+    out += "# TYPE rock_obs_span_seconds summary\n";
+    for (const auto& [name, stats] : spans) {
+      std::string label = PromEscapeLabelValue(name);
+      const struct {
+        const char* quantile;
+        double value;
+      } quantiles[] = {{"0.5", stats.p50_seconds},
+                       {"0.95", stats.p95_seconds},
+                       {"0.99", stats.p99_seconds}};
+      for (const auto& q : quantiles) {
+        std::snprintf(buf, sizeof(buf),
+                      "rock_obs_span_seconds{name=\"%s\",quantile=\"%s\"} "
+                      "%s\n",
+                      label.c_str(), q.quantile,
+                      FormatDouble(q.value).c_str());
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "rock_obs_span_seconds_sum{name=\"%s\"} %s\n",
+                    label.c_str(), FormatDouble(stats.total_seconds).c_str());
+      out += buf;
+      std::snprintf(buf, sizeof(buf),
+                    "rock_obs_span_seconds_count{name=\"%s\"} %" PRIu64 "\n",
+                    label.c_str(), stats.count);
+      out += buf;
+    }
+    out += "# TYPE rock_obs_span_seconds_max gauge\n";
+    for (const auto& [name, stats] : spans) {
+      std::snprintf(buf, sizeof(buf),
+                    "rock_obs_span_seconds_max{name=\"%s\"} %s\n",
+                    PromEscapeLabelValue(name).c_str(),
+                    FormatDouble(stats.max_seconds).c_str());
+      out += buf;
+    }
+  }
+  // Scrapers gate on the drop gauge; make sure it is present even when the
+  // snapshot was taken before the registry ever saw it.
+  bool have_drop_gauge = false;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "rock_obs_dropped_spans") {
+      have_drop_gauge = true;
+      break;
+    }
+  }
+  if (!have_drop_gauge) {
+    out += "# TYPE rock_obs_dropped_spans gauge\n";
+    std::snprintf(buf, sizeof(buf), "rock_obs_dropped_spans %" PRIu64 "\n",
+                  dropped_spans);
     out += buf;
   }
   return out;
@@ -198,6 +328,9 @@ void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
     w.EndArray();
     w.Key("count").Uint(histogram.count);
     w.Key("sum").Number(histogram.sum);
+    w.Key("p50").Number(histogram.p50);
+    w.Key("p95").Number(histogram.p95);
+    w.Key("p99").Number(histogram.p99);
     w.EndObject();
   }
   w.EndObject();
@@ -208,6 +341,9 @@ void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
     w.Key("count").Uint(stats.count);
     w.Key("total_seconds").Number(stats.total_seconds);
     w.Key("max_seconds").Number(stats.max_seconds);
+    w.Key("p50_seconds").Number(stats.p50_seconds);
+    w.Key("p95_seconds").Number(stats.p95_seconds);
+    w.Key("p99_seconds").Number(stats.p99_seconds);
     w.EndObject();
   }
   w.EndObject();
@@ -254,8 +390,92 @@ std::string ExportJson(const MetricsRegistry::Snapshot& snapshot,
   return w.str();
 }
 
+std::string ExportChromeTrace(
+    const std::vector<SpanRecord>& records,
+    const std::map<uint32_t, std::string>& thread_names) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+
+  w.BeginObject();
+  w.Key("ph").String("M");
+  w.Key("name").String("process_name");
+  w.Key("pid").Int(1);
+  w.Key("tid").Int(0);
+  w.Key("args").BeginObject().Key("name").String("rock").EndObject();
+  w.EndObject();
+  for (const auto& [tid, name] : thread_names) {
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("name").String("thread_name");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(static_cast<int64_t>(tid));
+    w.Key("args").BeginObject().Key("name").String(name).EndObject();
+    w.EndObject();
+  }
+
+  // Span id -> record, to resolve flow sources. Retained spans only: a
+  // flow whose source fell off the ring is silently skipped.
+  std::map<uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& record : records) by_id[record.id] = &record;
+
+  for (const SpanRecord& record : records) {
+    double ts_micros = record.start_seconds * 1e6;
+    w.BeginObject();
+    w.Key("ph").String("X");
+    w.Key("name").String(record.name);
+    w.Key("cat").String("rock");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(static_cast<int64_t>(record.thread));
+    w.Key("ts").Number(ts_micros);
+    w.Key("dur").Number(record.duration_seconds * 1e6);
+    w.Key("args").BeginObject();
+    w.Key("id").Uint(record.id);
+    w.Key("parent").Uint(record.parent_id);
+    w.EndObject();
+    w.EndObject();
+
+    auto source = by_id.find(record.flow_from);
+    if (record.flow_from != 0 && source != by_id.end()) {
+      // One flow (keyed by the destination span id) per scheduler→worker
+      // hop: a start step on the submitting span's thread at its start
+      // time, a finish step (bp:"e" binds to the enclosing slice) where
+      // the execution span begins.
+      const SpanRecord& from = *source->second;
+      w.BeginObject();
+      w.Key("ph").String("s");
+      w.Key("id").Uint(record.id);
+      w.Key("name").String("rock.flow");
+      w.Key("cat").String("rock.flow");
+      w.Key("pid").Int(1);
+      w.Key("tid").Int(static_cast<int64_t>(from.thread));
+      w.Key("ts").Number(from.start_seconds * 1e6);
+      w.EndObject();
+      w.BeginObject();
+      w.Key("ph").String("f");
+      w.Key("bp").String("e");
+      w.Key("id").Uint(record.id);
+      w.Key("name").String("rock.flow");
+      w.Key("cat").String("rock.flow");
+      w.Key("pid").Int(1);
+      w.Key("tid").Int(static_cast<int64_t>(record.thread));
+      w.Key("ts").Number(ts_micros);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
 TelemetrySnapshot CaptureGlobalTelemetry() {
   TelemetrySnapshot snap;
+  // Snapshot the ring before reading dropped(): a wrap racing the capture
+  // then shows up in dropped_spans instead of vanishing from both.
+  snap.trace = Tracer::Global().Snapshot();
+  snap.spans = Tracer::Global().AggregateByName();
+  snap.thread_names = Tracer::Global().ThreadNames();
   snap.dropped_spans = Tracer::Global().dropped();
   // Mirror the ring's drop count as a gauge so it reaches the Prometheus
   // export (and the JSON "gauges" block) — the CI smoke asserts it is 0.
@@ -263,7 +483,6 @@ TelemetrySnapshot CaptureGlobalTelemetry() {
       .GetGauge("rock_obs_dropped_spans")
       ->Set(static_cast<int64_t>(snap.dropped_spans));
   snap.metrics = MetricsRegistry::Global().Snap();
-  snap.spans = Tracer::Global().AggregateByName();
   return snap;
 }
 

@@ -40,9 +40,35 @@ class JsonWriter {
 
 std::string JsonEscape(const std::string& raw);
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double-quote, and newline become \\ , \" , \n.
+std::string PromEscapeLabelValue(const std::string& raw);
+
+/// Escapes Prometheus HELP text: backslash and newline only (quotes are
+/// legal in HELP).
+std::string PromEscapeHelp(const std::string& raw);
+
 /// Prometheus text exposition format (counters, gauges, histograms with
-/// cumulative `le` buckets, `_sum` and `_count` series).
+/// cumulative `le` buckets, `_sum`/`_count` and `_p50`/`_p95`/`_p99`
+/// series; HELP lines where registered).
 std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot);
+
+/// Full exposition: the metrics snapshot plus per-span-name latency
+/// summaries (`rock_obs_span_seconds{name=...,quantile=...}` with
+/// `_sum`/`_count`/`_max`) and the `rock_obs_dropped_spans` gauge. This is
+/// what the /metrics endpoint serves.
+std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot,
+                             const std::map<std::string, SpanStats>& spans,
+                             uint64_t dropped_spans);
+
+/// Chrome trace-event JSON (Perfetto-loadable): one complete ("X") event
+/// per span on its recording thread, thread_name/process_name metadata
+/// ("M") from `thread_names`, and an s→f flow-event pair for every span
+/// whose `flow_from` resolves to a retained span — the arrow from the
+/// scheduler-side submit span to the worker-side execution span.
+std::string ExportChromeTrace(
+    const std::vector<SpanRecord>& records,
+    const std::map<uint32_t, std::string>& thread_names);
 
 /// Everything the process knows about itself, as one JSON object:
 /// {"counters": {...}, "gauges": {...}, "histograms": {...},
@@ -75,12 +101,19 @@ Status WriteFile(const std::string& path, const std::string& content);
 struct TelemetrySnapshot {
   MetricsRegistry::Snapshot metrics;
   std::map<std::string, SpanStats> spans;
+  std::vector<SpanRecord> trace;
+  std::map<uint32_t, std::string> thread_names;
   uint64_t dropped_spans = 0;
 
   std::string ToJson() const {
     return ExportJson(metrics, spans, dropped_spans);
   }
-  std::string ToPrometheus() const { return ExportPrometheus(metrics); }
+  std::string ToPrometheus() const {
+    return ExportPrometheus(metrics, spans, dropped_spans);
+  }
+  std::string ToChromeTrace() const {
+    return ExportChromeTrace(trace, thread_names);
+  }
 };
 
 TelemetrySnapshot CaptureGlobalTelemetry();

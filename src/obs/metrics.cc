@@ -68,8 +68,43 @@ void Histogram::Reset() {
   }
 }
 
+double Histogram::Percentile(double q) const {
+  return PercentileFromCumulative(bounds_, CumulativeCounts(), q);
+}
+
 std::vector<double> LatencyBucketsSeconds() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 30.0};
+}
+
+double PercentileFromCumulative(const std::vector<double>& bounds,
+                                const std::vector<uint64_t>& cumulative,
+                                double q) {
+  if (cumulative.empty() || cumulative.back() == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t total = cumulative.back();
+  // Target rank in [1, total]; the bucket whose cumulative count first
+  // reaches it holds the estimate.
+  double rank = q * static_cast<double>(total);
+  if (rank < 1.0) rank = 1.0;
+  size_t bucket = 0;
+  while (bucket < cumulative.size() &&
+         static_cast<double>(cumulative[bucket]) < rank) {
+    ++bucket;
+  }
+  if (bucket >= bounds.size()) {
+    // +Inf bucket: no upper edge to interpolate toward; clamp to the last
+    // finite bound (or 0 when there are no finite bounds at all).
+    return bounds.empty() ? 0.0 : bounds.back();
+  }
+  double lower = bucket == 0 ? 0.0 : bounds[bucket - 1];
+  double upper = bounds[bucket];
+  uint64_t below = bucket == 0 ? 0 : cumulative[bucket - 1];
+  uint64_t in_bucket = cumulative[bucket] - below;
+  if (in_bucket == 0) return upper;
+  double fraction = (rank - static_cast<double>(below)) /
+                    static_cast<double>(in_bucket);
+  return lower + (upper - lower) * fraction;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -109,6 +144,18 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   });
 }
 
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& help) {
+  common::MutexLock lock(mu_);
+  for (auto& [existing, text] : help_) {
+    if (existing == name) {
+      text = help;
+      return;
+    }
+  }
+  help_.emplace_back(name, help);
+}
+
 uint64_t MetricsRegistry::Snapshot::CounterValue(
     const std::string& name) const {
   for (const CounterSample& c : counters) {
@@ -128,11 +175,18 @@ int64_t MetricsRegistry::Snapshot::GaugeValue(
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   common::MutexLock lock(mu_);
   Snapshot snap;
+  auto help_for = [this](const std::string& name)
+                      ROCK_REQUIRES(mu_) -> std::string {
+    for (const auto& [existing, text] : help_) {
+      if (existing == name) return text;
+    }
+    return {};
+  };
   for (const auto& [name, counter] : counters_) {
-    snap.counters.push_back({name, counter->Value()});
+    snap.counters.push_back({name, counter->Value(), help_for(name)});
   }
   for (const auto& [name, gauge] : gauges_) {
-    snap.gauges.push_back({name, gauge->Value()});
+    snap.gauges.push_back({name, gauge->Value(), help_for(name)});
   }
   for (const auto& [name, histogram] : histograms_) {
     HistogramSample sample;
@@ -143,6 +197,13 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
                        ? 0
                        : sample.cumulative_counts.back();
     sample.sum = histogram->Sum();
+    sample.p50 = PercentileFromCumulative(sample.bounds,
+                                          sample.cumulative_counts, 0.50);
+    sample.p95 = PercentileFromCumulative(sample.bounds,
+                                          sample.cumulative_counts, 0.95);
+    sample.p99 = PercentileFromCumulative(sample.bounds,
+                                          sample.cumulative_counts, 0.99);
+    sample.help = help_for(name);
     snap.histograms.push_back(std::move(sample));
   }
   auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };

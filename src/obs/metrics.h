@@ -72,6 +72,11 @@ class Histogram {
   std::vector<uint64_t> CumulativeCounts() const;
   uint64_t Count() const;
   double Sum() const;
+  /// Quantile estimate (q in [0,1]) by linear interpolation within the
+  /// bucket holding the target rank — Prometheus histogram_quantile
+  /// semantics. Returns 0 when empty; observations beyond the last finite
+  /// bound clamp to that bound (the +Inf bucket has no width).
+  double Percentile(double q) const;
   const std::vector<double>& bounds() const { return bounds_; }
   void Reset();
 
@@ -89,6 +94,14 @@ class Histogram {
 /// Default bucket bounds for operation latencies in seconds (1µs .. 30s).
 std::vector<double> LatencyBucketsSeconds();
 
+/// Bucket-interpolation quantile shared by Histogram::Percentile and the
+/// exporters (which work from snapshot data, not live histograms).
+/// `cumulative` follows the CumulativeCounts() layout: one entry per finite
+/// bound plus the trailing +Inf total.
+double PercentileFromCumulative(const std::vector<double>& bounds,
+                                const std::vector<uint64_t>& cumulative,
+                                double q);
+
 /// Process-wide metric registry. Registration (name -> metric) is guarded
 /// by a mutex and returns a stable pointer; call sites cache that pointer
 /// (typically in a function-local static) so the hot path never locks or
@@ -103,15 +116,22 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds);
 
+  /// Attaches HELP text to a metric name; exporters emit it (escaped per
+  /// the Prometheus exposition format). Last write wins; help survives
+  /// Reset().
+  void SetHelp(const std::string& name, const std::string& help);
+
   /// Point-in-time copy of every metric, sorted by name — the exporters'
   /// input.
   struct CounterSample {
     std::string name;
     uint64_t value;
+    std::string help;
   };
   struct GaugeSample {
     std::string name;
     int64_t value;
+    std::string help;
   };
   struct HistogramSample {
     std::string name;
@@ -119,6 +139,10 @@ class MetricsRegistry {
     std::vector<uint64_t> cumulative_counts;  // size bounds.size() + 1
     uint64_t count;
     double sum;
+    double p50;
+    double p95;
+    double p99;
+    std::string help;
   };
   struct Snapshot {
     std::vector<CounterSample> counters;
@@ -146,6 +170,8 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
       ROCK_GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      ROCK_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::string>> help_
       ROCK_GUARDED_BY(mu_);
 };
 

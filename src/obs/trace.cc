@@ -1,6 +1,8 @@
 #include "src/obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 namespace rock::obs {
 namespace {
@@ -11,12 +13,6 @@ double SteadySeconds() {
       .count();
 }
 
-uint32_t ThisThreadTraceId() {
-  static std::atomic<uint32_t> next{0};
-  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
-  return id;
-}
-
 size_t RoundUpPow2(size_t n) {
   size_t p = 1;
   while (p < n) p <<= 1;
@@ -25,14 +21,43 @@ size_t RoundUpPow2(size_t n) {
 
 thread_local uint64_t t_current_span = 0;
 
+/// Nearest-rank percentile over an already-sorted duration list.
+double NearestRank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
 }  // namespace
 
-/// One ring slot: a single-byte latch publishing `record`. The latch is
-/// held only for the duration of a 48-byte copy, so contention (ring lap
-/// or concurrent snapshot) resolves in nanoseconds.
+uint32_t ThisThreadTraceId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+size_t TraceCapacityFromEnv(size_t fallback) {
+  const char* raw = std::getenv("ROCK_OBS_TRACE_CAPACITY");  // NOLINT(concurrency-mt-unsafe)
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || value == 0) return fallback;
+  return static_cast<size_t>(value);
+}
+
+/// One ring slot: a single-byte latch publishing `record` plus the
+/// reservation sequence that wrote it. The latch is held only for the
+/// duration of a ~64-byte copy, so contention (ring lap or concurrent
+/// snapshot) resolves in nanoseconds. `seq` lets Snapshot() reject a
+/// record that a concurrent wrap wrote over the index it is scanning —
+/// without it, a snapshot racing a lap could attribute a brand-new span
+/// to the oldest retained index while dropped() already counted the span
+/// that used to live there.
 struct Tracer::Slot {
   std::atomic<bool> busy{false};
-  std::atomic<bool> filled{false};
+  bool filled = false;
+  uint64_t seq = 0;
   SpanRecord record;
 
   void Lock() {
@@ -50,7 +75,8 @@ Tracer::Tracer(size_t capacity)
 Tracer::~Tracer() { delete[] slots_; }
 
 Tracer& Tracer::Global() {
-  static Tracer* tracer = new Tracer();
+  static Tracer* tracer =
+      new Tracer(TraceCapacityFromEnv(kGlobalTraceCapacity));
   return *tracer;
 }
 
@@ -61,30 +87,35 @@ void Tracer::Record(const SpanRecord& record) {
   Slot& slot = slots_[index & (capacity_ - 1)];
   slot.Lock();
   slot.record = record;
-  slot.filled.store(true, std::memory_order_relaxed);
+  slot.seq = index;
+  slot.filled = true;
   slot.Unlock();
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::vector<SpanRecord> out;
   // Oldest retained slot first. `next_` may advance while we scan; the
-  // per-slot latch keeps every copied record internally consistent.
+  // per-slot latch keeps every copied record internally consistent, and
+  // the slot's `seq` confirms the record still belongs to the index we
+  // asked for (a lap during the scan leaves the record out — it will be
+  // reflected in dropped() when read after this snapshot).
   uint64_t written = next_.load(std::memory_order_acquire);
   uint64_t begin = written > capacity_ ? written - capacity_ : 0;
   out.reserve(static_cast<size_t>(written - begin));
   for (uint64_t index = begin; index < written; ++index) {
     Slot& slot = slots_[index & (capacity_ - 1)];
     slot.Lock();
-    bool filled = slot.filled.load(std::memory_order_relaxed);
+    bool keep = slot.filled && slot.seq == index;
     SpanRecord record = slot.record;
     slot.Unlock();
-    if (filled) out.push_back(record);
+    if (keep) out.push_back(record);
   }
   return out;
 }
 
 std::map<std::string, SpanStats> Tracer::AggregateByName() const {
   std::map<std::string, SpanStats> out;
+  std::map<std::string, std::vector<double>> durations;
   for (const SpanRecord& record : Snapshot()) {
     SpanStats& stats = out[record.name];
     ++stats.count;
@@ -92,6 +123,14 @@ std::map<std::string, SpanStats> Tracer::AggregateByName() const {
     if (record.duration_seconds > stats.max_seconds) {
       stats.max_seconds = record.duration_seconds;
     }
+    durations[record.name].push_back(record.duration_seconds);
+  }
+  for (auto& [name, values] : durations) {
+    std::sort(values.begin(), values.end());
+    SpanStats& stats = out[name];
+    stats.p50_seconds = NearestRank(values, 0.50);
+    stats.p95_seconds = NearestRank(values, 0.95);
+    stats.p99_seconds = NearestRank(values, 0.99);
   }
   return out;
 }
@@ -101,13 +140,24 @@ uint64_t Tracer::dropped() const {
   return written > capacity_ ? written - capacity_ : 0;
 }
 
+void Tracer::SetThisThreadName(const std::string& name) {
+  common::MutexLock lock(names_mu_);
+  thread_names_[ThisThreadTraceId()] = name;
+}
+
+std::map<uint32_t, std::string> Tracer::ThreadNames() const {
+  common::MutexLock lock(names_mu_);
+  return thread_names_;
+}
+
 void Tracer::Reset() {
   // Walk every slot under its latch rather than resetting next_: concurrent
   // writers may hold reserved indices, and monotonic next_ keeps their
   // slots valid.
   for (size_t i = 0; i < capacity_; ++i) {
     slots_[i].Lock();
-    slots_[i].filled.store(false, std::memory_order_relaxed);
+    slots_[i].filled = false;
+    slots_[i].seq = 0;
     slots_[i].Unlock();
   }
   next_.store(0, std::memory_order_release);
@@ -116,10 +166,11 @@ void Tracer::Reset() {
 
 uint64_t CurrentSpanId() { return t_current_span; }
 
-ScopedSpan::ScopedSpan(const char* name, Tracer& tracer)
+ScopedSpan::ScopedSpan(const char* name, Tracer& tracer, uint64_t flow_from)
     : tracer_(tracer), saved_current_(t_current_span) {
   record_.id = tracer_.NextSpanId();
   record_.parent_id = saved_current_;
+  record_.flow_from = flow_from;
   record_.name = name;
   record_.thread = ThisThreadTraceId();
   record_.start_seconds = tracer_.Now();

@@ -60,6 +60,16 @@ struct PoolMetrics {
       out.units_reassigned =
           reg.GetCounter("rock_par_units_reassigned_total");
       out.unrecovered_units = reg.GetGauge("rock_faults_unrecovered_units");
+      reg.SetHelp("rock_par_units_executed_total",
+                  "Work units executed by the pool (all Execute calls)");
+      reg.SetHelp("rock_par_units_stolen_total",
+                  "Work units taken from a peer's deque");
+      reg.SetHelp("rock_par_queue_depth",
+                  "Work units enqueued but not yet finished");
+      reg.SetHelp("rock_par_unit_seconds",
+                  "Per-unit execution latency (CPU seconds when available)");
+      reg.SetHelp("rock_faults_unrecovered_units",
+                  "Abandoned units awaiting replay; 0 after recovery");
       return out;
     }();
     return m;
@@ -452,7 +462,13 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
   const PoolMetrics& metrics = PoolMetrics::Get();
   metrics.queue_depth->Add(static_cast<int64_t>(units.size()));
 
+  // The open "par.execute" span on this (scheduling) thread; worker-side
+  // unit spans carry it as their flow source, which is what lets the
+  // Chrome trace exporter draw scheduler→worker arrows.
+  const uint64_t submit_span = obs::CurrentSpanId();
+
   auto worker_main = [&](int me) {
+    obs::Tracer::Global().SetThisThreadName("worker-" + std::to_string(me));
     auto& own = queues[static_cast<size_t>(me)];
     while (true) {
       if (plan != nullptr &&
@@ -600,7 +616,10 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
       }
       Timer timer;
       double cpu_start = ThreadCpuSeconds();
-      body(units[unit], unit, me);
+      {
+        ROCK_OBS_SPAN_FLOW("par.unit", submit_span);
+        body(units[unit], unit, me);
+      }
       double cpu_end = ThreadCpuSeconds();
       durations[unit] = (cpu_start >= 0.0 && cpu_end >= 0.0)
                             ? cpu_end - cpu_start
@@ -680,6 +699,7 @@ ScheduleReport WorkerPool::ExecuteSimulated(
   const FaultPlan* plan = options_.fault_plan;
   const PoolMetrics& metrics = PoolMetrics::Get();
   metrics.queue_depth->Add(static_cast<int64_t>(units.size()));
+  const uint64_t submit_span = obs::CurrentSpanId();
   Timer wall;
   std::vector<double> durations(units.size(), 0.0);
   for (size_t i = 0; i < units.size(); ++i) {
@@ -688,7 +708,10 @@ ScheduleReport WorkerPool::ExecuteSimulated(
       continue;
     }
     Timer timer;
-    body(units[i], i, owner[i]);
+    {
+      ROCK_OBS_SPAN_FLOW("par.unit", submit_span);
+      body(units[i], i, owner[i]);
+    }
     durations[i] = timer.ElapsedSeconds();
     report.serial_seconds += durations[i];
     metrics.units_executed->Add(1);

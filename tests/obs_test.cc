@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -83,6 +85,46 @@ TEST(HistogramTest, ConcurrentObservations) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(hist.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
   EXPECT_NEAR(hist.Sum(), kThreads * kPerThread * 1e-4, 1e-3);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram hist({1.0, 2.0, 4.0});
+  // 10 observations uniform in (0, 1]: every percentile lands in the
+  // first bucket, interpolated from its (0, 1] range.
+  for (int i = 0; i < 10; ++i) hist.Observe(0.5);
+  EXPECT_NEAR(hist.Percentile(0.5), 0.5, 1e-9);
+  EXPECT_NEAR(hist.Percentile(1.0), 1.0, 1e-9);
+  // Push two observations into (2, 4]: p99 moves to the third bucket.
+  hist.Observe(3.0);
+  hist.Observe(3.0);
+  EXPECT_GT(hist.Percentile(0.99), 2.0);
+  EXPECT_LE(hist.Percentile(0.99), 4.0);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram empty({1.0});
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+  // Everything beyond the last finite bound clamps to that bound.
+  Histogram overflow({1.0});
+  overflow.Observe(100.0);
+  EXPECT_EQ(overflow.Percentile(0.99), 1.0);
+  // Free-function form over raw snapshot data.
+  EXPECT_EQ(PercentileFromCumulative({}, {}, 0.5), 0.0);
+  EXPECT_NEAR(PercentileFromCumulative({1.0, 2.0}, {0, 4, 4}, 0.5), 1.5,
+              1e-9);
+}
+
+TEST(MetricsRegistryTest, HelpTextReachesSnapshotAndExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("rock_help_total")->Add(1);
+  registry.SetHelp("rock_help_total", "Counts helpful things");
+  MetricsRegistry::Snapshot snap = registry.Snap();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].help, "Counts helpful things");
+  std::string text = ExportPrometheus(snap);
+  EXPECT_NE(text.find("# HELP rock_help_total Counts helpful things\n"
+                      "# TYPE rock_help_total counter\n"),
+            std::string::npos);
 }
 
 TEST(MetricsRegistryTest, SameNameSameMetric) {
@@ -212,6 +254,73 @@ TEST(TracerTest, SpanIdsUniqueAcrossThreads) {
   EXPECT_EQ(ids.size(), spans.size());
 }
 
+TEST(TracerTest, AggregatePercentilesNearestRank) {
+  Tracer tracer(256);
+  // 100 synthetic spans with known durations 0.01..1.00.
+  for (int i = 1; i <= 100; ++i) {
+    SpanRecord record;
+    record.id = tracer.NextSpanId();
+    record.name = "p";
+    record.duration_seconds = 0.01 * i;
+    tracer.Record(record);
+  }
+  std::map<std::string, SpanStats> stats = tracer.AggregateByName();
+  ASSERT_EQ(stats.count("p"), 1u);
+  // Nearest-rank over the sorted durations: index floor(q * n).
+  EXPECT_NEAR(stats["p"].p50_seconds, 0.51, 1e-9);
+  EXPECT_NEAR(stats["p"].p95_seconds, 0.96, 1e-9);
+  EXPECT_NEAR(stats["p"].p99_seconds, 1.00, 1e-9);
+  EXPECT_NEAR(stats["p"].max_seconds, 1.00, 1e-9);
+}
+
+TEST(TracerTest, FlowConstructorStampsFlowFrom) {
+  Tracer tracer(16);
+  uint64_t source_id = 0;
+  {
+    ScopedSpan source("scheduler", tracer);
+    source_id = source.id();
+  }
+  { ScopedSpan unit("unit", tracer, source_id); }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].flow_from, 0u);
+  EXPECT_EQ(spans[1].flow_from, source_id);
+}
+
+TEST(TracerTest, ThreadNamesRegistryAndTraceIds) {
+  Tracer tracer(16);
+  tracer.SetThisThreadName("main");
+  uint32_t other_id = 0;
+  std::thread worker([&tracer, &other_id] {
+    other_id = ThisThreadTraceId();
+    tracer.SetThisThreadName("worker-0");
+  });
+  worker.join();
+  EXPECT_NE(other_id, ThisThreadTraceId());
+  std::map<uint32_t, std::string> names = tracer.ThreadNames();
+  EXPECT_EQ(names[ThisThreadTraceId()], "main");
+  EXPECT_EQ(names[other_id], "worker-0");
+  // Names survive Reset (they describe threads, not spans).
+  tracer.Reset();
+  EXPECT_EQ(tracer.ThreadNames().size(), names.size());
+}
+
+TEST(TracerTest, CapacityFromEnv) {
+  // Tests run single-threaded at this point; nothing races the env.
+  ::unsetenv("ROCK_OBS_TRACE_CAPACITY");  // NOLINT(concurrency-mt-unsafe)
+  EXPECT_EQ(TraceCapacityFromEnv(1024), 1024u);
+  ::setenv("ROCK_OBS_TRACE_CAPACITY", "4096", 1);  // NOLINT(concurrency-mt-unsafe)
+  EXPECT_EQ(TraceCapacityFromEnv(1024), 4096u);
+  ::setenv("ROCK_OBS_TRACE_CAPACITY", "garbage", 1);  // NOLINT(concurrency-mt-unsafe)
+  EXPECT_EQ(TraceCapacityFromEnv(1024), 1024u);
+  ::setenv("ROCK_OBS_TRACE_CAPACITY", "0", 1);  // NOLINT(concurrency-mt-unsafe)
+  EXPECT_EQ(TraceCapacityFromEnv(1024), 1024u);
+  ::unsetenv("ROCK_OBS_TRACE_CAPACITY");  // NOLINT(concurrency-mt-unsafe)
+  // Non-power-of-two env capacities round up at construction.
+  Tracer tracer(TraceCapacityFromEnv(3));
+  EXPECT_EQ(tracer.capacity(), 4u);
+}
+
 TEST(JsonWriterTest, NestedStructures) {
   JsonWriter w;
   w.BeginObject();
@@ -260,6 +369,127 @@ TEST(ExportersTest, JsonTelemetryShape) {
   EXPECT_NE(json.find("\"spans\":{\"phase\":{\"count\":1"),
             std::string::npos);
   EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+}
+
+TEST(ExportersTest, PromEscapes) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PromEscapeLabelValue("line1\nline2"), "line1\\nline2");
+  // HELP text escapes backslash and newline but leaves quotes alone.
+  EXPECT_EQ(PromEscapeHelp("a\\b \"q\"\nc"), "a\\\\b \"q\"\\nc");
+}
+
+TEST(ExportersTest, SpanSummaryFamilyWithQuantiles) {
+  MetricsRegistry registry;
+  Tracer tracer(16);
+  SpanStats stats;
+  stats.count = 50;
+  stats.total_seconds = 0.5;
+  stats.max_seconds = 0.05;
+  stats.p50_seconds = 0.01;
+  stats.p95_seconds = 0.04;
+  stats.p99_seconds = 0.05;
+  std::map<std::string, SpanStats> spans;
+  spans["chase"] = stats;
+  std::string text = ExportPrometheus(registry.Snap(), spans, 3);
+  EXPECT_NE(text.find("# TYPE rock_obs_span_seconds summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rock_obs_span_seconds{name=\"chase\","
+                      "quantile=\"0.5\"} 0.01\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rock_obs_span_seconds{name=\"chase\","
+                      "quantile=\"0.99\"} 0.05\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rock_obs_span_seconds_sum{name=\"chase\"} 0.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rock_obs_span_seconds_count{name=\"chase\"} 50\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rock_obs_span_seconds_max{name=\"chase\"} 0.05\n"),
+            std::string::npos);
+  // The drop gauge is appended when the snapshot lacks it.
+  EXPECT_NE(text.find("# TYPE rock_obs_dropped_spans gauge\n"
+                      "rock_obs_dropped_spans 3\n"),
+            std::string::npos);
+}
+
+TEST(ExportersTest, PrometheusEscapesMatchGolden) {
+  // Hand-built snapshot exercising every escape the exposition format
+  // defines. The golden file is what scrapers must be able to parse —
+  // regenerate it only alongside a matching check_prometheus.py run.
+  MetricsRegistry::Snapshot snap;
+  snap.counters.push_back(
+      {"rock_x_total", 5,
+       "Counts x; backslash \\ then newline\nand \"quotes\""});
+  snap.gauges.push_back({"rock_q", -3, ""});
+  MetricsRegistry::HistogramSample hist;
+  hist.name = "rock_lat_seconds";
+  hist.bounds = {0.1, 1.0};
+  hist.cumulative_counts = {1, 3, 4};
+  hist.count = 4;
+  hist.sum = 1.25;
+  hist.p50 = 0.5;
+  hist.p95 = 0.9;
+  hist.p99 = 0.99;
+  snap.histograms.push_back(hist);
+  SpanStats stats;
+  stats.count = 50;
+  stats.total_seconds = 0.5;
+  stats.max_seconds = 0.05;
+  stats.p50_seconds = 0.01;
+  stats.p95_seconds = 0.04;
+  stats.p99_seconds = 0.05;
+  std::map<std::string, SpanStats> spans;
+  spans["detect \"fast\"\npass\\one"] = stats;
+
+  std::string text = ExportPrometheus(snap, spans, 7);
+
+  std::ifstream golden(std::string(ROCK_TEST_SRCDIR) +
+                       "/golden/prometheus_escapes.txt");
+  ASSERT_TRUE(golden.is_open());
+  std::stringstream contents;
+  contents << golden.rdbuf();
+  EXPECT_EQ(text, contents.str());
+}
+
+TEST(ExportersTest, ChromeTraceEventsAndFlows) {
+  SpanRecord sched;
+  sched.id = 1;
+  sched.name = "par.execute";
+  sched.thread = 1;
+  sched.start_seconds = 1.0;
+  sched.duration_seconds = 0.5;
+  SpanRecord unit;
+  unit.id = 2;
+  unit.name = "par.unit";
+  unit.thread = 2;
+  unit.start_seconds = 1.1;
+  unit.duration_seconds = 0.2;
+  unit.flow_from = 1;
+  std::map<uint32_t, std::string> names{{1, "main"}, {2, "worker-0"}};
+
+  std::string json = ExportChromeTrace({sched, unit}, names);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Metadata: process plus both named threads.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"pid\":1,\"tid\":2,"
+                      "\"args\":{\"name\":\"worker-0\"}"),
+            std::string::npos);
+  // Complete events carry microsecond timestamps on their own threads.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"par.execute\",\"cat\":"
+                      "\"rock\",\"pid\":1,\"tid\":1,\"ts\":1000000,"
+                      "\"dur\":500000"),
+            std::string::npos);
+  // Flow pair keyed by the destination span id: start on the scheduler
+  // thread at the submit span's start, finish (bp:"e") on the worker.
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":2"),
+            std::string::npos);
+
+  // A flow whose source span fell off the ring is skipped, not dangling.
+  std::string orphan = ExportChromeTrace({unit}, names);
+  EXPECT_EQ(orphan.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(orphan.find("\"ph\":\"f\""), std::string::npos);
 }
 
 TEST(ObsIntegrationTest, GlobalCaptureSeesMacroSpans) {
