@@ -18,6 +18,7 @@
 #include "src/common/timer.h"
 #include "src/obs/exporters.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/provenance.h"
 #include "src/obs/server.h"
 #include "src/obs/trace.h"
@@ -33,6 +34,7 @@ class BenchTelemetry {
   explicit BenchTelemetry(std::string name) : name_(std::move(name)) {
     obs::MetricsRegistry::Global().Reset();
     obs::Tracer::Global().Reset();
+    obs::ScheduleBreakdowns::Global().Reset();
     // Name the bench driver thread in trace exports; workers name
     // themselves when the pool spawns them.
     obs::Tracer::Global().SetThisThreadName("main");
@@ -80,8 +82,9 @@ class BenchTelemetry {
     obs::TelemetrySnapshot snap = obs::CaptureGlobalTelemetry();
     w.Key("telemetry").BeginObject();
     obs::AppendTelemetryFields(snap.metrics, snap.spans, snap.dropped_spans,
-                               &w);
+                               &w, snap.breakdowns);
     w.EndObject();
+    AppendProfileBlock(&w);
     // Whole-run provenance aggregate (fix counts by rule, proof-depth
     // histogram, premise-source mix) distilled from the rock_prov_* metrics
     // exported by the chase. check_bench_json.py validates this block.
@@ -100,6 +103,24 @@ class BenchTelemetry {
                    path.c_str(), status.message().c_str());
     }
 
+#ifndef ROCK_OBS_DISABLE_PROFILER
+    // Folded stacks as their own artifact, ready for
+    // `flamegraph.pl PROFILE_<name>.folded > flame.svg`.
+    obs::ProfileSnapshot profile = obs::CpuProfiler::Global().TakeSnapshot();
+    if (profile.samples > 0) {
+      std::string folded_path = OutputPrefix() + "PROFILE_" + name_ +
+                                ".folded";
+      Status folded_status =
+          obs::WriteFile(folded_path, obs::CpuProfiler::Global().Folded());
+      if (folded_status.ok()) {
+        std::printf("[bench-json] wrote %s\n", folded_path.c_str());
+      } else {
+        std::fprintf(stderr, "[bench-json] FAILED writing %s: %s\n",
+                     folded_path.c_str(), folded_status.message().c_str());
+      }
+    }
+#endif
+
     // Companion Perfetto timeline over the same run: load TRACE_<name>.json
     // at https://ui.perfetto.dev (or chrome://tracing). CI validates it
     // with scripts/check_bench_json.py --trace.
@@ -116,6 +137,33 @@ class BenchTelemetry {
   }
 
  private:
+  /// Emits the "profile" block: the sampling profiler's folded stacks when
+  /// the plane is compiled in, a bare {"enabled": false} otherwise so the
+  /// schema checker can tell "off" from "missing".
+  static void AppendProfileBlock(obs::JsonWriter* w) {
+    w->Key("profile").BeginObject();
+#ifndef ROCK_OBS_DISABLE_PROFILER
+    obs::ProfileSnapshot profile = obs::CpuProfiler::Global().TakeSnapshot();
+    w->Key("enabled").Bool(true);
+    w->Key("running").Bool(profile.running);
+    w->Key("sample_hz").Int(profile.sample_hz);
+    w->Key("samples").Uint(profile.samples);
+    w->Key("dropped").Uint(profile.dropped);
+    w->Key("duration_seconds").Number(profile.duration_seconds);
+    w->Key("stacks").BeginArray();
+    for (const auto& [stack, count] : profile.folded) {
+      w->BeginObject();
+      w->Key("stack").String(stack);
+      w->Key("count").Uint(count);
+      w->EndObject();
+    }
+    w->EndArray();
+#else
+    w->Key("enabled").Bool(false);
+#endif
+    w->EndObject();
+  }
+
   static std::string OutputPrefix() {
     // Benches are single-threaded at report time; nothing calls setenv.
     const char* dir = std::getenv("ROCK_BENCH_JSON_DIR");  // NOLINT(concurrency-mt-unsafe)
@@ -148,6 +196,17 @@ class BenchTelemetry {
     w->Key("executed_units").BeginArray();
     for (int units : report.executed_units) w->Int(units);
     w->EndArray();
+    // Per-worker wait-vs-run attribution (submit->dequeue wait, unit
+    // execution, clamped wall remainder), parallel to the unit arrays.
+    w->Key("busy_seconds").BeginArray();
+    for (double s : report.busy_seconds) w->Number(s);
+    w->EndArray();
+    w->Key("wait_seconds").BeginArray();
+    for (double s : report.wait_seconds) w->Number(s);
+    w->EndArray();
+    w->Key("idle_seconds").BeginArray();
+    for (double s : report.idle_seconds) w->Number(s);
+    w->EndArray();
     w->EndObject();
   }
 
@@ -164,6 +223,10 @@ class BenchTelemetry {
 ///   --serve-port-file=PATH     write the bound port to PATH (CI polls it)
 ///   --serve-linger-seconds=N   keep serving N seconds after the bench
 ///                              body finishes (default 0)
+///   --profile[=HZ]             start the sampling CPU profiler for the
+///                              whole run (default 97 Hz); folded stacks
+///                              land in BENCH/PROFILE artifacts and at
+///                              /profile.folded when also serving
 ///
 /// and strips those flags so downstream parsers (google-benchmark's
 /// Initialize rejects unknown flags) never see them. Construct before any
@@ -183,11 +246,30 @@ class ServeGuard {
         port_file_ = arg.substr(18);
       } else if (arg.rfind("--serve-linger-seconds=", 0) == 0) {
         linger_seconds_ = std::atof(arg.c_str() + 23);
+      } else if (arg == "--profile") {
+        profile_ = true;
+      } else if (arg.rfind("--profile=", 0) == 0) {
+        profile_ = true;
+        profile_hz_ = std::atoi(arg.c_str() + 10);
       } else {
         argv[kept++] = argv[i];
       }
     }
     *argc = kept;
+
+    if (profile_) {
+      obs::ProfileOptions options;
+      if (profile_hz_ > 0) options.sample_hz = profile_hz_;
+      Status status = obs::StartGlobalProfiler(options);
+      if (status.ok()) {
+        std::printf("[profile] sampling at %d Hz\n", options.sample_hz);
+      } else {
+        std::fprintf(stderr, "[profile] FAILED: %s\n",
+                     status.message().c_str());
+        profile_ = false;
+      }
+    }
+
     if (!serve_) return;
 
     obs::TelemetryServer::Options options;
@@ -201,7 +283,8 @@ class ServeGuard {
     }
     server_ = std::move(server).value();
     std::printf("[serve] telemetry on http://127.0.0.1:%d "
-                "(/metrics /telemetry.json /trace.json /healthz)\n",
+                "(/metrics /telemetry.json /trace.json /profile.folded "
+                "/profile.json /healthz)\n",
                 server_->port());
     std::fflush(stdout);
     if (!port_file_.empty()) {
@@ -215,6 +298,7 @@ class ServeGuard {
   }
 
   ~ServeGuard() {
+    if (profile_) obs::StopGlobalProfiler();  // profile stays queryable
     if (server_ != nullptr && linger_seconds_ > 0) {
       std::printf("[serve] lingering %.0f s for scrapers\n",
                   linger_seconds_);
@@ -233,6 +317,8 @@ class ServeGuard {
  private:
   bool serve_ = false;
   int port_ = 0;
+  bool profile_ = false;
+  int profile_hz_ = 0;
   std::string port_file_;
   double linger_seconds_ = 0;
   std::unique_ptr<obs::TelemetryServer> server_;

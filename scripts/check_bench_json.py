@@ -3,20 +3,27 @@
 
 Usage: check_bench_json.py [--require-zero-dropped-spans]
                            [--require-zero-unrecovered-faults]
+                           [--require-profile]
                            FILE [FILE...]
        check_bench_json.py --trace [--require-flow] FILE [FILE...]
        check_bench_json.py --standalone-telemetry FILE [FILE...]
 
 Default mode checks BENCH_*.json files: bench name, schema_version,
-non-empty phases, schedules (rows must carry the ScheduleReport fields),
-results, telemetry with counters/gauges/histograms/spans (spans must
-carry p50/p95/p99 attribution), the provenance block, and the faults
-block. With --require-zero-dropped-spans, a non-zero tracer drop count
+non-empty phases, schedules (rows must carry the ScheduleReport fields
+plus per-worker busy/wait/idle attribution), results, telemetry with
+counters/gauges/histograms/spans (spans must carry p50/p95/p99 latency
+and cpu_seconds/alloc_bytes resource attribution) and a wait_breakdown
+array, the profile block, the provenance block, and the faults block.
+With --require-zero-dropped-spans, a non-zero tracer drop count
 is an error (the bench ring must be sized for the run). With
 --require-zero-unrecovered-faults, a non-zero faults.unrecovered gauge
 is an error: every unit the pool abandoned must have been replayed from
-the round checkpoint by the time the bench emitted telemetry. CI's
-bench-smoke step runs this over every emitted file with both flags.
+the round checkpoint by the time the bench emitted telemetry. With
+--require-profile, the profile block must come from a live sampling run:
+enabled, with at least one sample and at least one folded stack naming a
+rock:: frame (the profiler-smoke CI job's gate). CI's bench-smoke step
+runs this over every emitted file with the zero-drop/zero-unrecovered
+flags.
 
 --trace checks Chrome trace-event JSON (TRACE_*.json / the server's
 /trace.json): a traceEvents array of well-formed M/X/s/f events.
@@ -32,16 +39,22 @@ import json
 import sys
 
 REQUIRED_TOP = ["bench", "schema_version", "phases", "schedules",
-                "results", "telemetry", "provenance", "faults"]
+                "results", "telemetry", "profile", "provenance", "faults"]
 REQUIRED_SCHEDULE = ["label", "mode", "workers", "serial_seconds",
                      "makespan_seconds", "wall_seconds", "stolen_units",
                      "speedup", "measured_speedup", "initial_units",
-                     "executed_units"]
+                     "executed_units", "busy_seconds", "wait_seconds",
+                     "idle_seconds"]
 REQUIRED_TELEMETRY = ["counters", "gauges", "histograms", "spans",
-                      "dropped_spans"]
+                      "wait_breakdown", "dropped_spans"]
 REQUIRED_HISTOGRAM = ["buckets", "count", "sum", "p50", "p95", "p99"]
 REQUIRED_SPAN = ["count", "total_seconds", "max_seconds",
-                 "p50_seconds", "p95_seconds", "p99_seconds"]
+                 "p50_seconds", "p95_seconds", "p99_seconds",
+                 "cpu_seconds", "alloc_bytes"]
+REQUIRED_BREAKDOWN = ["label", "mode", "workers", "wall_seconds",
+                      "busy_seconds", "wait_seconds", "idle_seconds"]
+REQUIRED_PROFILE_LIVE = ["running", "sample_hz", "samples", "dropped",
+                         "duration_seconds", "stacks"]
 REQUIRED_PROVENANCE = ["enabled", "nodes", "conflict_candidates",
                        "max_depth", "ml_calls", "premises",
                        "fixes_by_rule", "proof_depth"]
@@ -135,11 +148,79 @@ def check_telemetry_block(path, telemetry):
             return fail(path, f"span {name!r} p50 > p99 "
                               f"({span['p50_seconds']} > "
                               f"{span['p99_seconds']})")
+        if span["cpu_seconds"] < 0 or span["alloc_bytes"] < 0:
+            return fail(path, f"span {name!r} has negative resource "
+                              f"attribution (cpu={span['cpu_seconds']} "
+                              f"alloc={span['alloc_bytes']})")
+    if not isinstance(telemetry["wait_breakdown"], list):
+        return fail(path, "wait_breakdown must be an array")
+    for row in telemetry["wait_breakdown"]:
+        for key in REQUIRED_BREAKDOWN:
+            if key not in row:
+                return fail(path, f"wait_breakdown row missing {key!r}: "
+                                  f"{row}")
+        workers = row["workers"]
+        for key in ("busy_seconds", "wait_seconds", "idle_seconds"):
+            col = row[key]
+            if not isinstance(col, list) or len(col) != workers:
+                return fail(path, f"wait_breakdown {row['label']!r} {key} "
+                                  f"must list one entry per worker "
+                                  f"({workers}), got {col!r}")
+            if any(v < 0 for v in col):
+                return fail(path, f"wait_breakdown {row['label']!r} has a "
+                                  f"negative {key} entry: {col}")
+    return True
+
+
+def check_profile(path, profile, require_profile=False):
+    """The bench's top-level "profile" block (sampling CPU profiler).
+
+    {"enabled": false} is the shape of a -DROCK_OBS_PROFILER=OFF build; the
+    key must still exist so a missing block is distinguishable from a
+    deliberately compiled-out profiler.
+    """
+    if not isinstance(profile, dict) or "enabled" not in profile:
+        return fail(path, "profile block must be an object with 'enabled'")
+    if not isinstance(profile["enabled"], bool):
+        return fail(path, f"profile enabled must be bool, "
+                          f"got {profile['enabled']!r}")
+    if not profile["enabled"]:
+        if require_profile:
+            return fail(path, "--require-profile: profiler compiled out "
+                              "(profile.enabled is false)")
+        return True
+    for key in REQUIRED_PROFILE_LIVE:
+        if key not in profile:
+            return fail(path, f"profile missing {key!r}")
+    if profile["samples"] < 0 or profile["dropped"] < 0:
+        return fail(path, f"profile has negative sample counts: "
+                          f"samples={profile['samples']} "
+                          f"dropped={profile['dropped']}")
+    stacks = profile["stacks"]
+    if not isinstance(stacks, list):
+        return fail(path, "profile stacks must be an array")
+    for entry in stacks:
+        if "stack" not in entry or "count" not in entry:
+            return fail(path, f"bad profile stack entry {entry!r}")
+        if entry["count"] <= 0:
+            return fail(path, f"profile stack with non-positive count: "
+                              f"{entry!r}")
+    if require_profile:
+        if profile["samples"] == 0:
+            return fail(path, "--require-profile: profiler captured zero "
+                              "samples (was --profile passed? did the bench "
+                              "run long enough?)")
+        if not stacks:
+            return fail(path, "--require-profile: no folded stacks "
+                              "(symbolization produced nothing)")
+        if not any("rock" in entry["stack"] for entry in stacks):
+            return fail(path, "--require-profile: no stack names a rock:: "
+                              "frame (is the binary linked -rdynamic?)")
     return True
 
 
 def check(path, require_zero_dropped_spans=False,
-          require_zero_unrecovered=False):
+          require_zero_unrecovered=False, require_profile=False):
     doc = load(path)
     if doc is None:
         return False
@@ -166,6 +247,8 @@ def check(path, require_zero_dropped_spans=False,
     if require_zero_dropped_spans and telemetry["dropped_spans"] != 0:
         return fail(path, f"tracer dropped {telemetry['dropped_spans']} "
                           f"spans (ring too small for this run)")
+    if not check_profile(path, doc["profile"], require_profile):
+        return False
     if not check_provenance(path, doc["provenance"]):
         return False
     if not check_faults(path, doc["faults"], require_zero_unrecovered):
@@ -175,9 +258,12 @@ def check(path, require_zero_dropped_spans=False,
     n_spans = len(telemetry["spans"])
     prov = doc["provenance"]
     faults = doc["faults"]
+    profile = doc["profile"]
+    samples = profile.get("samples", 0) if profile["enabled"] else 0
     print(f"OK   {path}: bench={doc['bench']} phases={len(doc['phases'])} "
           f"schedules={len(doc['schedules'])} counters={n_counters} "
-          f"spans={n_spans} prov_nodes={prov['nodes']} "
+          f"spans={n_spans} breakdowns={len(telemetry['wait_breakdown'])} "
+          f"profile_samples={samples} prov_nodes={prov['nodes']} "
           f"faults={faults['injected']} unrecovered={faults['unrecovered']}")
     return True
 
@@ -252,6 +338,7 @@ def main(argv):
     args = argv[1:]
     require_zero_dropped_spans = False
     require_zero_unrecovered = False
+    require_profile = False
     trace_mode = False
     require_flow = False
     standalone_telemetry = False
@@ -260,6 +347,8 @@ def main(argv):
             require_zero_dropped_spans = True
         elif args[0] == "--require-zero-unrecovered-faults":
             require_zero_unrecovered = True
+        elif args[0] == "--require-profile":
+            require_profile = True
         elif args[0] == "--trace":
             trace_mode = True
         elif args[0] == "--require-flow":
@@ -282,7 +371,8 @@ def main(argv):
         ok = all([check_standalone_telemetry(path) for path in args])
     else:
         ok = all([check(path, require_zero_dropped_spans,
-                        require_zero_unrecovered) for path in args])
+                        require_zero_unrecovered, require_profile)
+                  for path in args])
     return 0 if ok else 1
 
 

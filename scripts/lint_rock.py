@@ -18,6 +18,11 @@ Enforces repo conventions that neither the compiler nor clang-tidy check:
   raw-socket         no socket()/bind()/listen()/accept()/connect() calls
                      outside src/obs/server.cc — one audited seam for all
                      networking (TelemetryServer today, rockd tomorrow).
+  raw-signal         no sigaction()/timer_create()/timer_settime()/
+                     timer_delete()/setitimer() outside src/obs/profile.cc —
+                     signal handlers and profiling timers are async-signal-
+                     safety minefields; the sampling profiler is the one
+                     audited seam.
   unregistered-test  every tests/*.cc is picked up by tests/CMakeLists.txt
                      (the glob takes *_test.cc; anything else must be named
                      there explicitly or it silently never runs).
@@ -58,6 +63,10 @@ NONDETERMINISM_RE = re.compile(
 RAW_SOCKET_RE = re.compile(
     r"(?<![A-Za-z0-9_:.>])(?:::\s*)?"
     r"(?:socket|bind|listen|accept|accept4|connect)\s*\(")
+# Same shape for the profiler's signal/timer plumbing: one audited seam.
+RAW_SIGNAL_RE = re.compile(
+    r"(?<![A-Za-z0-9_:.>])(?:::\s*)?"
+    r"(?:sigaction|timer_create|timer_settime|timer_delete|setitimer)\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -127,6 +136,10 @@ def lint_file(path, text):
           "networking goes through obs::TelemetryServer / HttpFetch; "
           "src/obs/server.cc is the one audited socket seam",
           skip=path == "src/obs/server.cc")
+    check("raw-signal", RAW_SIGNAL_RE,
+          "signal handlers / profiling timers go through obs::CpuProfiler; "
+          "src/obs/profile.cc is the one audited sigaction/timer seam",
+          skip=path == "src/obs/profile.cc")
 
     if is_header and "#pragma once" not in text:
         findings.append((path, 1, "pragma-once",
@@ -206,6 +219,17 @@ SELF_TEST_CASES = [
     ("src/par/executor.cc", "auto f = std::bind(&X::Run, this);\n", None),
     ("src/par/executor.cc", "ring.accept(unit);\n", None),
     ("src/par/executor.cc", "queue->accept(unit);\n", None),
+    ("src/core/engine.cc", "sigaction(SIGPROF, &sa, nullptr);\n",
+     "raw-signal"),
+    ("src/obs/watchdog.cc", "timer_create(CLOCK_MONOTONIC, &ev, &t);\n",
+     "raw-signal"),
+    ("tests/obs_test.cc", "::setitimer(ITIMER_PROF, &v, nullptr);\n",
+     "raw-signal"),
+    ("src/obs/profile.cc", "sigaction(SIGPROF, &sa, nullptr);\n", None),
+    ("src/obs/profile.cc", "timer_settime(t, 0, &spec, nullptr);\n", None),
+    ("src/par/executor.cc", "pool.timer_create(x);\n", None),  # member call
+    ("src/core/engine.cc",
+     "// timer_create in prose is fine\n", None),
     ("tests/helper_test.cc", "ok\n", None),
 ]
 

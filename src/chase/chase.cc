@@ -36,6 +36,9 @@ struct ChaseMetrics {
   /// up on them (fault-injection recovery, DESIGN.md).
   obs::Counter* checkpoints;
   obs::Counter* checkpoint_restores;
+  /// 1-based round in flight, 0 when no chase is running — gives the
+  /// stall watchdog (and live scrapes) a progress signal for long chases.
+  obs::Gauge* current_round;
 
   static const ChaseMetrics& Get() {
     static ChaseMetrics m = [] {
@@ -52,6 +55,9 @@ struct ChaseMetrics {
       out.checkpoints = reg.GetCounter("rock_chase_checkpoints_total");
       out.checkpoint_restores =
           reg.GetCounter("rock_chase_checkpoint_restores_total");
+      out.current_round = reg.GetGauge("rock_chase_current_round");
+      reg.SetHelp("rock_chase_current_round",
+                  "1-based chase round in flight; 0 when idle");
       return out;
     }();
     return m;
@@ -547,6 +553,7 @@ ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
   for (int round = 0; round < options_.max_rounds; ++round) {
     ROCK_OBS_SPAN("chase.round");
     metrics.rounds->Add(1);
+    metrics.current_round->Set(round + 1);
     result.rounds = round + 1;
     std::vector<std::pair<int, int64_t>> next_dirty;
     size_t fixes_before = result.fixes_applied;
@@ -592,6 +599,7 @@ ChaseResult ChaseEngine::Loop(const std::vector<Ree>& rules,
       break;
     }
   }
+  metrics.current_round->Set(0);
   metrics.conflicts->Add(conflicts_.size() - conflicts_before);
   result.conflicts = conflicts_;
   // Publish provenance added since the previous export (watermark-based,

@@ -8,7 +8,9 @@
 #include "src/ml/correlation.h"
 #include "src/ml/her.h"
 #include "src/ml/ranking.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 
 namespace rock::core {
 
@@ -448,5 +450,24 @@ void Rock::StopTelemetryServer() { telemetry_server_.reset(); }
 int Rock::telemetry_server_port() const {
   return telemetry_server_ == nullptr ? -1 : telemetry_server_->port();
 }
+
+Status Rock::StartProfiler(int sample_hz) {
+  obs::ProfileOptions options;
+  options.sample_hz = sample_hz;
+  return obs::StartGlobalProfiler(options);
+}
+
+Status Rock::StopProfiler() { return obs::StopGlobalProfiler(); }
+
+Status Rock::StartStallWatchdog(double deadline_seconds,
+                                const std::string& dump_path) {
+  obs::WatchdogOptions options;
+  options.span_deadline_seconds = deadline_seconds;
+  options.progress_deadline_seconds = deadline_seconds;
+  options.dump_path = dump_path;
+  return obs::StartGlobalWatchdog(options);
+}
+
+Status Rock::StopStallWatchdog() { return obs::StopGlobalWatchdog(); }
 
 }  // namespace rock::core

@@ -221,6 +221,26 @@ class Rock {
   /// Bound port of the running telemetry server, or -1.
   int telemetry_server_port() const;
 
+  /// Starts the process-global sampling CPU profiler (obs::CpuProfiler):
+  /// per-thread interval timers at `sample_hz`, results served as folded
+  /// stacks / JSON at /profile.folded and /profile.json on the telemetry
+  /// server. Unimplemented when built with -DROCK_OBS_PROFILER=OFF;
+  /// FailedPrecondition if already running.
+  Status StartProfiler(int sample_hz = 97);
+
+  /// Stops the profiler; the captured profile stays queryable.
+  Status StopProfiler();
+
+  /// Starts the background stall watchdog (obs::StallWatchdog): spans
+  /// open past `deadline_seconds` or queued units with no completions for
+  /// that long dump a diagnostic bundle to stderr (and `dump_path` when
+  /// non-empty). Unimplemented when built with -DROCK_OBS_PROFILER=OFF.
+  Status StartStallWatchdog(double deadline_seconds = 30.0,
+                            const std::string& dump_path = "");
+
+  /// Stops the watchdog. Safe to call when none is running.
+  Status StopStallWatchdog();
+
  private:
   Database* db_;
   kg::KnowledgeGraph* graph_;

@@ -1,6 +1,7 @@
 #include "src/detect/detector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <iterator>
 #include <unordered_set>
 
@@ -21,6 +22,9 @@ struct DetectMetrics {
   obs::Counter* exhaustive_pairs;
   obs::Counter* ml_batched_pairs;
   obs::Histogram* rule_seconds;
+  obs::Gauge* interner_bytes;
+  obs::Gauge* ml_cache_entries;
+  obs::Gauge* ml_cache_bytes;
 
   static const DetectMetrics& Get() {
     static DetectMetrics m = [] {
@@ -39,11 +43,34 @@ struct DetectMetrics {
           reg.GetCounter("rock_detect_ml_batched_pairs_total");
       out.rule_seconds = reg.GetHistogram("rock_detect_rule_seconds",
                                           obs::LatencyBucketsSeconds());
+      out.interner_bytes = reg.GetGauge("rock_interner_bytes");
+      reg.SetHelp("rock_interner_bytes",
+                  "Peak approximate heap bytes of the per-worker batch "
+                  "scratch (interner + token/similarity memos) in the last "
+                  "detection; cross-check for per-span alloc_bytes");
+      out.ml_cache_entries = reg.GetGauge("rock_detect_ml_cache_entries");
+      reg.SetHelp("rock_detect_ml_cache_entries",
+                  "Entries in the ML score memo after the last detection");
+      out.ml_cache_bytes = reg.GetGauge("rock_detect_ml_cache_bytes");
+      reg.SetHelp("rock_detect_ml_cache_bytes",
+                  "Approximate heap bytes of the ML score memo after the "
+                  "last detection; cross-check for per-span alloc_bytes");
       return out;
     }();
     return m;
   }
 };
+
+/// Publishes the memory cross-check gauges after a detection pass.
+/// `cache` may be null (batching disabled).
+void PublishCacheGauges(const ml::MlScoreCache* cache, size_t scratch_peak) {
+  const DetectMetrics& metrics = DetectMetrics::Get();
+  metrics.interner_bytes->Set(static_cast<int64_t>(scratch_peak));
+  if (cache != nullptr) {
+    metrics.ml_cache_entries->Set(static_cast<int64_t>(cache->size()));
+    metrics.ml_cache_bytes->Set(static_cast<int64_t>(cache->ApproxBytes()));
+  }
+}
 
 }  // namespace
 
@@ -403,6 +430,7 @@ DetectionReport ErrorDetector::Detect(
   DetectionReport report;
   rules::Evaluator eval(CachedContext());
   ml::BatchScratch scratch;
+  size_t scratch_peak = 0;
   for (const Ree& rule : rules) {
     Timer timer;
     if (!DetectWithBlocking(rule, eval, &scratch, &report)) {
@@ -411,11 +439,13 @@ DetectionReport ErrorDetector::Detect(
       metrics.ml_batched_pairs->Add(eval.WarmMlCache(rule, &scratch));
       DetectRule(rule, eval, &report);
     }
+    scratch_peak = std::max(scratch_peak, scratch.ApproxBytes());
     scratch.Reset();
     metrics.rule_seconds->Observe(timer.ElapsedSeconds());
   }
   metrics.blocked_pairs->Add(report.blocked_pairs_checked);
   metrics.exhaustive_pairs->Add(report.exhaustive_pairs_checked);
+  PublishCacheGauges(MlCache(), scratch_peak);
   return report;
 }
 
@@ -603,6 +633,7 @@ DetectionReport ErrorDetector::DetectParallel(
   std::vector<ml::BatchScratch> scratches(
       static_cast<size_t>(pool.num_workers()));
   std::vector<DetectionReport> unit_reports(units.size());
+  std::atomic<size_t> scratch_peak{0};
   auto unit_body = [&](const par::WorkUnit& u, size_t unit_index,
                        int worker) {
     unit_reports[unit_index] = DetectionReport();  // replay overwrites
@@ -610,6 +641,12 @@ DetectionReport ErrorDetector::DetectParallel(
     DetectRuleInRanges(rules[static_cast<size_t>(u.rule_index)], u.ranges,
                        evals[static_cast<size_t>(worker)], &scratch,
                        &unit_reports[unit_index]);
+    size_t bytes = scratch.ApproxBytes();
+    size_t seen = scratch_peak.load(std::memory_order_relaxed);
+    while (bytes > seen &&
+           !scratch_peak.compare_exchange_weak(seen, bytes,
+                                               std::memory_order_relaxed)) {
+    }
     scratch.Reset();
   };
   par::ScheduleReport local = pool.Execute(units, unit_body);
@@ -636,6 +673,7 @@ DetectionReport ErrorDetector::DetectParallel(
   const DetectMetrics& metrics = DetectMetrics::Get();
   metrics.blocked_pairs->Add(report.blocked_pairs_checked);
   metrics.exhaustive_pairs->Add(report.exhaustive_pairs_checked);
+  PublishCacheGauges(MlCache(), scratch_peak.load(std::memory_order_relaxed));
   return report;
 }
 

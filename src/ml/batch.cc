@@ -43,6 +43,24 @@ void BatchScratch::Reset() {
   sims_.clear();
 }
 
+size_t BatchScratch::ApproxBytes() const {
+  size_t bytes = interner_.ApproxBytes();
+  bytes += tokens_.capacity() * sizeof(TokenEntry);
+  for (const TokenEntry& entry : tokens_) {
+    bytes += (entry.raw.capacity() + entry.sorted.capacity()) *
+             sizeof(std::string);
+    for (const std::string& t : entry.raw) bytes += t.capacity();
+    for (const std::string& t : entry.sorted) bytes += t.capacity();
+  }
+  // unordered_map: one node (key + value + next pointer) per entry plus
+  // the bucket array.
+  bytes += sims_.size() * (sizeof(uint64_t) + sizeof(SimEntry) +
+                           sizeof(void*)) +
+           sims_.bucket_count() * sizeof(void*);
+  bytes += matrix_.capacity() * sizeof(double);
+  return bytes;
+}
+
 MlScoreCache::Key MlScoreCache::MakeKey(std::string_view model_name,
                                         const std::vector<Value>& a,
                                         const std::vector<Value>& b) {
@@ -128,6 +146,17 @@ size_t MlScoreCache::size() const {
     total += shard.scores.size();
   }
   return total;
+}
+
+size_t MlScoreCache::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    common::MutexLock lock(shard.mu);
+    bytes += shard.scores.size() *
+                 (sizeof(Key) + sizeof(double) + sizeof(void*)) +
+             shard.scores.bucket_count() * sizeof(void*);
+  }
+  return bytes;
 }
 
 MlScoreCache::Stats MlScoreCache::GetStats() const {

@@ -80,6 +80,11 @@ class BatchScratch {
 
   size_t num_interned() const { return interner_.size(); }
 
+  /// Rough heap footprint of the scratch (interner payloads, token memos,
+  /// similarity memo, feature matrix). Cross-check for the allocation-delta
+  /// columns; exported as the rock_interner_bytes gauge.
+  size_t ApproxBytes() const;
+
  private:
   struct TokenEntry {
     std::vector<std::string> raw;
@@ -153,6 +158,10 @@ class MlScoreCache {
   void Clear();
   size_t size() const;
   Stats GetStats() const;
+
+  /// Rough heap footprint across shards (entries plus bucket arrays).
+  /// Exported as the rock_detect_ml_cache_bytes gauge.
+  size_t ApproxBytes() const;
 
  private:
   struct Shard {

@@ -3,6 +3,9 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <utility>
+
+#include "src/obs/resource.h"
 
 namespace rock::obs {
 namespace {
@@ -15,6 +18,27 @@ std::string FormatDouble(double value) {
 }
 
 }  // namespace
+
+ScheduleBreakdowns& ScheduleBreakdowns::Global() {
+  static ScheduleBreakdowns* instance = new ScheduleBreakdowns();
+  return *instance;
+}
+
+void ScheduleBreakdowns::Add(WorkerBreakdown breakdown) {
+  common::MutexLock lock(mu_);
+  recent_.push_back(std::move(breakdown));
+  while (recent_.size() > kMaxRetained) recent_.pop_front();
+}
+
+std::vector<WorkerBreakdown> ScheduleBreakdowns::Snapshot() const {
+  common::MutexLock lock(mu_);
+  return std::vector<WorkerBreakdown>(recent_.begin(), recent_.end());
+}
+
+void ScheduleBreakdowns::Reset() {
+  common::MutexLock lock(mu_);
+  recent_.clear();
+}
 
 std::string JsonEscape(const std::string& raw) {
   std::string out;
@@ -280,6 +304,31 @@ std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot,
                     FormatDouble(stats.max_seconds).c_str());
       out += buf;
     }
+    // Resource attribution per span name: summed on-CPU time and
+    // allocation volume of the name's spans.
+    out +=
+        "# HELP rock_obs_span_cpu_seconds_total On-CPU time summed over "
+        "the name's spans (CLOCK_THREAD_CPUTIME_ID deltas)\n";
+    out += "# TYPE rock_obs_span_cpu_seconds_total counter\n";
+    for (const auto& [name, stats] : spans) {
+      std::snprintf(buf, sizeof(buf),
+                    "rock_obs_span_cpu_seconds_total{name=\"%s\"} %s\n",
+                    PromEscapeLabelValue(name).c_str(),
+                    FormatDouble(stats.cpu_seconds).c_str());
+      out += buf;
+    }
+    out +=
+        "# HELP rock_obs_span_alloc_bytes_total Bytes requested through "
+        "operator new during the name's spans (ROCK_OBS_ALLOC_TRACK "
+        "builds)\n";
+    out += "# TYPE rock_obs_span_alloc_bytes_total counter\n";
+    for (const auto& [name, stats] : spans) {
+      std::snprintf(buf, sizeof(buf),
+                    "rock_obs_span_alloc_bytes_total{name=\"%s\"} %" PRIu64
+                    "\n",
+                    PromEscapeLabelValue(name).c_str(), stats.alloc_bytes);
+      out += buf;
+    }
   }
   // Scrapers gate on the drop gauge; make sure it is present even when the
   // snapshot was taken before the registry ever saw it.
@@ -301,7 +350,8 @@ std::string ExportPrometheus(const MetricsRegistry::Snapshot& snapshot,
 
 void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
                            const std::map<std::string, SpanStats>& spans,
-                           uint64_t dropped_spans, JsonWriter* writer) {
+                           uint64_t dropped_spans, JsonWriter* writer,
+                           const std::vector<WorkerBreakdown>& breakdowns) {
   JsonWriter& w = *writer;
   w.Key("counters").BeginObject();
   for (const auto& counter : snapshot.counters) {
@@ -344,9 +394,31 @@ void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
     w.Key("p50_seconds").Number(stats.p50_seconds);
     w.Key("p95_seconds").Number(stats.p95_seconds);
     w.Key("p99_seconds").Number(stats.p99_seconds);
+    w.Key("cpu_seconds").Number(stats.cpu_seconds);
+    w.Key("alloc_bytes").Uint(stats.alloc_bytes);
     w.EndObject();
   }
   w.EndObject();
+
+  w.Key("wait_breakdown").BeginArray();
+  for (const WorkerBreakdown& breakdown : breakdowns) {
+    w.BeginObject();
+    w.Key("label").String(breakdown.label);
+    w.Key("mode").String(breakdown.mode);
+    w.Key("workers").Int(breakdown.workers);
+    w.Key("wall_seconds").Number(breakdown.wall_seconds);
+    w.Key("busy_seconds").BeginArray();
+    for (double v : breakdown.busy_seconds) w.Number(v);
+    w.EndArray();
+    w.Key("wait_seconds").BeginArray();
+    for (double v : breakdown.wait_seconds) w.Number(v);
+    w.EndArray();
+    w.Key("idle_seconds").BeginArray();
+    for (double v : breakdown.idle_seconds) w.Number(v);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
 
   w.Key("dropped_spans").Uint(dropped_spans);
 }
@@ -382,10 +454,11 @@ void AppendFaultsBlock(const MetricsRegistry::Snapshot& snapshot,
 
 std::string ExportJson(const MetricsRegistry::Snapshot& snapshot,
                        const std::map<std::string, SpanStats>& spans,
-                       uint64_t dropped_spans) {
+                       uint64_t dropped_spans,
+                       const std::vector<WorkerBreakdown>& breakdowns) {
   JsonWriter w;
   w.BeginObject();
-  AppendTelemetryFields(snapshot, spans, dropped_spans, &w);
+  AppendTelemetryFields(snapshot, spans, dropped_spans, &w, breakdowns);
   w.EndObject();
   return w.str();
 }
@@ -476,12 +549,20 @@ TelemetrySnapshot CaptureGlobalTelemetry() {
   snap.trace = Tracer::Global().Snapshot();
   snap.spans = Tracer::Global().AggregateByName();
   snap.thread_names = Tracer::Global().ThreadNames();
+  snap.breakdowns = ScheduleBreakdowns::Global().Snapshot();
   snap.dropped_spans = Tracer::Global().dropped();
   // Mirror the ring's drop count as a gauge so it reaches the Prometheus
   // export (and the JSON "gauges" block) — the CI smoke asserts it is 0.
   MetricsRegistry::Global()
       .GetGauge("rock_obs_dropped_spans")
       ->Set(static_cast<int64_t>(snap.dropped_spans));
+  // Process RSS, refreshed at every capture: the whole-process memory
+  // total the per-span alloc_bytes attribution cross-checks against.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetGauge("rock_process_rss_bytes")
+      ->Set(static_cast<int64_t>(ProcessRssBytes()));
+  reg.SetHelp("rock_process_rss_bytes",
+              "Resident set size of the process (/proc/self/statm)");
   snap.metrics = MetricsRegistry::Global().Snap();
   return snap;
 }

@@ -1,15 +1,54 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace rock::obs {
+
+/// Per-worker wait-vs-run attribution for one WorkerPool::Execute call:
+/// parallel arrays indexed by worker id. busy = executing unit bodies,
+/// wait = summed submit→dequeue queue wait of the units each worker ran,
+/// idle = wall-clock remainder (clamped at zero). Written by the pool,
+/// surfaced as the "wait_breakdown" block of /telemetry.json and
+/// BENCH_*.json.
+struct WorkerBreakdown {
+  /// "<mode>-<workers>#<seq>": unique per Execute call within a process.
+  std::string label;
+  std::string mode;
+  int workers = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> busy_seconds;
+  std::vector<double> wait_seconds;
+  std::vector<double> idle_seconds;
+};
+
+/// Process-global bounded collector of the most recent Execute
+/// breakdowns (newest last, oldest evicted past kMaxRetained). The pool
+/// publishes one entry per Execute; exporters snapshot them. Reset()
+/// accompanies the registry/tracer resets the bench harness performs
+/// between benches.
+class ScheduleBreakdowns {
+ public:
+  static constexpr size_t kMaxRetained = 32;
+
+  static ScheduleBreakdowns& Global();
+
+  void Add(WorkerBreakdown breakdown);
+  std::vector<WorkerBreakdown> Snapshot() const;
+  void Reset();
+
+ private:
+  mutable common::Mutex mu_;
+  std::deque<WorkerBreakdown> recent_ ROCK_GUARDED_BY(mu_);
+};
 
 /// Minimal streaming JSON writer (objects, arrays, scalars, comma
 /// placement, string escaping). Shared by the telemetry exporter and the
@@ -72,17 +111,19 @@ std::string ExportChromeTrace(
 
 /// Everything the process knows about itself, as one JSON object:
 /// {"counters": {...}, "gauges": {...}, "histograms": {...},
-///  "spans": {name: {count, total_seconds, max_seconds}},
-///  "dropped_spans": n}.
+///  "spans": {name: {count, total_seconds, ..., cpu_seconds, alloc_bytes}},
+///  "wait_breakdown": [...], "dropped_spans": n}.
 std::string ExportJson(const MetricsRegistry::Snapshot& snapshot,
                        const std::map<std::string, SpanStats>& spans,
-                       uint64_t dropped_spans);
+                       uint64_t dropped_spans,
+                       const std::vector<WorkerBreakdown>& breakdowns = {});
 
 /// Emits the telemetry object's fields into an already-open JSON object —
 /// the bench emitter nests telemetry next to its own sections.
 void AppendTelemetryFields(const MetricsRegistry::Snapshot& snapshot,
                            const std::map<std::string, SpanStats>& spans,
-                           uint64_t dropped_spans, JsonWriter* writer);
+                           uint64_t dropped_spans, JsonWriter* writer,
+                           const std::vector<WorkerBreakdown>& breakdowns = {});
 
 /// Emits the fault-injection/recovery accounting as a "faults" object into
 /// an already-open JSON object (the bench emitter's `faults` block):
@@ -103,10 +144,11 @@ struct TelemetrySnapshot {
   std::map<std::string, SpanStats> spans;
   std::vector<SpanRecord> trace;
   std::map<uint32_t, std::string> thread_names;
+  std::vector<WorkerBreakdown> breakdowns;
   uint64_t dropped_spans = 0;
 
   std::string ToJson() const {
-    return ExportJson(metrics, spans, dropped_spans);
+    return ExportJson(metrics, spans, dropped_spans, breakdowns);
   }
   std::string ToPrometheus() const {
     return ExportPrometheus(metrics, spans, dropped_spans);

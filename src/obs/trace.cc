@@ -4,6 +4,10 @@
 #include <chrono>
 #include <cstdlib>
 
+#ifndef ROCK_OBS_DISABLE_PROFILER
+#include "src/obs/resource.h"
+#endif
+
 namespace rock::obs {
 namespace {
 
@@ -20,6 +24,41 @@ size_t RoundUpPow2(size_t n) {
 }
 
 thread_local uint64_t t_current_span = 0;
+
+#ifndef ROCK_OBS_DISABLE_PROFILER
+/// Open-span registry: one seqlocked slot per thread (hashed by trace id),
+/// holding the thread's innermost open span. Writers are the owning
+/// thread only; the watchdog reads concurrently. Writer protocol: bump
+/// seq to odd, write fields, bump seq to even. A reader retries while seq
+/// is odd or changed across the read. Hash collisions (>= kOpenSpanSlots
+/// live threads) make colliding threads overwrite each other — tolerable,
+/// the registry is a diagnostic surface, never a correctness input.
+constexpr size_t kOpenSpanSlots = 256;
+
+struct OpenSlot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> id{0};
+  std::atomic<double> start{0.0};
+  std::atomic<uint32_t> thread{0};
+};
+
+OpenSlot g_open_slots[kOpenSpanSlots];
+
+OpenSlot& OpenSlotForThisThread() {
+  return g_open_slots[ThisThreadTraceId() % kOpenSpanSlots];
+}
+
+void PublishOpenSpan(OpenSlot& slot, const char* name, uint64_t id,
+                     double start, uint32_t thread) {
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in flight
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.id.store(id, std::memory_order_relaxed);
+  slot.start.store(start, std::memory_order_relaxed);
+  slot.thread.store(thread, std::memory_order_relaxed);
+  slot.seq.fetch_add(1, std::memory_order_release);  // even: stable
+}
+#endif  // !ROCK_OBS_DISABLE_PROFILER
 
 /// Nearest-rank percentile over an already-sorted duration list.
 double NearestRank(const std::vector<double>& sorted, double q) {
@@ -123,6 +162,8 @@ std::map<std::string, SpanStats> Tracer::AggregateByName() const {
     if (record.duration_seconds > stats.max_seconds) {
       stats.max_seconds = record.duration_seconds;
     }
+    stats.cpu_seconds += record.cpu_seconds;
+    stats.alloc_bytes += record.alloc_bytes;
     durations[record.name].push_back(record.duration_seconds);
   }
   for (auto& [name, values] : durations) {
@@ -166,6 +207,31 @@ void Tracer::Reset() {
 
 uint64_t CurrentSpanId() { return t_current_span; }
 
+#ifndef ROCK_OBS_DISABLE_PROFILER
+std::vector<OpenSpanInfo> OpenSpans() {
+  std::vector<OpenSpanInfo> out;
+  for (OpenSlot& slot : g_open_slots) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      uint64_t before = slot.seq.load(std::memory_order_acquire);
+      if (before & 1) continue;  // write in flight, retry
+      // Acquire loads on the fields pin the seq re-check after them (an
+      // acquire load forbids later operations from reordering above it),
+      // so no fence is needed — which also keeps TSan happy: GCC rejects
+      // atomic_thread_fence outright under -fsanitize=thread.
+      OpenSpanInfo info;
+      info.name = slot.name.load(std::memory_order_acquire);
+      info.id = slot.id.load(std::memory_order_acquire);
+      info.start_seconds = slot.start.load(std::memory_order_acquire);
+      info.thread = slot.thread.load(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+      if (info.name != nullptr && info.id != 0) out.push_back(info);
+      break;
+    }
+  }
+  return out;
+}
+#endif
+
 ScopedSpan::ScopedSpan(const char* name, Tracer& tracer, uint64_t flow_from)
     : tracer_(tracer), saved_current_(t_current_span) {
   record_.id = tracer_.NextSpanId();
@@ -175,9 +241,27 @@ ScopedSpan::ScopedSpan(const char* name, Tracer& tracer, uint64_t flow_from)
   record_.thread = ThisThreadTraceId();
   record_.start_seconds = tracer_.Now();
   t_current_span = record_.id;
+#ifndef ROCK_OBS_DISABLE_PROFILER
+  OpenSlot& slot = OpenSlotForThisThread();
+  // Owning thread is the only writer: plain relaxed reads see its own
+  // last write (the parent span, or empty).
+  saved_open_name_ = slot.name.load(std::memory_order_relaxed);
+  saved_open_id_ = slot.id.load(std::memory_order_relaxed);
+  saved_open_start_ = slot.start.load(std::memory_order_relaxed);
+  PublishOpenSpan(slot, name, record_.id, record_.start_seconds,
+                  record_.thread);
+  cpu_start_ = ThreadCpuSeconds();
+  alloc_start_ = ThreadAllocBytes();
+#endif
 }
 
 ScopedSpan::~ScopedSpan() {
+#ifndef ROCK_OBS_DISABLE_PROFILER
+  record_.cpu_seconds = ThreadCpuSeconds() - cpu_start_;
+  record_.alloc_bytes = ThreadAllocBytes() - alloc_start_;
+  PublishOpenSpan(OpenSlotForThisThread(), saved_open_name_, saved_open_id_,
+                  saved_open_start_, record_.thread);
+#endif
   record_.duration_seconds = tracer_.Now() - record_.start_seconds;
   t_current_span = saved_current_;
   tracer_.Record(record_);

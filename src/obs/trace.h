@@ -24,6 +24,13 @@ struct SpanRecord {
   /// Start offset from the tracer's epoch (steady clock), and duration.
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
+  /// On-CPU time of the recording thread over the span's lifetime
+  /// (CLOCK_THREAD_CPUTIME_ID delta). duration − cpu is time blocked or
+  /// preempted. 0 when the profiler plane is compiled out.
+  double cpu_seconds = 0.0;
+  /// Bytes requested through operator new on the recording thread during
+  /// the span (ROCK_OBS_ALLOC_TRACK builds; 0 otherwise).
+  uint64_t alloc_bytes = 0;
   uint32_t thread = 0;
 };
 
@@ -37,6 +44,10 @@ struct SpanStats {
   double p50_seconds = 0.0;
   double p95_seconds = 0.0;
   double p99_seconds = 0.0;
+  /// Summed resource attribution across the name's spans — the
+  /// cpu_seconds / alloc_bytes columns every exporter surfaces.
+  double cpu_seconds = 0.0;
+  uint64_t alloc_bytes = 0;
 };
 
 /// Trace id of the calling thread (stable for the thread's lifetime);
@@ -145,7 +156,37 @@ class ScopedSpan {
   Tracer& tracer_;
   SpanRecord record_;
   uint64_t saved_current_;
+#ifndef ROCK_OBS_DISABLE_PROFILER
+  double cpu_start_ = 0.0;
+  uint64_t alloc_start_ = 0;
+  /// Open-span registry bookkeeping: what this thread's slot held before
+  /// this span opened (the parent span), restored on destruction.
+  const char* saved_open_name_ = nullptr;
+  uint64_t saved_open_id_ = 0;
+  double saved_open_start_ = 0.0;
+#endif
 };
+
+#ifndef ROCK_OBS_DISABLE_PROFILER
+/// A span currently open on some thread, as seen by the open-span
+/// registry ScopedSpan maintains (innermost span per thread). The stall
+/// watchdog scans these to find spans stuck past their deadline. Reads
+/// are seqlock-consistent per slot; if two threads hash to one slot the
+/// losing thread's span is simply not listed (best-effort diagnostics,
+/// never a correctness input).
+struct OpenSpanInfo {
+  uint32_t thread = 0;
+  uint64_t id = 0;
+  const char* name = "";
+  /// Tracer-epoch start, comparable with Tracer::Global().Now().
+  double start_seconds = 0.0;
+};
+
+/// Snapshot of every currently-open innermost span (one per live thread
+/// that has a span open). Safe to call from any thread, including while
+/// spans open and close concurrently.
+std::vector<OpenSpanInfo> OpenSpans();
+#endif
 
 }  // namespace rock::obs
 

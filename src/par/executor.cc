@@ -13,7 +13,9 @@
 #include "src/common/logging.h"
 #include "src/common/mutex.h"
 #include "src/common/timer.h"
+#include "src/obs/exporters.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
 
 namespace rock::par {
@@ -25,8 +27,10 @@ struct PoolMetrics {
   obs::Counter* units_stolen;
   obs::Counter* busy_micros;
   obs::Counter* idle_micros;
+  obs::Counter* wait_micros;
   obs::Gauge* queue_depth;
   obs::Histogram* unit_seconds;
+  obs::Histogram* unit_wait_seconds;
   // Fault injection & recovery (DESIGN.md "Fault injection & recovery").
   obs::Counter* faults_injected;
   obs::Counter* unit_retries;
@@ -47,9 +51,12 @@ struct PoolMetrics {
       out.units_stolen = reg.GetCounter("rock_par_units_stolen_total");
       out.busy_micros = reg.GetCounter("rock_par_worker_busy_micros_total");
       out.idle_micros = reg.GetCounter("rock_par_worker_idle_micros_total");
+      out.wait_micros = reg.GetCounter("rock_par_unit_wait_micros_total");
       out.queue_depth = reg.GetGauge("rock_par_queue_depth");
       out.unit_seconds = reg.GetHistogram("rock_par_unit_seconds",
                                           obs::LatencyBucketsSeconds());
+      out.unit_wait_seconds = reg.GetHistogram(
+          "rock_par_unit_wait_seconds", obs::LatencyBucketsSeconds());
       out.faults_injected = reg.GetCounter("rock_par_faults_injected_total");
       out.unit_retries = reg.GetCounter("rock_par_unit_retries_total");
       out.backoff_micros = reg.GetCounter("rock_par_backoff_micros_total");
@@ -68,6 +75,10 @@ struct PoolMetrics {
                   "Work units enqueued but not yet finished");
       reg.SetHelp("rock_par_unit_seconds",
                   "Per-unit execution latency (CPU seconds when available)");
+      reg.SetHelp("rock_par_unit_wait_micros_total",
+                  "Total submit-to-dequeue queue wait across units");
+      reg.SetHelp("rock_par_unit_wait_seconds",
+                  "Per-unit submit-to-dequeue queue wait");
       reg.SetHelp("rock_faults_unrecovered_units",
                   "Abandoned units awaiting replay; 0 after recovery");
       return out;
@@ -114,6 +125,24 @@ void ExportFaultMetrics(const FaultReport& faults) {
 /// Worker index from a ring node name ("worker-<id>").
 int WorkerIdOf(const std::string& node) {
   return std::stoi(node.substr(node.find('-') + 1));
+}
+
+/// Hands one Execute call's per-worker wait-vs-run attribution to the
+/// global collector /telemetry.json reports from.
+void PublishBreakdown(const ScheduleReport& report) {
+  static std::atomic<uint64_t> seq{0};
+  obs::WorkerBreakdown breakdown;
+  breakdown.mode = ExecutionModeName(report.mode);
+  breakdown.workers = report.num_workers;
+  breakdown.wall_seconds = report.wall_seconds;
+  breakdown.label = breakdown.mode + "-" +
+                    std::to_string(report.num_workers) + "#" +
+                    std::to_string(
+                        seq.fetch_add(1, std::memory_order_relaxed) + 1);
+  breakdown.busy_seconds = report.busy_seconds;
+  breakdown.wait_seconds = report.wait_seconds;
+  breakdown.idle_seconds = report.idle_seconds;
+  obs::ScheduleBreakdowns::Global().Add(std::move(breakdown));
 }
 
 }  // namespace
@@ -234,6 +263,10 @@ namespace {
 struct SimulationResult {
   double makespan = 0.0;
   std::vector<int> executed;
+  /// Virtual-time per-worker attribution: busy sums service time, wait
+  /// sums each acquired unit's submit→dequeue queue wait.
+  std::vector<double> busy;
+  std::vector<double> wait;
   int stolen = 0;
   FaultReport faults;
 };
@@ -261,6 +294,11 @@ SimulationResult SimulateSchedule(
     const RelocateFn& relocate) {
   SimulationResult result;
   result.executed.assign(static_cast<size_t>(num_workers), 0);
+  result.busy.assign(static_cast<size_t>(num_workers), 0.0);
+  result.wait.assign(static_cast<size_t>(num_workers), 0.0);
+  /// Virtual time each unit last became runnable: 0 at initial placement,
+  /// updated when a retry or a death drain re-queues it.
+  std::vector<double> submitted(durations.size(), 0.0);
   std::vector<std::deque<size_t>> queues(static_cast<size_t>(num_workers));
   size_t remaining = 0;
   for (int w = 0; w < num_workers; ++w) {
@@ -303,6 +341,9 @@ SimulationResult SimulateSchedule(
     }
     size_t unit = queue.front();
     queue.pop_front();
+    if (now > submitted[unit]) {
+      result.wait[static_cast<size_t>(worker)] += now - submitted[unit];
+    }
     double service = durations[unit];
     if (plan != nullptr) {
       int attempt = ++attempts[unit];
@@ -318,9 +359,11 @@ SimulationResult SimulateSchedule(
           std::vector<size_t> drained(queue.begin(), queue.end());
           queue.clear();
           queues[static_cast<size_t>(relocate(unit, alive))].push_back(unit);
+          submitted[unit] = now;
           result.faults.units_reassigned++;
           for (size_t u : drained) {
             queues[static_cast<size_t>(relocate(u, alive))].push_back(u);
+            submitted[u] = now;
             result.faults.units_reassigned++;
             result.faults.steals_on_death++;
           }
@@ -343,6 +386,9 @@ SimulationResult SimulateSchedule(
         result.faults.retries++;
         result.faults.backoff_seconds += backoff;
         queue.push_back(unit);
+        // Runnable again once the worker's backoff expires: the deliberate
+        // backoff sleep is not queue wait.
+        submitted[unit] = now + backoff;
         clock[static_cast<size_t>(worker)] = now + backoff;
         ready.emplace(now + backoff, worker);
         continue;
@@ -357,6 +403,7 @@ SimulationResult SimulateSchedule(
     double finish = now + service;
     clock[static_cast<size_t>(worker)] = finish;
     result.executed[static_cast<size_t>(worker)]++;
+    result.busy[static_cast<size_t>(worker)] += service;
     --remaining;
     ready.emplace(finish, worker);
   }
@@ -440,6 +487,13 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
   std::vector<int> executed(static_cast<size_t>(num_workers_), 0);
   std::vector<int> stolen(static_cast<size_t>(num_workers_), 0);
   std::vector<double> busy(static_cast<size_t>(num_workers_), 0.0);
+  std::vector<double> wait(static_cast<size_t>(num_workers_), 0.0);
+  // Submit stamp per unit (seconds on the execution's wall timer): 0 for
+  // the initial placement, re-stamped when a retry or death drain
+  // re-queues the unit. Atomic because the re-stamp (under the queue's
+  // lock) and the dequeue read (under a possibly different queue's lock)
+  // are not ordered by one mutex.
+  std::vector<std::atomic<double>> submitted(units.size());
 
   const FaultPlan* plan = options_.fault_plan;
   const RetryPolicy& retry = options_.retry;
@@ -467,8 +521,13 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
   // Chrome trace exporter draw scheduler→worker arrows.
   const uint64_t submit_span = obs::CurrentSpanId();
 
+  // Starts before the workers spawn: submit stamps and dequeue stamps
+  // share this clock, so a unit's queue wait is a plain subtraction.
+  Timer wall;
+
   auto worker_main = [&](int me) {
     obs::Tracer::Global().SetThisThreadName("worker-" + std::to_string(me));
+    obs::ProfilerRegisterThisThread();
     auto& own = queues[static_cast<size_t>(me)];
     while (true) {
       if (plan != nullptr &&
@@ -528,6 +587,16 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
         stolen[static_cast<size_t>(me)]++;
         metrics.units_stolen->Add(1);
       }
+      // Dequeue stamp: how long the unit sat runnable before this worker
+      // picked it up (wait attribution; run time is measured below).
+      {
+        double waited = wall.ElapsedSeconds() -
+                        submitted[unit].load(std::memory_order_relaxed);
+        if (waited < 0.0) waited = 0.0;
+        wait[static_cast<size_t>(me)] += waited;
+        metrics.unit_wait_seconds->Observe(waited);
+        metrics.wait_micros->Add(Micros(waited));
+      }
       if (plan != nullptr) {
         int attempt = attempts[unit].fetch_add(
                           1, std::memory_order_relaxed) + 1;
@@ -567,6 +636,8 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
               int target = LocateLiveWorker(units[u], fs.alive);
               auto& tq = queues[static_cast<size_t>(target)];
               common::MutexLock lock(tq.mu);
+              submitted[u].store(wall.ElapsedSeconds(),
+                                 std::memory_order_relaxed);
               tq.queue.push_back(u);
               fs.faults.units_reassigned++;
               if (u != unit) fs.faults.steals_on_death++;
@@ -599,6 +670,10 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
           std::this_thread::sleep_for(
               std::chrono::duration<double>(backoff));
           common::MutexLock lock(own.mu);
+          // Runnable again only now: the deliberate backoff sleep is not
+          // queue wait.
+          submitted[unit].store(wall.ElapsedSeconds(),
+                                std::memory_order_relaxed);
           own.queue.push_back(unit);
           continue;
         }
@@ -633,7 +708,6 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
     }
   };
 
-  Timer wall;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(num_workers_));
   for (int w = 0; w < num_workers_; ++w) {
@@ -642,13 +716,24 @@ ScheduleReport WorkerPool::ExecuteThreads(const std::vector<WorkUnit>& units,
   for (std::thread& t : threads) t.join();
   report.wall_seconds = wall.ElapsedSeconds();
 
+  report.busy_seconds.assign(static_cast<size_t>(num_workers_), 0.0);
+  report.wait_seconds.assign(static_cast<size_t>(num_workers_), 0.0);
+  report.idle_seconds.assign(static_cast<size_t>(num_workers_), 0.0);
   for (int w = 0; w < num_workers_; ++w) {
     report.executed_units[static_cast<size_t>(w)] =
         executed[static_cast<size_t>(w)];
     report.stolen_units += stolen[static_cast<size_t>(w)];
+    report.busy_seconds[static_cast<size_t>(w)] =
+        busy[static_cast<size_t>(w)];
+    report.wait_seconds[static_cast<size_t>(w)] =
+        wait[static_cast<size_t>(w)];
+    // Clamped: per-thread CPU clocks can nominally exceed a short wall
+    // interval, and a negative idle would poison downstream sums.
+    double idle = ClampedIdleSeconds(report.wall_seconds,
+                                     busy[static_cast<size_t>(w)]);
+    report.idle_seconds[static_cast<size_t>(w)] = idle;
     metrics.busy_micros->Add(Micros(busy[static_cast<size_t>(w)]));
-    metrics.idle_micros->Add(
-        Micros(report.wall_seconds - busy[static_cast<size_t>(w)]));
+    metrics.idle_micros->Add(Micros(idle));
   }
   for (double d : durations) report.serial_seconds += d;
 
@@ -729,6 +814,21 @@ ScheduleReport WorkerPool::ExecuteSimulated(
   report.executed_units = sim.executed;
   report.stolen_units = sim.stolen;
   report.faults = sim.faults;
+  // Per-worker attribution comes from the virtual-time replay, like
+  // executed_units: the whole point of kSimulated is a schedule shape
+  // that is independent of the host's core count.
+  report.busy_seconds = sim.busy;
+  report.wait_seconds = sim.wait;
+  report.idle_seconds.assign(static_cast<size_t>(num_workers_), 0.0);
+  double horizon = sim.makespan > 0.0 ? sim.makespan : report.serial_seconds;
+  for (int w = 0; w < num_workers_; ++w) {
+    report.idle_seconds[static_cast<size_t>(w)] = ClampedIdleSeconds(
+        horizon, report.busy_seconds[static_cast<size_t>(w)]);
+    double waited = report.wait_seconds[static_cast<size_t>(w)];
+    if (waited > 0.0) {
+      metrics.wait_micros->Add(Micros(waited));
+    }
+  }
   metrics.units_stolen->Add(static_cast<uint64_t>(sim.stolen));
   ExportFaultMetrics(report.faults);
   report.makespan_seconds =
@@ -771,13 +871,15 @@ ScheduleReport WorkerPool::Execute(const std::vector<WorkUnit>& units,
                                   ? ExecuteThreads(units, body)
                                   : ExecuteSimulated(units, body);
       options_.fault_plan = nullptr;
+      PublishBreakdown(report);
       return report;
     }
   }
-  if (mode_ == ExecutionMode::kThreads) {
-    return ExecuteThreads(units, body);
-  }
-  return ExecuteSimulated(units, body);
+  ScheduleReport report = mode_ == ExecutionMode::kThreads
+                              ? ExecuteThreads(units, body)
+                              : ExecuteSimulated(units, body);
+  PublishBreakdown(report);
+  return report;
 }
 
 ScheduleReport WorkerPool::Execute(

@@ -67,6 +67,14 @@ enum class ExecutionMode { kThreads, kSimulated };
 
 const char* ExecutionModeName(ExecutionMode mode);
 
+/// Idle time of one worker over one execution: wall-clock minus busy time,
+/// clamped at zero. The clamp matters for stragglers measured with
+/// per-thread CPU clocks, where busy can nominally exceed a short wall
+/// interval and the naive subtraction would go negative.
+inline double ClampedIdleSeconds(double wall_seconds, double busy_seconds) {
+  return wall_seconds > busy_seconds ? wall_seconds - busy_seconds : 0.0;
+}
+
 /// Result of a parallel execution. Both modes fill the simulated makespan
 /// (replayed from per-unit measured durations); kThreads additionally
 /// reports the measured wall-clock of the threaded region so benches can
@@ -92,6 +100,17 @@ struct ScheduleReport {
   /// Units that moved between workers via stealing (real transfers under
   /// kThreads, simulated transfers under kSimulated).
   int stolen_units = 0;
+  /// Per-worker wait-vs-run attribution. busy_seconds[w] is the time
+  /// worker w spent executing unit bodies; wait_seconds[w] sums the
+  /// submit→dequeue queue wait of every unit w executed (how long its
+  /// units sat enqueued before w picked them up); idle_seconds[w] is the
+  /// remainder of the execution wall-clock the worker spent neither
+  /// executing nor acquiring work, clamped at zero (per-thread CPU clocks
+  /// can nominally exceed a short wall interval). Under kThreads these are
+  /// measured; under kSimulated they come from the virtual-time replay.
+  std::vector<double> busy_seconds;
+  std::vector<double> wait_seconds;
+  std::vector<double> idle_seconds;
   /// Fault-injection and recovery accounting (all zero without a plan).
   FaultReport faults;
 

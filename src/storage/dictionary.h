@@ -25,10 +25,28 @@ class StringInterner {
 
   size_t size() const { return strings_.size(); }
 
+  /// Rough heap footprint: string payloads (counted twice — the dense
+  /// vector and the id map each hold a copy), per-entry map nodes, and the
+  /// bucket array. Cross-check for the allocation-delta columns.
+  size_t ApproxBytes() const {
+    size_t bytes = strings_.capacity() * sizeof(std::string) +
+                   ids_.bucket_count() * sizeof(void*);
+    for (const std::string& s : strings_) {
+      const size_t payload = s.capacity() > kSsoCapacity ? s.capacity() : 0;
+      bytes += 2 * payload +
+               sizeof(std::pair<const std::string, uint32_t>) + sizeof(void*);
+    }
+    return bytes;
+  }
+
   /// Drops all ids; previously returned ids become invalid.
   void Clear();
 
  private:
+  /// Typical SSO threshold: strings at or under this capacity allocate
+  /// no heap payload.
+  static constexpr size_t kSsoCapacity = 15;
+
   struct TransparentHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {

@@ -114,6 +114,32 @@ TEST(HistogramTest, PercentileEdgeCases) {
               1e-9);
 }
 
+TEST(HistogramTest, PercentileExtremeQuantiles) {
+  // Empty histogram: every quantile, including the extremes, reads 0.
+  Histogram empty({1.0, 2.0});
+  EXPECT_EQ(empty.Percentile(0.0), 0.0);
+  EXPECT_EQ(empty.Percentile(1.0), 0.0);
+
+  // Single finite bucket: q=0 clamps to rank 1 (the smallest observation's
+  // interpolated position), q=1 reaches the bucket's upper bound, and
+  // every q in between stays inside it.
+  Histogram single({1.0});
+  for (int i = 0; i < 8; ++i) single.Observe(0.5);
+  EXPECT_NEAR(single.Percentile(0.0), 1.0 / 8, 1e-9);
+  EXPECT_NEAR(single.Percentile(1.0), 1.0, 1e-9);
+  EXPECT_GT(single.Percentile(0.5), 0.0);
+  EXPECT_LE(single.Percentile(0.5), 1.0);
+
+  // With observations split across buckets the extremes still bracket the
+  // distribution: q=0 in the first occupied bucket, q=1 at the last
+  // occupied finite bound.
+  Histogram split({1.0, 2.0, 4.0});
+  split.Observe(0.5);
+  split.Observe(3.0);
+  EXPECT_LE(split.Percentile(0.0), 1.0);
+  EXPECT_NEAR(split.Percentile(1.0), 4.0, 1e-9);
+}
+
 TEST(MetricsRegistryTest, HelpTextReachesSnapshotAndExport) {
   MetricsRegistry registry;
   registry.GetCounter("rock_help_total")->Add(1);
@@ -195,6 +221,17 @@ TEST(TracerTest, AggregateByName) {
   EXPECT_EQ(stats["repeat"].count, 3u);
   EXPECT_GE(stats["repeat"].total_seconds, 0.0);
   EXPECT_GE(stats["repeat"].max_seconds, 0.0);
+}
+
+TEST(TracerTest, AggregateByNameOnEmptySnapshot) {
+  Tracer tracer(64);
+  std::map<std::string, SpanStats> stats = tracer.AggregateByName();
+  EXPECT_TRUE(stats.empty());
+  // Reset after activity must also yield an empty aggregate, not stale
+  // stats.
+  { ScopedSpan span("ephemeral", tracer); }
+  tracer.Reset();
+  EXPECT_TRUE(tracer.AggregateByName().empty());
 }
 
 TEST(TracerTest, RingOverwritesOldestAndCountsDropped) {

@@ -12,6 +12,7 @@
 
 #include "src/detect/detector.h"
 #include "src/ml/library.h"
+#include "src/obs/exporters.h"
 #include "src/par/executor.h"
 #include "src/rules/parser.h"
 #include "src/workload/ecommerce.h"
@@ -49,6 +50,67 @@ std::vector<par::WorkUnit> MakeUnits(int count, int rule_index = 0) {
     units.push_back(unit);
   }
   return units;
+}
+
+TEST(IdleAccountingTest, ClampedIdleSecondsNeverNegative) {
+  // Regression: idle = wall - busy went negative for straggler workers
+  // whose busy time (their own clock) exceeded the pool's wall clock.
+  EXPECT_DOUBLE_EQ(par::ClampedIdleSeconds(1.0, 0.25), 0.75);
+  EXPECT_DOUBLE_EQ(par::ClampedIdleSeconds(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(par::ClampedIdleSeconds(1.0, 1.5), 0.0);
+  EXPECT_DOUBLE_EQ(par::ClampedIdleSeconds(0.0, 0.0), 0.0);
+}
+
+TEST(IdleAccountingTest, ExecuteReportsPerWorkerBreakdownsClampedAtZero) {
+  // Oversubscribe workers so per-worker busy clocks race the wall clock;
+  // every idle entry must still come out non-negative.
+  const int kUnits = 64;
+  const int kWorkers = 8;
+  std::vector<par::WorkUnit> units = MakeUnits(kUnits);
+  par::WorkerPool pool(kWorkers, par::ExecutionMode::kThreads);
+  auto report = pool.Execute(
+      units, [&](const par::WorkUnit&, size_t, int) {
+        volatile double acc = 0;
+        for (int i = 0; i < 20000; ++i) acc = acc + i;
+      });
+  ASSERT_EQ(report.busy_seconds.size(), static_cast<size_t>(kWorkers));
+  ASSERT_EQ(report.wait_seconds.size(), static_cast<size_t>(kWorkers));
+  ASSERT_EQ(report.idle_seconds.size(), static_cast<size_t>(kWorkers));
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_GE(report.busy_seconds[w], 0.0);
+    EXPECT_GE(report.wait_seconds[w], 0.0);
+    EXPECT_GE(report.idle_seconds[w], 0.0) << "worker " << w;
+  }
+}
+
+TEST(IdleAccountingTest, SimulatedModeFillsBreakdowns) {
+  std::vector<par::WorkUnit> units = MakeUnits(32);
+  par::WorkerPool pool(4, par::ExecutionMode::kSimulated);
+  auto report = pool.Execute(units, [](const par::WorkUnit&, size_t, int) {});
+  ASSERT_EQ(report.busy_seconds.size(), 4u);
+  ASSERT_EQ(report.wait_seconds.size(), 4u);
+  ASSERT_EQ(report.idle_seconds.size(), 4u);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_GE(report.idle_seconds[w], 0.0);
+    EXPECT_GE(report.wait_seconds[w], 0.0);
+  }
+}
+
+TEST(IdleAccountingTest, ExecutePublishesScheduleBreakdown) {
+  obs::ScheduleBreakdowns::Global().Reset();
+  std::vector<par::WorkUnit> units = MakeUnits(16);
+  par::WorkerPool pool(2, par::ExecutionMode::kThreads);
+  pool.Execute(units, [](const par::WorkUnit&, size_t, int) {});
+  std::vector<obs::WorkerBreakdown> breakdowns =
+      obs::ScheduleBreakdowns::Global().Snapshot();
+  ASSERT_FALSE(breakdowns.empty());
+  const obs::WorkerBreakdown& last = breakdowns.back();
+  EXPECT_EQ(last.mode, "threads");
+  EXPECT_EQ(last.workers, 2);
+  EXPECT_EQ(last.busy_seconds.size(), 2u);
+  EXPECT_EQ(last.wait_seconds.size(), 2u);
+  EXPECT_EQ(last.idle_seconds.size(), 2u);
+  EXPECT_GT(last.wall_seconds, 0.0);
 }
 
 TEST(ThreadedPoolTest, ExecutesEveryUnitExactlyOnce) {
