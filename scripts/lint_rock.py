@@ -3,10 +3,6 @@
 
 Enforces repo conventions that neither the compiler nor clang-tidy check:
 
-  raw-mutex          no std::mutex / std::shared_mutex / std lock RAII types
-                     outside src/common/ — concurrency goes through the
-                     annotated rock::common wrappers so Clang Thread Safety
-                     Analysis sees every lock.
   using-namespace    no `using namespace` at any scope in headers.
   pragma-once        every header starts its include protection with
                      `#pragma once`.
@@ -18,14 +14,15 @@ Enforces repo conventions that neither the compiler nor clang-tidy check:
   raw-socket         no socket()/bind()/listen()/accept()/connect() calls
                      outside src/obs/server.cc — one audited seam for all
                      networking (TelemetryServer today, rockd tomorrow).
-  raw-signal         no sigaction()/timer_create()/timer_settime()/
-                     timer_delete()/setitimer() outside src/obs/profile.cc —
-                     signal handlers and profiling timers are async-signal-
-                     safety minefields; the sampling profiler is the one
-                     audited seam.
   unregistered-test  every tests/*.cc is picked up by tests/CMakeLists.txt
                      (the glob takes *_test.cc; anything else must be named
                      there explicitly or it silently never runs).
+
+The former raw-mutex and raw-signal rules moved to the semantic analyzer
+(scripts/rock_analyze.py), which owns all concurrency/signal invariants:
+raw std:: locks are guarded-field findings, and signal/timer seam
+confinement plus the SigprofHandler call-graph walk are signal-safety
+findings. Each invariant has exactly one owner.
 
 A line may opt out with a justification marker:
     ... // rock-lint: allow(<rule>)
@@ -46,9 +43,6 @@ LINT_PREFIXES = ("src/", "tests/", "bench/", "examples/")
 
 ALLOW_RE = re.compile(r"rock-lint:\s*allow\(([a-z-]+)\)")
 
-RAW_MUTEX_RE = re.compile(
-    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
-    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
 # Lookbehind keeps attribute spellings like format(printf, 1, 2) and the
 # wider printf family (snprintf, fprintf) from tripping the output rule;
@@ -63,10 +57,6 @@ NONDETERMINISM_RE = re.compile(
 RAW_SOCKET_RE = re.compile(
     r"(?<![A-Za-z0-9_:.>])(?:::\s*)?"
     r"(?:socket|bind|listen|accept|accept4|connect)\s*\(")
-# Same shape for the profiler's signal/timer plumbing: one audited seam.
-RAW_SIGNAL_RE = re.compile(
-    r"(?<![A-Za-z0-9_:.>])(?:::\s*)?"
-    r"(?:sigaction|timer_create|timer_settime|timer_delete|setitimer)\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -118,10 +108,6 @@ def lint_file(path, text):
                     raw_lines[lineno - 1]):
                 findings.append((path, lineno, rule, message))
 
-    check("raw-mutex", RAW_MUTEX_RE,
-          "use rock::common::Mutex / MutexLock (src/common/mutex.h) so the "
-          "thread-safety analysis sees the lock",
-          skip=path.startswith("src/common/"))
     check("using-namespace", USING_NAMESPACE_RE,
           "`using namespace` in a header leaks into every includer",
           headers_only=True)
@@ -136,10 +122,6 @@ def lint_file(path, text):
           "networking goes through obs::TelemetryServer / HttpFetch; "
           "src/obs/server.cc is the one audited socket seam",
           skip=path == "src/obs/server.cc")
-    check("raw-signal", RAW_SIGNAL_RE,
-          "signal handlers / profiling timers go through obs::CpuProfiler; "
-          "src/obs/profile.cc is the one audited sigaction/timer seam",
-          skip=path == "src/obs/profile.cc")
 
     if is_header and "#pragma once" not in text:
         findings.append((path, 1, "pragma-once",
@@ -186,16 +168,9 @@ def lint_tree(root):
 
 SELF_TEST_CASES = [
     # (path, content, expected rule or None)
-    ("src/par/widget.cc", "std::mutex mu_;\n", "raw-mutex"),
     ("src/par/widget.cc", "common::Mutex mu_;\n", None),
-    ("src/common/mutex.h",
-     "#pragma once\nstd::mutex raw_;\n", None),  # wrappers live here
-    ("src/par/widget.cc",
-     "// a std::mutex in prose is fine\n", None),
-    ("src/par/widget.cc",
-     'Log("std::mutex in a string is fine");\n', None),
-    ("src/par/widget.cc",
-     "std::unique_lock<X> l;  // rock-lint: allow(raw-mutex)\n", None),
+    # raw std:: locks are rock_analyze.py's guarded-field check now.
+    ("src/par/widget.cc", "std::mutex mu_;\n", None),
     ("src/rules/eval.h",
      "#pragma once\nusing namespace std;\n", "using-namespace"),
     ("src/rules/eval.cc", "using namespace std;\n", None),  # .cc is fine
@@ -219,17 +194,9 @@ SELF_TEST_CASES = [
     ("src/par/executor.cc", "auto f = std::bind(&X::Run, this);\n", None),
     ("src/par/executor.cc", "ring.accept(unit);\n", None),
     ("src/par/executor.cc", "queue->accept(unit);\n", None),
-    ("src/core/engine.cc", "sigaction(SIGPROF, &sa, nullptr);\n",
-     "raw-signal"),
-    ("src/obs/watchdog.cc", "timer_create(CLOCK_MONOTONIC, &ev, &t);\n",
-     "raw-signal"),
-    ("tests/obs_test.cc", "::setitimer(ITIMER_PROF, &v, nullptr);\n",
-     "raw-signal"),
-    ("src/obs/profile.cc", "sigaction(SIGPROF, &sa, nullptr);\n", None),
-    ("src/obs/profile.cc", "timer_settime(t, 0, &spec, nullptr);\n", None),
-    ("src/par/executor.cc", "pool.timer_create(x);\n", None),  # member call
-    ("src/core/engine.cc",
-     "// timer_create in prose is fine\n", None),
+    # Signal/timer seam confinement is rock_analyze.py's signal-safety
+    # check now.
+    ("src/core/engine.cc", "sigaction(SIGPROF, &sa, nullptr);\n", None),
     ("tests/helper_test.cc", "ok\n", None),
 ]
 

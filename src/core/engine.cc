@@ -130,6 +130,7 @@ void Rock::TrainModels(const ModelTrainingSpec& spec) {
 }
 
 Result<std::vector<Ree>> Rock::LoadRules(const std::string& text) const {
+  ROCK_OBS_SPAN("rock.load_rules");
   auto rules = rules::ParseRules(text, db_->schema());
   if (!rules.ok()) return rules.status();
   if (options_.variant != Variant::kNoMl) return rules;
@@ -239,6 +240,7 @@ detect::DetectionReport Rock::DetectErrors(
 detect::DetectionReport Rock::DetectErrorsIncremental(
     const std::vector<Ree>& rules,
     const std::vector<std::pair<int, int64_t>>& dirty) const {
+  ROCK_OBS_SPAN("rock.detect_errors_incremental");
   detect::ErrorDetector detector(Context(), options_.detector);
   return detector.DetectIncremental(rules, dirty);
 }
@@ -406,17 +408,20 @@ std::shared_ptr<chase::ChaseEngine> Rock::CorrectErrorsParallel(
 
 obs::ProofTree Rock::Explain(int rel, int64_t tid, int attr,
                              int max_depth) const {
+  ROCK_OBS_SPAN("rock.explain");
   if (last_engine_ == nullptr) return obs::ProofTree();
   return last_engine_->Explain(rel, tid, attr, max_depth);
 }
 
 obs::ProofTree Rock::ExplainMerge(int64_t eid_a, int64_t eid_b,
                                   int max_depth) const {
+  ROCK_OBS_SPAN("rock.explain_merge");
   if (last_engine_ == nullptr) return obs::ProofTree();
   return last_engine_->ExplainMerge(eid_a, eid_b, max_depth);
 }
 
 obs::ProvenanceSummary Rock::ProvenanceSummary() const {
+  ROCK_OBS_SPAN("rock.provenance_summary");
   if (last_engine_ == nullptr) return obs::ProvenanceSummary();
   return last_engine_->ProvenanceSummary();
 }
@@ -429,6 +434,7 @@ Status Rock::DumpJson(const std::string& path) const {
   return obs::WriteFile(path, Telemetry().ToJson());
 }
 
+// ROCK_ANALYZE(no-span-ok: observability-plane control, starts the exporter)
 Status Rock::StartTelemetryServer(int port) {
   if (telemetry_server_ != nullptr) {
     return Status::AlreadyExists(
@@ -445,12 +451,14 @@ Status Rock::StartTelemetryServer(int port) {
   return Status::Ok();
 }
 
+// ROCK_ANALYZE(no-span-ok: observability-plane control, stops the exporter)
 void Rock::StopTelemetryServer() { telemetry_server_.reset(); }
 
 int Rock::telemetry_server_port() const {
   return telemetry_server_ == nullptr ? -1 : telemetry_server_->port();
 }
 
+// ROCK_ANALYZE(no-span-ok: observability-plane control, arms the profiler)
 Status Rock::StartProfiler(int sample_hz) {
   obs::ProfileOptions options;
   options.sample_hz = sample_hz;
@@ -459,6 +467,7 @@ Status Rock::StartProfiler(int sample_hz) {
 
 Status Rock::StopProfiler() { return obs::StopGlobalProfiler(); }
 
+// ROCK_ANALYZE(no-span-ok: observability-plane control, arms the watchdog)
 Status Rock::StartStallWatchdog(double deadline_seconds,
                                 const std::string& dump_path) {
   obs::WatchdogOptions options;

@@ -103,6 +103,7 @@ class Rock {
   /// the pool retries transient failures with capped backoff, re-places a
   /// crashed worker's units via the hash ring, and the chase/detector
   /// replay anything the pool abandons from the round checkpoint.
+  // ROCK_ANALYZE(no-span-ok: configuration setter, performs no traced work)
   void SetFaultInjection(const par::FaultPlan* plan,
                          par::RetryPolicy retry = par::RetryPolicy()) {
     options_.chase.fault_plan = plan;

@@ -83,7 +83,15 @@ Result<RemapStats> ObjectStore::RemoveNode(const std::string& node) {
 RemapStats ObjectStore::Rebalance() {
   RemapStats stats;
   std::vector<Block> moved;
-  for (auto& [node, blocks] : node_blocks_) {
+  // Drain nodes in sorted order: node_blocks_ is an unordered_map, and the
+  // order blocks land in `moved` decides directory registration order, so a
+  // hash-order walk would leak the hash seed into RemapStats consumers.
+  std::vector<std::string> nodes;
+  nodes.reserve(node_blocks_.size());
+  for (const auto& [node, blocks] : node_blocks_) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  for (const std::string& node : nodes) {
+    auto& blocks = node_blocks_[node];
     for (auto it = blocks.begin(); it != blocks.end();) {
       stats.total_blocks++;
       std::string owner = OwnerOf(it->second.object, it->second.seq);

@@ -113,6 +113,7 @@ class ErrorDetector {
                                  par::ScheduleReport* schedule) const;
 
  private:
+  // ROCK_ANALYZE(unguarded-ok: set at construction, read-only afterwards)
   rules::EvalContext ctx_;
   DetectorOptions options_;
   // Lazy (rel, guard attr, consequence attr) -> pair-frequency table used
@@ -131,6 +132,7 @@ class ErrorDetector {
   // (model, pair-content) hash. Same double-checked discipline — lookup
   // under a (shard) lock, score outside any lock, first insert wins — but
   // sharded inside MlScoreCache because workers hit it far more often.
+  // ROCK_ANALYZE(unguarded-ok: internally synchronized by MlScoreCache shard locks)
   mutable ml::MlScoreCache ml_scores_;
 
   /// The active score memo: the external override, the detector's own, or

@@ -122,10 +122,13 @@ class Tracer {
 
  private:
   struct Slot;
+  // Slot contents form the lock-free ring, synchronized through next_.
+  // ROCK_ANALYZE(unguarded-ok: set in the constructor, immutable after)
   size_t capacity_;
   Slot* slots_;
   std::atomic<uint64_t> next_{0};
   std::atomic<uint64_t> next_id_{0};
+  // ROCK_ANALYZE(unguarded-ok: set in the constructor, immutable after)
   double epoch_seconds_;
   mutable common::Mutex names_mu_;
   std::map<uint32_t, std::string> thread_names_ ROCK_GUARDED_BY(names_mu_);

@@ -1,0 +1,117 @@
+// Determinism contract for the export surface: everything that reaches
+// /telemetry.json, /metrics, or BENCH_*.json must come out byte-identical
+// regardless of registration order, hash seeds, or repeat exports. This is
+// the dynamic twin of rock_analyze.py's nondeterministic-iteration check:
+// the analyzer proves no hash-ordered drain reaches an exporter, and this
+// test locks the resulting byte layout with golden files.
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/exporters.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace rock::obs {
+namespace {
+
+std::string ReadGolden(const std::string& name) {
+  std::ifstream golden(std::string(ROCK_TEST_SRCDIR) + "/golden/" + name);
+  EXPECT_TRUE(golden.is_open()) << "missing golden file " << name;
+  std::ostringstream contents;
+  contents << golden.rdbuf();
+  return contents.str();
+}
+
+// A registry populated in deliberately scrambled (anti-alphabetical,
+// interleaved) order: Snap() must sort it, and the exporters must emit it
+// in that sorted order.
+MetricsRegistry::Snapshot ScrambledSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta_fixes_total")->Add(7);
+  registry.GetGauge("queue_depth")->Set(42);
+  registry.GetCounter("alpha_violations_total")->Add(3);
+  registry.SetHelp("zeta_fixes_total", "Fixes applied by the chase.");
+  registry.GetHistogram("detect_seconds", {0.001, 0.01, 0.1})->Observe(0.005);
+  registry.GetHistogram("detect_seconds", {})->Observe(0.05);
+  registry.GetCounter("ml_cache_hits_total")->Add(11);
+  registry.GetGauge("alpha_live_workers")->Set(4);
+  registry.SetHelp("alpha_violations_total", "Violations detected.");
+  return registry.Snap();
+}
+
+std::map<std::string, SpanStats> FixedSpans() {
+  std::map<std::string, SpanStats> spans;
+  SpanStats detect;
+  detect.count = 2;
+  detect.total_seconds = 0.25;
+  detect.max_seconds = 0.15;
+  detect.p50_seconds = 0.1;
+  detect.p95_seconds = 0.15;
+  detect.p99_seconds = 0.15;
+  detect.cpu_seconds = 0.2;
+  detect.alloc_bytes = 4096;
+  spans["rock.detect_errors"] = detect;
+  SpanStats chase;
+  chase.count = 1;
+  chase.total_seconds = 0.5;
+  chase.max_seconds = 0.5;
+  chase.p50_seconds = 0.5;
+  chase.p95_seconds = 0.5;
+  chase.p99_seconds = 0.5;
+  spans["rock.correct_errors"] = chase;
+  return spans;
+}
+
+std::vector<WorkerBreakdown> FixedBreakdowns() {
+  WorkerBreakdown breakdown;
+  breakdown.label = "threads-2#1";
+  breakdown.mode = "threads";
+  breakdown.workers = 2;
+  breakdown.wall_seconds = 0.75;
+  breakdown.busy_seconds = {0.5, 0.25};
+  breakdown.wait_seconds = {0.1, 0.05};
+  breakdown.idle_seconds = {0.15, 0.45};
+  return {breakdown};
+}
+
+TEST(ExportDeterminism, SnapshotIsSortedByName) {
+  MetricsRegistry::Snapshot snapshot = ScrambledSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha_violations_total");
+  EXPECT_EQ(snapshot.counters[1].name, "ml_cache_hits_total");
+  EXPECT_EQ(snapshot.counters[2].name, "zeta_fixes_total");
+  ASSERT_EQ(snapshot.gauges.size(), 2u);
+  EXPECT_EQ(snapshot.gauges[0].name, "alpha_live_workers");
+  EXPECT_EQ(snapshot.gauges[1].name, "queue_depth");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+}
+
+TEST(ExportDeterminism, JsonMatchesGolden) {
+  std::string json = ExportJson(ScrambledSnapshot(), FixedSpans(), 3,
+                                FixedBreakdowns());
+  EXPECT_EQ(json, ReadGolden("telemetry_export.json"));
+}
+
+TEST(ExportDeterminism, PrometheusMatchesGolden) {
+  std::string prom = ExportPrometheus(ScrambledSnapshot(), FixedSpans(), 3);
+  EXPECT_EQ(prom, ReadGolden("telemetry_export.prom"));
+}
+
+TEST(ExportDeterminism, RepeatExportsAreByteIdentical) {
+  MetricsRegistry::Snapshot snapshot = ScrambledSnapshot();
+  std::map<std::string, SpanStats> spans = FixedSpans();
+  std::vector<WorkerBreakdown> breakdowns = FixedBreakdowns();
+  EXPECT_EQ(ExportJson(snapshot, spans, 3, breakdowns),
+            ExportJson(snapshot, spans, 3, breakdowns));
+  EXPECT_EQ(ExportPrometheus(snapshot, spans, 3),
+            ExportPrometheus(snapshot, spans, 3));
+}
+
+}  // namespace
+}  // namespace rock::obs

@@ -1,0 +1,23 @@
+// rock_analyze fixture: guarded-field (bad).
+// A mutex-owning class with unannotated mutable fields: Clang's
+// thread-safety analysis silently skips them, so nothing checks that
+// `pending_` and `closed_` are only touched under `mu_`.
+#include "rock_analyze_stubs.h"
+
+namespace rock::fixture {
+
+class WorkQueue {
+ public:
+  void Push(int64_t unit);
+  bool Pop(int64_t* unit);
+
+ private:
+  common::Mutex mu_;
+  std::deque<int64_t> queue_ ROCK_GUARDED_BY(mu_);
+  // BAD: no ROCK_GUARDED_BY and no exemption.
+  int pending_ = 0;
+  // BAD: no ROCK_GUARDED_BY and no exemption.
+  bool closed_ = false;
+};
+
+}  // namespace rock::fixture

@@ -1,0 +1,22 @@
+// rock_analyze fixture: guarded-field (bad).
+// Raw std:: lock types outside src/common/: they carry no capability, so
+// the thread-safety analysis cannot connect them to the data they guard.
+#include "rock_analyze_stubs.h"
+
+#include <mutex>
+
+namespace rock::fixture {
+
+class RawLocked {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // BAD: raw lock RAII.
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // BAD: raw mutex.
+  int count_ = 0;
+};
+
+}  // namespace rock::fixture

@@ -1,0 +1,33 @@
+// rock_analyze fixture: lock-order (bad).
+// The fixture edge list (lock_order_fixture.txt) declares
+// Ledger::mu -> Queue::mu. `Backward` nests the other way: an undeclared
+// edge that also closes a cycle with the declared one.
+#include "rock_analyze_stubs.h"
+
+namespace rock::fixture {
+
+struct Ledger {
+  common::Mutex mu;
+  int live ROCK_GUARDED_BY(mu) = 0;
+};
+
+struct Queue {
+  common::Mutex mu;
+  std::deque<int64_t> work ROCK_GUARDED_BY(mu);
+};
+
+// OK: matches the declared Ledger::mu -> Queue::mu edge.
+void Drain(Ledger& ledger, Queue& queue) {
+  common::MutexLock hold(ledger.mu);
+  common::MutexLock inner(queue.mu);
+  ledger.live--;
+}
+
+// BAD: Queue::mu -> Ledger::mu is undeclared and cyclic with Drain's order.
+void Backward(Ledger& ledger, Queue& queue) {
+  common::MutexLock hold(queue.mu);
+  common::MutexLock inner(ledger.mu);
+  ledger.live++;
+}
+
+}  // namespace rock::fixture

@@ -1,0 +1,28 @@
+// rock_analyze fixture: lock-order (bad).
+// Nested acquisition of the same lock identity (Shard::mu under
+// Shard::mu): a self-deadlock unless the two instances are provably
+// distinct, which static analysis cannot establish here.
+#include "rock_analyze_stubs.h"
+
+namespace rock::fixture {
+
+struct Shard {
+  common::Mutex mu;
+  std::map<int64_t, int64_t> entries ROCK_GUARDED_BY(mu);
+};
+
+// BAD: Shard::mu nested under Shard::mu.
+void Move(Shard& from, Shard& to, int64_t key) {
+  common::MutexLock hold(from.mu);
+  common::MutexLock inner(to.mu);
+  to.entries[key] = from.entries[key];
+}
+
+// BAD: same-identity nesting again, through an array element.
+void Merge(std::vector<Shard>& shards, int64_t key) {
+  common::MutexLock hold(shards[0].mu);
+  common::MutexLock inner(shards[1].mu);
+  shards[0].entries[key] = shards[1].entries[key];
+}
+
+}  // namespace rock::fixture

@@ -1,0 +1,34 @@
+// rock_analyze fixture: nondeterministic-iteration (bad).
+// Two hash-order drains that make iteration order observable: one records
+// it into a result vector, one emits it straight into a JSON document.
+#include "rock_analyze_stubs.h"
+
+namespace rock::fixture {
+
+struct JsonWriter {
+  void Key(const std::string& key);
+  void BeginObject();
+  void EndObject();
+  void Int(int value);
+};
+
+struct CacheStats {
+  std::unordered_map<std::string, int> hits_;
+
+  // BAD: hash order decides the order of `out`.
+  void Drain(std::vector<int>& out) const {
+    for (const auto& [name, count] : hits_) {
+      out.push_back(count);
+    }
+  }
+
+  // BAD: hash order decides JSON key order.
+  void Export(JsonWriter& writer) const {
+    for (const auto& [name, count] : hits_) {
+      writer.Key(name);
+      writer.Int(count);
+    }
+  }
+};
+
+}  // namespace rock::fixture

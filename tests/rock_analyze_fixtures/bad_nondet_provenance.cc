@@ -1,0 +1,30 @@
+// rock_analyze fixture: nondeterministic-iteration (bad).
+// Hash-order walks that reach FixStore mutators / provenance capture: the
+// fix log and witness order then depend on the hash seed.
+#include "rock_analyze_stubs.h"
+
+namespace rock::fixture {
+
+void CaptureWitness(int64_t tid);
+void MergeEids(int64_t a, int64_t b);
+
+struct ChaseRound {
+  std::unordered_set<int64_t> dirty_;
+  std::unordered_map<int64_t, int64_t> merges_;
+
+  // BAD: witness capture order follows hash order.
+  void RecordWitnesses() const {
+    for (int64_t tid : dirty_) {
+      CaptureWitness(tid);
+    }
+  }
+
+  // BAD: merge application order follows hash order.
+  void ApplyMerges() const {
+    for (const auto& [a, b] : merges_) {
+      MergeEids(a, b);
+    }
+  }
+};
+
+}  // namespace rock::fixture

@@ -1,0 +1,25 @@
+// rock_analyze fixture: signal-safety (bad).
+// The call graph rooted at SigprofHandler reaches malloc (through a
+// helper) and an unknown FlushBuffers: neither is async-signal-safe, so a
+// sample landing mid-allocation corrupts the heap or deadlocks.
+#include "rock_analyze_stubs.h"
+
+#include <cstdlib>
+
+namespace rock::fixture {
+
+void FlushBuffers();
+
+// Reached from the handler: the walk must follow the call edge.
+static void* GrabChunk() {
+  return malloc(64);  // BAD: malloc takes the allocator lock.
+}
+
+void SigprofHandler(int signo) {
+  void* chunk = GrabChunk();
+  FlushBuffers();  // BAD: unknown callee, not on the AS-safe allowlist.
+  static_cast<void>(chunk);
+  static_cast<void>(signo);
+}
+
+}  // namespace rock::fixture

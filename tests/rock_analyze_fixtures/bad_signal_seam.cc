@@ -1,0 +1,19 @@
+// rock_analyze fixture: signal-safety (bad).
+// Signal handlers and profiling timers are installed outside the one
+// audited seam (src/obs/profile.cc): two findings, one per escaped call.
+#include "rock_analyze_stubs.h"
+
+#include <csignal>
+#include <ctime>
+
+namespace rock::fixture {
+
+void InstallHandler(struct sigaction* sa) {
+  sigaction(42, sa, nullptr);  // BAD: handler installed outside the seam.
+}
+
+void ArmTimer(timer_t* timer, struct sigevent* ev) {
+  timer_create(1, ev, timer);  // BAD: profiling timer outside the seam.
+}
+
+}  // namespace rock::fixture

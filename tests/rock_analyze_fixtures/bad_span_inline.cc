@@ -1,0 +1,30 @@
+// rock_analyze fixture: span-coverage (bad).
+// Public rock::core::Rock entry points with inline bodies that open no
+// ScopedSpan: the operations are invisible in traces and latency tables.
+#include "rock_analyze_stubs.h"
+
+namespace rock::core {
+
+class Rock {
+ public:
+  // BAD: multi-statement public entry point, no span.
+  int DetectErrors(int rounds) {
+    int violations = 0;
+    for (int i = 0; i < rounds; ++i) {
+      violations += RunRound(i);
+    }
+    return violations;
+  }
+
+  // BAD: mutating public entry point, no span.
+  void CorrectErrors(std::vector<int64_t>& fixes) {
+    fixes.clear();
+    ApplyFixes(&fixes);
+  }
+
+ private:
+  int RunRound(int round);
+  void ApplyFixes(std::vector<int64_t>* fixes);
+};
+
+}  // namespace rock::core

@@ -1,0 +1,33 @@
+// rock_analyze fixture: span-coverage (bad).
+// Out-of-line definitions of public rock::core::Rock entry points without
+// a span: the check must find the bodies through the method qualifier.
+#include "rock_analyze_stubs.h"
+
+namespace rock::core {
+
+class Rock {
+ public:
+  int TrainModels(int epochs);
+  void DiscoverRules(std::vector<std::string>& out);
+
+ private:
+  int FitOne(int epoch);
+  void Mine(std::vector<std::string>* out);
+};
+
+// BAD: no span in the training loop.
+int Rock::TrainModels(int epochs) {
+  int fitted = 0;
+  for (int e = 0; e < epochs; ++e) {
+    fitted += FitOne(e);
+  }
+  return fitted;
+}
+
+// BAD: no span around rule mining.
+void Rock::DiscoverRules(std::vector<std::string>& out) {
+  out.clear();
+  Mine(&out);
+}
+
+}  // namespace rock::core

@@ -1,0 +1,26 @@
+// rock_analyze fixture: guarded-field (good).
+// Every mutable field of the mutex-owning class is either annotated,
+// self-synchronizing (atomic), immutable (const), or carries a justified
+// exemption.
+#include "rock_analyze_stubs.h"
+
+#include <atomic>
+
+namespace rock::fixture {
+
+class WorkQueue {
+ public:
+  void Push(int64_t unit);
+  bool Pop(int64_t* unit);
+
+ private:
+  common::Mutex mu_;
+  std::deque<int64_t> queue_ ROCK_GUARDED_BY(mu_);
+  bool closed_ ROCK_GUARDED_BY(mu_) = false;
+  std::atomic<int> depth_{0};
+  const int capacity_ = 1024;
+  // ROCK_ANALYZE(unguarded-ok: written once before any worker starts)
+  int owner_tid_ = 0;
+};
+
+}  // namespace rock::fixture

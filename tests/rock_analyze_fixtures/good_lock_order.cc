@@ -1,0 +1,51 @@
+// rock_analyze fixture: lock-order (good).
+// Nesting matches the declared Ledger::mu -> Queue::mu edge; every other
+// acquisition is disjoint (the scopes close before the next lock), and the
+// one deliberate same-identity nesting carries a justification.
+#include "rock_analyze_stubs.h"
+
+namespace rock::fixture {
+
+struct Ledger {
+  common::Mutex mu;
+  int live ROCK_GUARDED_BY(mu) = 0;
+};
+
+struct Queue {
+  common::Mutex mu;
+  std::deque<int64_t> work ROCK_GUARDED_BY(mu);
+};
+
+struct Shard {
+  common::Mutex mu;
+  std::map<int64_t, int64_t> entries ROCK_GUARDED_BY(mu);
+};
+
+// OK: matches the declared edge.
+void Drain(Ledger& ledger, Queue& queue) {
+  common::MutexLock hold(ledger.mu);
+  common::MutexLock inner(queue.mu);
+  ledger.live--;
+}
+
+// OK: sequential scopes, never nested.
+void Sweep(Ledger& ledger, Queue& queue) {
+  {
+    common::MutexLock hold(queue.mu);
+    queue.work.clear();
+  }
+  {
+    common::MutexLock hold(ledger.mu);
+    ledger.live = 0;
+  }
+}
+
+// OK: annotated same-identity nesting with an ordering argument.
+void Move(Shard& from, Shard& to, int64_t key) {
+  common::MutexLock hold(from.mu);
+  // ROCK_ANALYZE(lock-order-ok: callers pass shards in ascending index order)
+  common::MutexLock inner(to.mu);
+  to.entries[key] = from.entries[key];
+}
+
+}  // namespace rock::fixture

@@ -1,0 +1,53 @@
+// rock_analyze fixture: nondeterministic-iteration (good).
+// Every unordered drain here is order-insensitive: commutative
+// accumulation, a collect-then-sort drain, an ordered re-keying, and an
+// annotated drain with a justification.
+#include "rock_analyze_stubs.h"
+
+namespace rock::fixture {
+
+struct CacheStats {
+  std::unordered_map<std::string, int> hits_;
+
+  // OK: addition commutes, so hash order is unobservable.
+  int Total() const {
+    int total = 0;
+    for (const auto& [name, count] : hits_) {
+      total += count;
+    }
+    return total;
+  }
+
+  // OK: the sort after the loop erases iteration order.
+  std::vector<std::string> Names() const {
+    std::vector<std::string> out;
+    for (const auto& [name, count] : hits_) {
+      out.push_back(name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // OK: re-keying into an ordered map is order-insensitive.
+  std::map<std::string, int> Sorted() const {
+    std::map<std::string, int> out;
+    for (const auto& [name, count] : hits_) {
+      out[name] = count;
+    }
+    return out;
+  }
+
+  int Peak(std::vector<int>& trace) const {
+    int peak = 0;
+    // ROCK_ANALYZE(ordered-ok: max is order-insensitive over unique keys)
+    for (const auto& [name, count] : hits_) {
+      if (count > peak) {
+        peak = count;
+        trace.push_back(count);
+      }
+    }
+    return peak;
+  }
+};
+
+}  // namespace rock::fixture

@@ -1,0 +1,33 @@
+// rock_analyze fixture: signal-safety (good).
+// The handler touches only atomics, raw syscalls, and backtrace(3) (whose
+// unwinder is primed outside signal context), plus one locally audited
+// callee carrying an as-safe justification.
+#include "rock_analyze_stubs.h"
+
+#include <atomic>
+
+namespace rock::fixture {
+
+extern std::atomic<uint64_t> g_samples;
+extern std::atomic<bool> g_armed;
+void* g_frames[48];
+int backtrace(void** frames, int depth);
+long syscall(long number);
+
+static int ThisTid() {
+  return static_cast<int>(syscall(186));
+}
+
+int RestoreErrno(int saved);
+
+void SigprofHandler(int signo) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  int tid = ThisTid();
+  g_samples.fetch_add(1, std::memory_order_relaxed);
+  backtrace(g_frames, 48);
+  // ROCK_ANALYZE(as-safe: writes one errno int, no locks or allocation)
+  RestoreErrno(tid);
+  static_cast<void>(signo);
+}
+
+}  // namespace rock::fixture

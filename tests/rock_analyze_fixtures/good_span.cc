@@ -1,0 +1,41 @@
+// rock_analyze fixture: span-coverage (good).
+// Every non-trivial public rock::core::Rock entry point opens a span (or
+// carries a justified exemption); trivial accessors are exempt by shape.
+#include "rock_analyze_stubs.h"
+
+namespace rock::core {
+
+class Rock {
+ public:
+  // OK: opens a span.
+  int DetectErrors(int rounds) {
+    ROCK_OBS_SPAN("rock.detect_errors");
+    int violations = 0;
+    for (int i = 0; i < rounds; ++i) {
+      violations += RunRound(i);
+    }
+    return violations;
+  }
+
+  // OK: trivial accessor, exempt by shape.
+  int port() const { return port_; }
+
+  // ROCK_ANALYZE(no-span-ok: pure delegation, DetectErrors opens the span)
+  int Detect() { return DetectErrors(1); }
+
+  void CorrectErrors(std::vector<int64_t>& fixes);
+
+ private:
+  int RunRound(int round);
+  void ApplyFixes(std::vector<int64_t>* fixes);
+  int port_ = 0;
+};
+
+// OK: out-of-line definition opens a span.
+void Rock::CorrectErrors(std::vector<int64_t>& fixes) {
+  ROCK_OBS_SPAN("rock.correct_errors");
+  fixes.clear();
+  ApplyFixes(&fixes);
+}
+
+}  // namespace rock::core

@@ -1,0 +1,55 @@
+#pragma once
+// Minimal stand-ins for the fixture translation units under
+// tests/rock_analyze_fixtures/. The fixtures are inputs to
+// scripts/rock_analyze.py (asserted by the rock_analyze_contract_* ctests),
+// not part of the build; these stubs keep them parseable as plain C++ so the
+// libclang backend can load them too.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#define ROCK_GUARDED_BY(x)
+#define ROCK_PT_GUARDED_BY(x)
+#define ROCK_REQUIRES(...)
+#define ROCK_OBS_SPAN(name)
+#define ROCK_OBS_SPAN_FLOW(name, flow)
+
+namespace rock::common {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class SharedMutex {
+ public:
+  void lock();
+  void unlock();
+  void lock_shared();
+  void unlock_shared();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu);
+};
+
+class WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu);
+};
+
+}  // namespace rock::common
