@@ -1,0 +1,273 @@
+// Serving-path benchmark: boots a core::Rock engine and a serve::RockServer
+// in-process, then drives it with the closed-loop load generator
+// (src/serve/loadgen.h) and reports request latency percentiles and
+// throughput. Emits BENCH_serve.json with a "serve" block that CI's
+// serve-smoke step validates via scripts/check_bench_json.py --require-serve.
+//
+// Flags (all optional):
+//   --clients=N     concurrent closed-loop clients        (default 4)
+//   --warmup=N      unmeasured requests per client        (default 20)
+//   --measure=N     measured requests per client          (default 200)
+//   --mix=I:D:E     ingest:detect:explain weights         (default 1:8:1)
+//   --seed=N        load-plan RNG seed                    (default 42)
+//   --rows=N        bank rows in the served database      (default 600)
+//   --port=N        drive an already-running rockd on this port instead of
+//                   booting an engine+server in-process (CI's serve-smoke
+//                   job boots rockd separately and points this flag at it)
+//   --shutdown      after the load run, send the shutdown verb so the
+//                   external rockd drains and exits
+// plus the ServeGuard flags (--serve, --profile, ...) every bench accepts.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_telemetry.h"
+#include "src/chase/chase.h"
+#include "src/common/timer.h"
+#include "src/core/engine.h"
+#include "src/obs/exporters.h"
+#include "src/serve/client.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/server.h"
+#include "src/workload/generator.h"
+
+namespace rock::bench {
+namespace {
+
+struct Flags {
+  int clients = 4;
+  int warmup = 20;
+  int measure = 200;
+  double ingest_weight = 1.0;
+  double detect_weight = 8.0;
+  double explain_weight = 1.0;
+  uint64_t seed = 42;
+  size_t rows = 600;
+  int port = 0;
+  bool send_shutdown = false;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--clients=", 0) == 0) {
+      flags.clients = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      flags.warmup = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--measure=", 0) == 0) {
+      flags.measure = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      flags.rows = static_cast<size_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--port=", 0) == 0) {
+      flags.port = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--shutdown") {
+      flags.send_shutdown = true;
+    } else if (arg.rfind("--mix=", 0) == 0) {
+      double i_w = 0, d_w = 0, e_w = 0;
+      if (std::sscanf(arg.c_str() + 6, "%lf:%lf:%lf", &i_w, &d_w, &e_w) ==
+          3) {
+        flags.ingest_weight = i_w;
+        flags.detect_weight = d_w;
+        flags.explain_weight = e_w;
+      } else {
+        std::fprintf(stderr, "bad --mix, want I:D:E, got %s\n", arg.c_str());
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+/// Builds the "serve" block of BENCH_serve.json with its own writer so
+/// BenchTelemetry can splice it in verbatim via AddBlock().
+std::string ServeBlockJson(const Flags& flags,
+                           const serve::LoadReport& report) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("clients").Int(flags.clients);
+  w.Key("warmup_requests").Int(flags.warmup);
+  w.Key("measure_requests").Int(flags.measure);
+  w.Key("seed").Uint(flags.seed);
+  w.Key("mix").BeginObject();
+  w.Key("ingest").Uint(report.ingest_requests);
+  w.Key("detect").Uint(report.detect_requests);
+  w.Key("explain").Uint(report.explain_requests);
+  w.Key("ping").Uint(report.ping_requests);
+  w.EndObject();
+  w.Key("measured_requests").Uint(report.latencies_seconds.size());
+  w.Key("error_responses").Uint(report.error_responses);
+  w.Key("latency_seconds").BeginObject();
+  w.Key("p50").Number(report.LatencyPercentile(0.50));
+  w.Key("p95").Number(report.LatencyPercentile(0.95));
+  w.Key("p99").Number(report.LatencyPercentile(0.99));
+  w.Key("max").Number(report.LatencyPercentile(1.0));
+  w.EndObject();
+  w.Key("throughput_rps").Number(report.throughput_rps);
+  w.Key("measure_wall_seconds").Number(report.measure_wall_seconds);
+  w.EndObject();
+  return w.str();
+}
+
+int Run(const Flags& flags) {
+  BenchTelemetry telemetry("serve");
+
+  Timer boot;
+  // Generated even in external mode: the ingest pool draws from it, and
+  // rockd boots the same bank schema so the tuples are compatible.
+  workload::GeneratorOptions data_options;
+  data_options.rows = flags.rows;
+  data_options.error_rate = 0.08;
+  data_options.seed = 17;
+  workload::GeneratedData data = workload::MakeBankData(data_options);
+
+  std::unique_ptr<core::Rock> rock;
+  std::unique_ptr<serve::RockServer> server;
+  std::vector<std::tuple<int32_t, int64_t, int32_t>> explain_targets;
+  int port = flags.port;
+  if (port == 0) {
+    rock = std::make_unique<core::Rock>(&data.db, &data.graph);
+    core::ModelTrainingSpec spec;
+    spec.rank_targets = {{"Customer", "city"}};
+    spec.monotone_attrs = {{"Customer", "points"}};
+    spec.path_synonyms = {{"area", {"AreaOf"}}};
+    rock->TrainModels(spec);
+    rock->DiscoverPolynomials();
+    Status activated = rock->ActivateRules(data.rule_text);
+    if (!activated.ok()) {
+      std::fprintf(stderr, "rule activation failed: %s\n",
+                   activated.ToString().c_str());
+      return 1;
+    }
+    // A correction pass fills the fix store so the mix's explain requests
+    // walk real proof trees instead of the empty-proof fast path.
+    core::CorrectionResult correction;
+    auto engine = rock->CorrectErrors(rock->active_rules(),
+                                      data.clean_tuples, &correction);
+    if (engine != nullptr) {
+      for (const chase::CellFix& fix : engine->CellFixes()) {
+        explain_targets.emplace_back(fix.rel, fix.tid, fix.attr);
+        if (explain_targets.size() >= 8) break;
+      }
+    }
+    auto started = serve::RockServer::Start(rock.get(), {});
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(started).value();
+    port = server->port();
+    std::printf("rockd in-process on port %d: %zu rows, %zu rules, "
+                "%zu explain targets\n",
+                port, flags.rows, rock->active_rules().size(),
+                explain_targets.size());
+  } else {
+    std::printf("driving external rockd on port %d\n", port);
+  }
+  // Without a known fix store, explain a never-fixed cell: the empty-proof
+  // path is still a full protocol round trip.
+  if (explain_targets.empty()) explain_targets = {{0, 1, 1}};
+  telemetry.AddPhase("boot", boot.ElapsedSeconds());
+
+  serve::LoadGenOptions load;
+  load.port = port;
+  load.clients = flags.clients;
+  load.warmup_requests = flags.warmup;
+  load.measure_requests = flags.measure;
+  load.seed = flags.seed;
+  load.ingest_weight = flags.ingest_weight;
+  load.detect_weight = flags.detect_weight;
+  load.explain_weight = flags.explain_weight;
+  load.ingest_batch_rows = 4;
+  load.ingest_rel = 0;
+  if (flags.ingest_weight > 0) {
+    // Ingest bodies: copies of the first few Customer rows, tid/eid
+    // cleared so the server assigns fresh ids.
+    const auto& customers = data.db.relation(0);
+    for (size_t t = 0; t < customers.size() && load.pool.size() < 16; ++t) {
+      Tuple sample = customers.tuple(t);
+      sample.tid = -1;
+      sample.eid = -1;
+      load.pool.push_back(std::move(sample));
+    }
+  }
+  load.detect_scope = serve::DetectScope::kSession;
+  load.explain_targets = explain_targets;
+
+  Timer load_timer;
+  Result<serve::LoadReport> report = serve::RunLoad(load);
+  if (!report.ok()) {
+    std::fprintf(stderr, "load run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  telemetry.AddPhase("load", load_timer.ElapsedSeconds());
+
+  if (flags.send_shutdown) {
+    auto client = serve::Client::Connect(port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "shutdown connect failed: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    Status shutdown = (*client)->Shutdown();
+    if (!shutdown.ok()) {
+      std::fprintf(stderr, "shutdown failed: %s\n",
+                   shutdown.ToString().c_str());
+      return 1;
+    }
+    std::printf("sent shutdown; server is draining\n");
+  }
+  if (server != nullptr) {
+    server->BeginDrain();
+    server->WaitUntilStopped();
+  }
+
+  const double p50 = report->LatencyPercentile(0.50);
+  const double p95 = report->LatencyPercentile(0.95);
+  const double p99 = report->LatencyPercentile(0.99);
+  std::printf("\n%-10s %10s %10s %10s %12s %8s\n", "clients", "p50_ms",
+              "p95_ms", "p99_ms", "rps", "errors");
+  std::printf("%-10d %10.3f %10.3f %10.3f %12.1f %8llu\n", flags.clients,
+              p50 * 1e3, p95 * 1e3, p99 * 1e3, report->throughput_rps,
+              static_cast<unsigned long long>(report->error_responses));
+  std::printf("mix: ingest=%llu detect=%llu explain=%llu ping=%llu "
+              "(measured over %zu requests)\n",
+              static_cast<unsigned long long>(report->ingest_requests),
+              static_cast<unsigned long long>(report->detect_requests),
+              static_cast<unsigned long long>(report->explain_requests),
+              static_cast<unsigned long long>(report->ping_requests),
+              report->latencies_seconds.size());
+
+  telemetry.AddResult("latency_p50_seconds", p50);
+  telemetry.AddResult("latency_p95_seconds", p95);
+  telemetry.AddResult("latency_p99_seconds", p99);
+  telemetry.AddResult("throughput_rps", report->throughput_rps);
+  telemetry.AddResult("error_responses",
+                      static_cast<double>(report->error_responses));
+  telemetry.AddBlock("serve", ServeBlockJson(flags, *report));
+  telemetry.Emit();
+  return report->error_responses == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rock::bench
+
+int main(int argc, char** argv) {
+  rock::bench::ServeGuard serve(&argc, argv);
+  rock::bench::PrintHeader(
+      "rockd", "online serving latency/throughput (closed-loop clients)");
+  return rock::bench::Run(rock::bench::ParseFlags(argc, argv));
+}

@@ -56,6 +56,13 @@ class BenchTelemetry {
     results_.emplace_back(key, value);
   }
 
+  /// Attaches a pre-rendered JSON value as a top-level block, keyed by
+  /// `key` (e.g. the serve bench's "serve" latency/throughput block built
+  /// with its own JsonWriter). Emitted verbatim after "results".
+  void AddBlock(const std::string& key, std::string raw_json) {
+    blocks_.emplace_back(key, std::move(raw_json));
+  }
+
   /// Writes BENCH_<name>.json into $ROCK_BENCH_JSON_DIR (or the working
   /// directory) and returns the path. Prints a one-line pointer to stdout so
   /// harness logs show where the JSON went.
@@ -79,6 +86,9 @@ class BenchTelemetry {
       w.Key(key).Number(value);
     }
     w.EndObject();
+    for (const auto& [key, json] : blocks_) {
+      w.Key(key).Raw(json);
+    }
     obs::TelemetrySnapshot snap = obs::CaptureGlobalTelemetry();
     w.Key("telemetry").BeginObject();
     obs::AppendTelemetryFields(snap.metrics, snap.spans, snap.dropped_spans,
@@ -214,6 +224,7 @@ class BenchTelemetry {
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<std::pair<std::string, par::ScheduleReport>> schedules_;
   std::vector<std::pair<std::string, double>> results_;
+  std::vector<std::pair<std::string, std::string>> blocks_;
 };
 
 /// Opt-in live telemetry for bench binaries. Scans argv for

@@ -4,6 +4,7 @@
 Usage: check_bench_json.py [--require-zero-dropped-spans]
                            [--require-zero-unrecovered-faults]
                            [--require-profile]
+                           [--require-serve]
                            FILE [FILE...]
        check_bench_json.py --trace [--require-flow] FILE [FILE...]
        check_bench_json.py --standalone-telemetry FILE [FILE...]
@@ -21,9 +22,12 @@ is an error: every unit the pool abandoned must have been replayed from
 the round checkpoint by the time the bench emitted telemetry. With
 --require-profile, the profile block must come from a live sampling run:
 enabled, with at least one sample and at least one folded stack naming a
-rock:: frame (the profiler-smoke CI job's gate). CI's bench-smoke step
-runs this over every emitted file with the zero-drop/zero-unrecovered
-flags.
+rock:: frame (the profiler-smoke CI job's gate). With --require-serve,
+the optional "serve" block (bench_serve's latency/throughput report:
+client/phase config, workload-mix counters, p50/p95/p99 latency,
+throughput) must be present, internally consistent, and error-free —
+the serve-smoke CI job's gate. CI's bench-smoke step runs this over
+every emitted file with the zero-drop/zero-unrecovered flags.
 
 --trace checks Chrome trace-event JSON (TRACE_*.json / the server's
 /trace.json): a traceEvents array of well-formed M/X/s/f events.
@@ -63,6 +67,12 @@ REQUIRED_FAULTS = ["injected", "retries", "backoff_micros", "worker_deaths",
                    "crashes_suppressed", "steals_on_death",
                    "units_reassigned", "checkpoints", "checkpoint_restores",
                    "unrecovered"]
+REQUIRED_SERVE = ["clients", "warmup_requests", "measure_requests", "seed",
+                  "mix", "measured_requests", "error_responses",
+                  "latency_seconds", "throughput_rps",
+                  "measure_wall_seconds"]
+REQUIRED_SERVE_MIX = ["ingest", "detect", "explain", "ping"]
+REQUIRED_SERVE_LATENCY = ["p50", "p95", "p99", "max"]
 
 
 def fail(path, message):
@@ -219,8 +229,64 @@ def check_profile(path, profile, require_profile=False):
     return True
 
 
+def check_serve(path, serve):
+    """bench_serve's "serve" block: closed-loop latency/throughput report.
+
+    Consistency rules: the workload-mix counters must sum to exactly the
+    measured request count (clients * measure_requests), the latency
+    percentiles must be non-negative and ordered p50 <= p95 <= p99 <= max,
+    and a healthy run has zero error responses.
+    """
+    for key in REQUIRED_SERVE:
+        if key not in serve:
+            return fail(path, f"serve missing {key!r}")
+    for key in ("clients", "warmup_requests", "measure_requests"):
+        if not isinstance(serve[key], int) or serve[key] < 0:
+            return fail(path, f"serve {key}={serve[key]!r} must be a "
+                              f"non-negative int")
+    if serve["clients"] == 0 or serve["measure_requests"] == 0:
+        return fail(path, "serve ran zero measured requests "
+                          f"(clients={serve['clients']} "
+                          f"measure_requests={serve['measure_requests']})")
+    mix = serve["mix"]
+    for key in REQUIRED_SERVE_MIX:
+        if key not in mix:
+            return fail(path, f"serve mix missing {key!r}")
+        if not isinstance(mix[key], int) or mix[key] < 0:
+            return fail(path, f"serve mix {key}={mix[key]!r} must be a "
+                              f"non-negative int")
+    expected = serve["clients"] * serve["measure_requests"]
+    mix_total = sum(mix[key] for key in REQUIRED_SERVE_MIX)
+    if mix_total != expected:
+        return fail(path, f"serve mix sums to {mix_total}, expected "
+                          f"clients*measure_requests={expected}")
+    if serve["measured_requests"] != expected:
+        return fail(path, f"serve measured_requests="
+                          f"{serve['measured_requests']}, expected "
+                          f"{expected}")
+    latency = serve["latency_seconds"]
+    for key in REQUIRED_SERVE_LATENCY:
+        if key not in latency:
+            return fail(path, f"serve latency_seconds missing {key!r}")
+        if not isinstance(latency[key], (int, float)) or latency[key] < 0:
+            return fail(path, f"serve latency {key}={latency[key]!r} must "
+                              f"be a non-negative number")
+    ordered = [latency[key] for key in REQUIRED_SERVE_LATENCY]
+    if ordered != sorted(ordered):
+        return fail(path, f"serve latency percentiles out of order: "
+                          f"{ordered}")
+    if serve["throughput_rps"] <= 0:
+        return fail(path, f"serve throughput_rps="
+                          f"{serve['throughput_rps']!r} must be positive")
+    if serve["error_responses"] != 0:
+        return fail(path, f"serve saw {serve['error_responses']} error "
+                          f"response(s)")
+    return True
+
+
 def check(path, require_zero_dropped_spans=False,
-          require_zero_unrecovered=False, require_profile=False):
+          require_zero_unrecovered=False, require_profile=False,
+          require_serve=False):
     doc = load(path)
     if doc is None:
         return False
@@ -253,6 +319,11 @@ def check(path, require_zero_dropped_spans=False,
         return False
     if not check_faults(path, doc["faults"], require_zero_unrecovered):
         return False
+    if require_serve and "serve" not in doc:
+        return fail(path, "--require-serve: no serve block "
+                          "(is this BENCH_serve.json?)")
+    if "serve" in doc and not check_serve(path, doc["serve"]):
+        return False
 
     n_counters = len(telemetry["counters"])
     n_spans = len(telemetry["spans"])
@@ -260,11 +331,18 @@ def check(path, require_zero_dropped_spans=False,
     faults = doc["faults"]
     profile = doc["profile"]
     samples = profile.get("samples", 0) if profile["enabled"] else 0
+    serve_note = ""
+    if "serve" in doc:
+        serve = doc["serve"]
+        serve_note = (f" serve_p50_ms="
+                      f"{serve['latency_seconds']['p50'] * 1e3:.3f}"
+                      f" serve_rps={serve['throughput_rps']:.0f}")
     print(f"OK   {path}: bench={doc['bench']} phases={len(doc['phases'])} "
           f"schedules={len(doc['schedules'])} counters={n_counters} "
           f"spans={n_spans} breakdowns={len(telemetry['wait_breakdown'])} "
           f"profile_samples={samples} prov_nodes={prov['nodes']} "
-          f"faults={faults['injected']} unrecovered={faults['unrecovered']}")
+          f"faults={faults['injected']} unrecovered={faults['unrecovered']}"
+          f"{serve_note}")
     return True
 
 
@@ -339,6 +417,7 @@ def main(argv):
     require_zero_dropped_spans = False
     require_zero_unrecovered = False
     require_profile = False
+    require_serve = False
     trace_mode = False
     require_flow = False
     standalone_telemetry = False
@@ -349,6 +428,8 @@ def main(argv):
             require_zero_unrecovered = True
         elif args[0] == "--require-profile":
             require_profile = True
+        elif args[0] == "--require-serve":
+            require_serve = True
         elif args[0] == "--trace":
             trace_mode = True
         elif args[0] == "--require-flow":
@@ -371,7 +452,8 @@ def main(argv):
         ok = all([check_standalone_telemetry(path) for path in args])
     else:
         ok = all([check(path, require_zero_dropped_spans,
-                        require_zero_unrecovered, require_profile)
+                        require_zero_unrecovered, require_profile,
+                        require_serve)
                   for path in args])
     return 0 if ok else 1
 

@@ -12,8 +12,9 @@ Enforces repo conventions that neither the compiler nor clang-tidy check:
                      and discovery must be bit-reproducible, so randomness
                      goes through the seeded rock::common::Rng.
   raw-socket         no socket()/bind()/listen()/accept()/connect() calls
-                     outside src/obs/server.cc — one audited seam for all
-                     networking (TelemetryServer today, rockd tomorrow).
+                     outside the two audited networking seams: src/obs/
+                     server.cc (TelemetryServer) and src/serve/ (rockd and
+                     its client/load-generator stack).
   unregistered-test  every tests/*.cc is picked up by tests/CMakeLists.txt
                      (the glob takes *_test.cc; anything else must be named
                      there explicitly or it silently never runs).
@@ -119,9 +120,10 @@ def lint_file(path, text):
           "reproducibility",
           skip=not path.startswith("src/"))
     check("raw-socket", RAW_SOCKET_RE,
-          "networking goes through obs::TelemetryServer / HttpFetch; "
-          "src/obs/server.cc is the one audited socket seam",
-          skip=path == "src/obs/server.cc")
+          "networking goes through obs::TelemetryServer / HttpFetch or the "
+          "src/serve/ stack; src/obs/server.cc and src/serve/ are the "
+          "audited socket seams",
+          skip=path == "src/obs/server.cc" or path.startswith("src/serve/"))
 
     if is_header and "#pragma once" not in text:
         findings.append((path, 1, "pragma-once",
@@ -191,6 +193,9 @@ SELF_TEST_CASES = [
     ("src/core/engine.cc", "bind(fd, addr, len);\n", "raw-socket"),
     ("tests/obs_server_test.cc", "listen(fd, 4);\n", "raw-socket"),
     ("src/obs/server.cc", "int fd = ::socket(AF_INET, 0, 0);\n", None),
+    ("src/serve/server.cc", "int fd = ::socket(AF_INET, 0, 0);\n", None),
+    ("src/serve/client.cc", "connect(fd, addr, len);\n", None),
+    ("src/serve/loadgen.cc", "::accept(fd, nullptr, nullptr);\n", None),
     ("src/par/executor.cc", "auto f = std::bind(&X::Run, this);\n", None),
     ("src/par/executor.cc", "ring.accept(unit);\n", None),
     ("src/par/executor.cc", "queue->accept(unit);\n", None),

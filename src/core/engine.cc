@@ -8,6 +8,7 @@
 #include "src/ml/correlation.h"
 #include "src/ml/her.h"
 #include "src/ml/ranking.h"
+#include "src/obs/metrics.h"
 #include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/obs/watchdog.h"
@@ -226,6 +227,59 @@ void Rock::DetectPolyViolations(detect::DetectionReport* report) const {
       ++report->violations;
     }
   }
+}
+
+Status Rock::ActivateRules(const std::string& text) {
+  ROCK_OBS_SPAN("rock.activate_rules");
+  Result<std::vector<Ree>> rules = LoadRules(text);
+  if (!rules.ok()) return rules.status();
+  active_rules_ = std::move(rules).value();
+  obs::MetricsRegistry::Global()
+      .GetGauge("rock_core_active_rules")
+      ->Set(static_cast<int64_t>(active_rules_.size()));
+  return Status::Ok();
+}
+
+void Rock::ActivateRules(std::vector<Ree> rules) {
+  ROCK_OBS_SPAN("rock.activate_rules");
+  active_rules_ = std::move(rules);
+  obs::MetricsRegistry::Global()
+      .GetGauge("rock_core_active_rules")
+      ->Set(static_cast<int64_t>(active_rules_.size()));
+}
+
+Result<std::vector<int64_t>> Rock::IngestBatch(int rel_index,
+                                               std::vector<Tuple> tuples) {
+  ROCK_OBS_SPAN("rock.ingest_batch");
+  if (rel_index < 0 ||
+      static_cast<size_t>(rel_index) >= db_->num_relations()) {
+    return Status::InvalidArgument("IngestBatch: no relation with index " +
+                                   std::to_string(rel_index));
+  }
+  std::vector<int64_t> tids;
+  tids.reserve(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    Result<int64_t> tid = db_->Insert(rel_index, std::move(tuples[i]));
+    if (!tid.ok()) {
+      return Status(tid.status().code(),
+                    "IngestBatch: tuple " + std::to_string(i) + ": " +
+                        tid.status().message());
+    }
+    tids.push_back(*tid);
+  }
+  static obs::Counter* ingested =
+      obs::MetricsRegistry::Global().GetCounter("rock_core_tuples_ingested_total");
+  ingested->Add(tids.size());
+  return tids;
+}
+
+detect::DetectionReport Rock::DetectActive() const {
+  return DetectErrors(active_rules_);
+}
+
+detect::DetectionReport Rock::DetectActiveIncremental(
+    const std::vector<std::pair<int, int64_t>>& dirty) const {
+  return DetectErrorsIncremental(active_rules_, dirty);
 }
 
 detect::DetectionReport Rock::DetectErrors(

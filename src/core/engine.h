@@ -132,6 +132,37 @@ class Rock {
   /// fits well enough (§5.4); they participate in Detect/Correct.
   std::vector<PolyRule> DiscoverPolynomials();
 
+  /// Installs `rules` as the engine's *active rule set*: the set every
+  /// session/batch-oriented entry point (DetectActive,
+  /// DetectActiveIncremental — and rockd's detect verb through them)
+  /// evaluates without the caller shipping rules per call. Parses with
+  /// LoadRules, so kNoMl stripping applies.
+  Status ActivateRules(const std::string& text);
+
+  /// Installs pre-parsed rules as the active rule set.
+  void ActivateRules(std::vector<rules::Ree> rules);
+
+  /// The currently active rule set (empty before ActivateRules).
+  const std::vector<rules::Ree>& active_rules() const {
+    return active_rules_;
+  }
+
+  /// Batch ingest: appends `tuples` to relation `rel_index`, assigning
+  /// globally fresh tids (returned in input order). This is the write-side
+  /// entry point behind rockd's ingest verb: one call, many tuples, one
+  /// span, so a served workload is batches rather than one-shot appends.
+  /// Fails atomically per tuple (earlier tuples in the batch stay
+  /// inserted; the returned status names the offending tuple).
+  Result<std::vector<int64_t>> IngestBatch(int rel_index,
+                                           std::vector<Tuple> tuples);
+
+  /// Batch detection over the active rule set.
+  detect::DetectionReport DetectActive() const;
+
+  /// Incremental detection over ΔD with the active rule set.
+  detect::DetectionReport DetectActiveIncremental(
+      const std::vector<std::pair<int, int64_t>>& dirty) const;
+
   /// Batch error detection (violations + polynomial violations).
   detect::DetectionReport DetectErrors(
       const std::vector<rules::Ree>& rules) const;
@@ -247,6 +278,7 @@ class Rock {
   kg::KnowledgeGraph* graph_;
   RockOptions options_;
   ml::MlLibrary models_;
+  std::vector<rules::Ree> active_rules_;
   std::vector<PolyRule> poly_rules_;
   std::shared_ptr<chase::ChaseEngine> last_engine_;
   std::unique_ptr<obs::TelemetryServer> telemetry_server_;

@@ -156,6 +156,12 @@ JsonWriter& JsonWriter::Bool(bool value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  Separate();
+  out_ += json;
+  return *this;
+}
+
 std::string PromEscapeLabelValue(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());

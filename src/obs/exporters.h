@@ -66,6 +66,10 @@ class JsonWriter {
   JsonWriter& Int(int64_t value);
   JsonWriter& Uint(uint64_t value);
   JsonWriter& Bool(bool value);
+  /// Splices pre-rendered JSON in value position (comma placement still
+  /// handled). The caller owns its validity — used by the bench emitter to
+  /// nest blocks built with a separate JsonWriter.
+  JsonWriter& Raw(const std::string& json);
 
   const std::string& str() const { return out_; }
 

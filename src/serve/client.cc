@@ -1,0 +1,195 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace rock::serve {
+namespace {
+
+Status SendAllOrError(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Internal(std::string("send(): ") +
+                              (n == 0 ? "connection closed"
+                                      : std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status RecvExact(int fd, char* buf, size_t want) {
+  size_t got = 0;
+  while (got < want) {
+    ssize_t n = ::recv(fd, buf + got, want - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Internal("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Internal("recv(): timed out waiting for the server");
+    }
+    return Status::Internal(std::string("recv(): ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(int port,
+                                                double recv_timeout_seconds) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect(127.0.0.1:" + std::to_string(port) +
+                            "): " + err);
+  }
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(recv_timeout_seconds);
+  timeout.tv_usec = static_cast<suseconds_t>(
+      (recv_timeout_seconds - std::floor(recv_timeout_seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  return SendAllOrError(fd_, bytes);
+}
+
+Result<Response> Client::ReadResponse() {
+  char header_bytes[kFrameHeaderBytes];
+  ROCK_RETURN_IF_ERROR(RecvExact(fd_, header_bytes, kFrameHeaderBytes));
+  FrameHeader header;
+  ROCK_RETURN_IF_ERROR(
+      DecodeFrameHeader(std::string_view(header_bytes, kFrameHeaderBytes),
+                        kMaxFrameBytes, &header));
+  std::string payload(header.length, '\0');
+  if (header.length > 0) {
+    ROCK_RETURN_IF_ERROR(RecvExact(fd_, payload.data(), header.length));
+  }
+  ROCK_RETURN_IF_ERROR(CheckFramePayload(header, payload));
+  Response response;
+  ROCK_RETURN_IF_ERROR(DecodeResponse(payload, &response));
+  return response;
+}
+
+Result<Response> Client::RoundTrip(const Request& request) {
+  ROCK_RETURN_IF_ERROR(SendRaw(EncodeFrame(EncodeRequest(request))));
+  Result<Response> response = ReadResponse();
+  if (!response.ok()) return response;
+  if (response->id != request.id) {
+    return Status::Internal(
+        "response id " + std::to_string(response->id) +
+        " does not match request id " + std::to_string(request.id));
+  }
+  return response;
+}
+
+namespace {
+
+/// Lifts a wire-level error response into the client-side Status.
+Status WireStatus(const Response& response) {
+  if (response.code == StatusCode::kOk) return Status::Ok();
+  return Status(response.code, response.error);
+}
+
+}  // namespace
+
+Status Client::Ping() {
+  Request request;
+  request.verb = Verb::kPing;
+  request.id = NextId();
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return WireStatus(*response);
+}
+
+Result<std::vector<int64_t>> Client::Ingest(int rel,
+                                            const std::vector<Tuple>& tuples) {
+  Request request;
+  request.verb = Verb::kIngest;
+  request.id = NextId();
+  request.rel = rel;
+  request.tuples = tuples;
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  ROCK_RETURN_IF_ERROR(WireStatus(*response));
+  return std::move(response->tids);
+}
+
+Result<WireDetectionReport> Client::Detect(DetectScope scope) {
+  Request request;
+  request.verb = Verb::kDetect;
+  request.id = NextId();
+  request.scope = scope;
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  ROCK_RETURN_IF_ERROR(WireStatus(*response));
+  return std::move(response->report);
+}
+
+Result<Client::Explanation> Client::Explain(int rel, int64_t tid, int attr,
+                                            int max_depth) {
+  Request request;
+  request.verb = Verb::kExplain;
+  request.id = NextId();
+  request.explain_rel = rel;
+  request.explain_tid = tid;
+  request.explain_attr = attr;
+  request.explain_max_depth = max_depth;
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  ROCK_RETURN_IF_ERROR(WireStatus(*response));
+  Explanation explanation;
+  explanation.text = std::move(response->explain_text);
+  explanation.json = std::move(response->explain_json);
+  return explanation;
+}
+
+Result<std::string> Client::Telemetry() {
+  Request request;
+  request.verb = Verb::kTelemetry;
+  request.id = NextId();
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  ROCK_RETURN_IF_ERROR(WireStatus(*response));
+  return std::move(response->telemetry_json);
+}
+
+Status Client::Shutdown() {
+  Request request;
+  request.verb = Verb::kShutdown;
+  request.id = NextId();
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return WireStatus(*response);
+}
+
+}  // namespace rock::serve

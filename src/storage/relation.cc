@@ -32,18 +32,23 @@ Status Relation::Append(Tuple tuple) {
   if (tuple.tid < 0) {
     tuple.tid = static_cast<int64_t>(tuples_.size());
   }
-  tid_index_.emplace_back(tuple.tid, static_cast<int>(tuples_.size()));
-  tid_index_dirty_ = true;
+  // Keep tid_index_ sorted on the write side so RowOfTid stays a pure
+  // read: concurrent lookups under a shared lock (the rockd detect path)
+  // must not race on a lazy re-sort. Database::Insert hands out monotonic
+  // tids, so the common case is an O(1) append; only preassigned
+  // out-of-order tids pay for the sorted insert.
+  std::pair<int64_t, int> key(tuple.tid, static_cast<int>(tuples_.size()));
+  if (tid_index_.empty() || tid_index_.back() < key) {
+    tid_index_.push_back(key);
+  } else {
+    tid_index_.insert(
+        std::lower_bound(tid_index_.begin(), tid_index_.end(), key), key);
+  }
   tuples_.push_back(std::move(tuple));
   return Status::Ok();
 }
 
 int Relation::RowOfTid(int64_t tid) const {
-  auto* self = const_cast<Relation*>(this);
-  if (tid_index_dirty_) {
-    std::sort(self->tid_index_.begin(), self->tid_index_.end());
-    self->tid_index_dirty_ = false;
-  }
   auto it = std::lower_bound(
       tid_index_.begin(), tid_index_.end(), std::make_pair(tid, -1));
   if (it != tid_index_.end() && it->first == tid) return it->second;

@@ -55,14 +55,15 @@ class Relation {
   Tuple& mutable_tuple(size_t row) { return tuples_[row]; }
   const std::vector<Tuple>& tuples() const { return tuples_; }
 
-  /// Row index of the tuple with the given tid, or -1.
+  /// Row index of the tuple with the given tid, or -1. A pure read (the
+  /// index is kept sorted by Append), so concurrent calls are safe on a
+  /// quiescent relation — e.g. under rockd's shared engine lock.
   int RowOfTid(int64_t tid) const;
 
  private:
   Schema schema_;
   std::vector<Tuple> tuples_;
   std::vector<std::pair<int64_t, int>> tid_index_;  // sorted (tid, row)
-  bool tid_index_dirty_ = false;
 };
 
 /// An instance D = (D1, ..., Dm) of a database schema. Owns tid allocation

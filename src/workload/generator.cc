@@ -235,6 +235,9 @@ GeneratedData MakeBankData(const GeneratorOptions& options) {
     const Relation& customer = data.db.relation(kCustomer);
     int row = customer.RowOfTid(customer_tids[victim]);
     const Tuple& original = customer.tuple(static_cast<size_t>(row));
+    // AddRow below appends to the same relation and may reallocate its
+    // tuple storage, invalidating `original` — take what we need first.
+    const int64_t original_tid = original.tid;
     std::vector<Value> values = original.values;
     values[1] = S(InjectTypo(values[1].AsString(), &rng));
     std::vector<Value> clean_hidden = {values[2], values[3], values[4]};
@@ -250,7 +253,7 @@ GeneratedData MakeBankData(const GeneratorOptions& options) {
     entry.type = InjectedError::kDuplicate;
     entry.rel = kCustomer;
     entry.tid = clone_tid;
-    entry.tid2 = original.tid;
+    entry.tid2 = original_tid;
     data.errors.push_back(entry);
     for (int attr = 2; attr <= 4; ++attr) {
       ErrorLogEntry null_entry;
@@ -262,7 +265,7 @@ GeneratedData MakeBankData(const GeneratorOptions& options) {
       data.errors.push_back(null_entry);
     }
     touched.insert(clone_tid);
-    touched.insert(original.tid);
+    touched.insert(original_tid);
   }
   // CIC: company reg_code conflicts + city nulls.
   for (size_t e = 0; e < num_errors; ++e) {
@@ -474,6 +477,9 @@ GeneratedData MakeLogisticsData(const GeneratorOptions& options) {
     const Relation& shipment = data.db.relation(kShipment);
     int row = shipment.RowOfTid(tids[victim]);
     const Tuple& original = shipment.tuple(static_cast<size_t>(row));
+    // AddRow below appends to the same relation and may reallocate its
+    // tuple storage, invalidating `original` — take what we need first.
+    const int64_t original_tid = original.tid;
     std::vector<Value> values = original.values;
     values[1] = S(InjectTypo(values[1].AsString(), &rng));
     int64_t clone_tid =
@@ -483,10 +489,10 @@ GeneratedData MakeLogisticsData(const GeneratorOptions& options) {
     entry.type = InjectedError::kDuplicate;
     entry.rel = kShipment;
     entry.tid = clone_tid;
-    entry.tid2 = original.tid;
+    entry.tid2 = original_tid;
     data.errors.push_back(entry);
     touched.insert(clone_tid);
-    touched.insert(original.tid);
+    touched.insert(original_tid);
   }
 
   const Relation& shipment = data.db.relation(kShipment);
@@ -601,6 +607,9 @@ GeneratedData MakeSalesData(const GeneratorOptions& options) {
       const Relation& client = data.db.relation(kClient);
       int row = client.RowOfTid(client_tids[victim]);
       const Tuple& original = client.tuple(static_cast<size_t>(row));
+      // AddRow below appends to the same relation and may reallocate its
+      // tuple storage, invalidating `original` — take what we need first.
+      const int64_t original_tid = original.tid;
       std::vector<Value> values = original.values;
       values[1] = S(InjectTypo(values[1].AsString(), &rng));
       std::vector<Value> clean_hidden = {values[2], values[3]};
@@ -613,7 +622,7 @@ GeneratedData MakeSalesData(const GeneratorOptions& options) {
       entry.type = InjectedError::kDuplicate;
       entry.rel = kClient;
       entry.tid = clone_tid;
-      entry.tid2 = original.tid;
+      entry.tid2 = original_tid;
       data.errors.push_back(entry);
       for (int attr = 2; attr <= 3; ++attr) {
         ErrorLogEntry null_entry;
@@ -625,7 +634,7 @@ GeneratedData MakeSalesData(const GeneratorOptions& options) {
         data.errors.push_back(null_entry);
       }
       touched.insert(clone_tid);
-      touched.insert(original.tid);
+      touched.insert(original_tid);
     } else {
       int64_t tid = client_tids[rng.NextBounded(client_tids.size())];
       if (touched.count(tid)) continue;

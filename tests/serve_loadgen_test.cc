@@ -1,0 +1,210 @@
+// Determinism tests for the closed-loop load generator (src/serve/loadgen.h).
+//
+// The contract under test: the request sequence is a pure function of
+// LoadGenOptions — same seed and config, same plan, same workload-mix
+// counters — and a real run against a live rockd reports non-negative
+// latencies for exactly the planned measured requests.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/server.h"
+#include "src/workload/generator.h"
+
+namespace rock::serve {
+namespace {
+
+bool PlansEqual(const std::vector<std::vector<PlannedRequest>>& a,
+                const std::vector<std::vector<PlannedRequest>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t c = 0; c < a.size(); ++c) {
+    if (a[c].size() != b[c].size()) return false;
+    for (size_t i = 0; i < a[c].size(); ++i) {
+      if (a[c][i].verb != b[c][i].verb || a[c][i].pick != b[c][i].pick) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Measured-phase verb counts implied by a plan — the ground truth the
+/// live run's counters must match.
+struct MixCounts {
+  uint64_t ingest = 0, detect = 0, explain = 0, ping = 0;
+};
+
+MixCounts CountMeasured(const std::vector<std::vector<PlannedRequest>>& plans,
+                        int warmup_requests) {
+  MixCounts counts;
+  for (const auto& plan : plans) {
+    for (size_t i = static_cast<size_t>(warmup_requests); i < plan.size();
+         ++i) {
+      switch (plan[i].verb) {
+        case Verb::kIngest: ++counts.ingest; break;
+        case Verb::kDetect: ++counts.detect; break;
+        case Verb::kExplain: ++counts.explain; break;
+        default: ++counts.ping; break;
+      }
+    }
+  }
+  return counts;
+}
+
+TEST(ServeLoadGenTest, PlanIsAPureFunctionOfOptions) {
+  LoadGenOptions options;
+  options.clients = 3;
+  options.warmup_requests = 5;
+  options.measure_requests = 40;
+  options.seed = 99;
+  options.pool.resize(10);
+  options.explain_targets = {{0, 1, 2}, {0, 3, 4}};
+
+  auto first = BuildLoadPlan(options);
+  auto second = BuildLoadPlan(options);
+  EXPECT_TRUE(PlansEqual(first, second)) << "same options, different plans";
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].size(), 45u);
+
+  // Clients have independent streams: client 0's plan should not simply
+  // repeat as client 1's.
+  EXPECT_FALSE(PlansEqual({first[0]}, {first[1]}));
+
+  // A different seed produces a different plan.
+  options.seed = 100;
+  auto reseeded = BuildLoadPlan(options);
+  EXPECT_FALSE(PlansEqual(first, reseeded));
+}
+
+TEST(ServeLoadGenTest, PlanHonorsDisabledVerbs) {
+  LoadGenOptions options;
+  options.clients = 2;
+  options.warmup_requests = 0;
+  options.measure_requests = 50;
+  options.ingest_weight = 0;
+  options.explain_weight = 0;
+  options.detect_weight = 1;
+  for (const auto& plan : BuildLoadPlan(options)) {
+    for (const PlannedRequest& planned : plan) {
+      EXPECT_EQ(planned.verb, Verb::kDetect);
+    }
+  }
+
+  options.detect_weight = 0;  // nothing enabled -> pings, not a crash
+  for (const auto& plan : BuildLoadPlan(options)) {
+    for (const PlannedRequest& planned : plan) {
+      EXPECT_EQ(planned.verb, Verb::kPing);
+    }
+  }
+}
+
+TEST(ServeLoadGenTest, LatencyPercentileIsNearestRank) {
+  LoadReport report;
+  EXPECT_EQ(report.LatencyPercentile(0.5), 0.0);  // empty: defined, zero
+  report.latencies_seconds = {0.4, 0.1, 0.3, 0.2, 0.5};
+  EXPECT_DOUBLE_EQ(report.LatencyPercentile(0.5), 0.3);
+  EXPECT_DOUBLE_EQ(report.LatencyPercentile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(report.LatencyPercentile(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(report.LatencyPercentile(0.99), 0.5);
+}
+
+TEST(ServeLoadGenTest, RunLoadValidatesOptions) {
+  LoadGenOptions options;
+  options.clients = 0;
+  EXPECT_FALSE(RunLoad(options).ok());
+
+  options.clients = 1;
+  options.ingest_weight = 1;
+  options.pool.clear();
+  EXPECT_FALSE(RunLoad(options).ok());
+}
+
+class LoadGenLiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::GeneratorOptions data_options;
+    data_options.rows = 100;
+    data_options.error_rate = 0.08;
+    data_options.seed = 17;
+    data_ = workload::MakeBankData(data_options);
+    rock_ = std::make_unique<core::Rock>(&data_.db, &data_.graph);
+    core::ModelTrainingSpec spec;
+    spec.rank_targets = {{"Customer", "city"}};
+    spec.monotone_attrs = {{"Customer", "points"}};
+    spec.path_synonyms = {{"area", {"AreaOf"}}};
+    rock_->TrainModels(spec);
+    ASSERT_TRUE(rock_->ActivateRules(data_.rule_text).ok());
+    auto server = RockServer::Start(rock_.get(), {});
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  LoadGenOptions LiveOptions() const {
+    LoadGenOptions options;
+    options.port = server_->port();
+    options.clients = 2;
+    options.warmup_requests = 3;
+    options.measure_requests = 12;
+    options.seed = 7;
+    options.ingest_weight = 1;
+    options.detect_weight = 4;
+    options.explain_weight = 1;
+    options.ingest_batch_rows = 2;
+    options.ingest_rel = 0;
+    Tuple sample = data_.db.relation(0).tuple(0);
+    sample.tid = -1;
+    sample.eid = -1;
+    options.pool = {sample, sample};
+    // No correction pass ran, so these explain to empty proofs — which is
+    // exactly the cheap read-only round trip the mix needs.
+    options.explain_targets = {{0, 1, 1}, {0, 2, 1}};
+    options.detect_scope = DetectScope::kSession;
+    return options;
+  }
+
+  workload::GeneratedData data_;
+  std::unique_ptr<core::Rock> rock_;
+  std::unique_ptr<RockServer> server_;
+};
+
+TEST_F(LoadGenLiveTest, SameSeedSameMixCountersAndSaneLatencies) {
+  const LoadGenOptions options = LiveOptions();
+  const MixCounts planned =
+      CountMeasured(BuildLoadPlan(options), options.warmup_requests);
+
+  Result<LoadReport> first = RunLoad(options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<LoadReport> second = RunLoad(options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  // The measured mix equals the plan's mix, run after run — even though
+  // the first run's ingests changed the server's database.
+  EXPECT_EQ(first->ingest_requests, planned.ingest);
+  EXPECT_EQ(first->detect_requests, planned.detect);
+  EXPECT_EQ(first->explain_requests, planned.explain);
+  EXPECT_EQ(first->ping_requests, planned.ping);
+  EXPECT_EQ(second->ingest_requests, first->ingest_requests);
+  EXPECT_EQ(second->detect_requests, first->detect_requests);
+  EXPECT_EQ(second->explain_requests, first->explain_requests);
+  EXPECT_EQ(second->error_responses, first->error_responses);
+  EXPECT_EQ(first->error_responses, 0u);
+
+  const uint64_t expected_measured = static_cast<uint64_t>(
+      options.clients * options.measure_requests);
+  ASSERT_EQ(first->latencies_seconds.size(), expected_measured);
+  ASSERT_EQ(second->latencies_seconds.size(), expected_measured);
+  for (double latency : first->latencies_seconds) {
+    EXPECT_GE(latency, 0.0);
+  }
+  EXPECT_GT(first->throughput_rps, 0.0);
+  EXPECT_GE(first->LatencyPercentile(0.99),
+            first->LatencyPercentile(0.50));
+}
+
+}  // namespace
+}  // namespace rock::serve
